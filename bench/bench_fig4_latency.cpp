@@ -1,0 +1,61 @@
+// Figure 4: average latency vs. packet injection rate for DeFT, MTR and
+// RC under (a) Uniform, (b) Localized and (c) Hotspot synthetic traffic on
+// the 4-chiplet system, and (d) Uniform traffic on the 6-chiplet system.
+//
+// Expected shape (paper): DeFT has the lowest latency everywhere and
+// saturates last thanks to balanced VL selection and VC utilization; MTR
+// saturates earlier (restricted turns concentrate load); RC pays a
+// permission-round-trip latency floor and saturates earliest
+// (per-RC-buffer serialization).
+#include "bench_util.hpp"
+
+namespace deft {
+namespace {
+
+void run_subplot(const ExperimentContext& ctx, const std::string& pattern,
+                 const std::vector<double>& rates, const std::string& title) {
+  bench::print_section(title);
+  TextTable table({"inj.rate (pkt/cyc/node)", "DeFT", "MTR", "RC"});
+  std::vector<std::vector<std::string>> columns;
+  for (Algorithm alg : {Algorithm::deft, Algorithm::mtr, Algorithm::rc}) {
+    std::vector<std::string> column;
+    for (double rate : rates) {
+      const auto traffic = bench::make_pattern(ctx.topo(), pattern, rate);
+      const SimResults r =
+          run_sim(ctx, alg, *traffic, bench::bench_knobs());
+      column.push_back(bench::total_latency_cell(r));
+    }
+    columns.push_back(std::move(column));
+  }
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    table.add_row({TextTable::num(rates[i], 3), columns[0][i], columns[1][i],
+                   columns[2][i]});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace deft
+
+int main() {
+  using namespace deft;
+  std::puts("Figure 4: average packet latency (cycles) vs injection rate");
+  std::puts("('*' = at/past saturation: drain budget expired)");
+
+  const ExperimentContext ctx4 = ExperimentContext::reference(4);
+  const std::vector<double> rates = {0.002, 0.005, 0.008, 0.011, 0.014,
+                                     0.017, 0.020, 0.023, 0.026};
+  run_subplot(ctx4, "uniform", rates, "Fig. 4(a): Uniform - 4 chiplets");
+  run_subplot(ctx4, "localized", rates, "Fig. 4(b): Localized - 4 chiplets");
+  const std::vector<double> hotspot_rates = {0.002, 0.004, 0.006, 0.008,
+                                             0.010, 0.012, 0.014, 0.016};
+  run_subplot(ctx4, "hotspot", hotspot_rates,
+              "Fig. 4(c): Hotspot - 4 chiplets");
+
+  const ExperimentContext ctx6 = ExperimentContext::reference(6);
+  const std::vector<double> rates6 = {0.002, 0.004, 0.006, 0.008, 0.010,
+                                      0.012, 0.014, 0.016, 0.018};
+  run_subplot(ctx6, "uniform", rates6, "Fig. 4(d): Uniform - 6 chiplets");
+  return 0;
+}

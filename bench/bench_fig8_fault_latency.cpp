@@ -1,0 +1,68 @@
+// Figure 8: average latency of DeFT under VL faults with the three
+// VL-selection strategies - the offline-optimized tables (DeFT), the
+// distance-based selection common in 3D NoCs (DeFT-Dis.), and random
+// selection among alive VLs (DeFT-Ran.) - at (a) 12.5% (4 faulty
+// channels) and (b) 25% (8 faulty channels) fault rates on the 4-chiplet
+// system. MTR and RC are absent because they cannot offer complete
+// reachability under these scenarios.
+//
+// Expected shape (paper): the optimized tables win at both fault rates;
+// distance-based selection overloads the VLs closest to the survivors and
+// degrades most at 25%; random selection balances load statistically but
+// pays extra distance, hurting mostly at the milder 12.5% rate.
+#include "bench_util.hpp"
+#include "fault/scenario.hpp"
+
+namespace deft {
+namespace {
+
+void run_subplot(const ExperimentContext& ctx, int faulty, char label) {
+  // One representative non-disconnecting pattern per fault rate, fixed by
+  // seed so every strategy sees identical faults.
+  Rng rng(1000 + static_cast<std::uint64_t>(faulty));
+  const auto faults = sample_fault_scenario(ctx.topo(), faulty, rng);
+  require(faults.has_value(), "bench_fig8: could not sample a fault pattern");
+  bench::print_section(
+      std::string("Fig. 8(") + label + "): " + std::to_string(faulty) +
+      " faulty VL channels (" +
+      TextTable::num(100.0 * faulty / ctx.topo().num_vl_channels(), 1) +
+      "% fault rate), pattern " + faults->to_string());
+  const std::vector<double> rates = {0.004, 0.008, 0.012, 0.016, 0.020,
+                                     0.024};
+  TextTable table(
+      {"inj.rate (pkt/cyc/node)", "DeFT", "DeFT-Dis.", "DeFT-Ran."});
+  std::vector<std::vector<std::string>> columns;
+  for (VlStrategy strategy :
+       {VlStrategy::table, VlStrategy::distance, VlStrategy::random}) {
+    std::vector<std::string> column;
+    for (double rate : rates) {
+      UniformTraffic traffic(ctx.topo(), rate);
+      const SimResults r = run_sim(ctx, Algorithm::deft, traffic,
+                                   bench::bench_knobs(), *faults, strategy);
+      require(r.packets_dropped_unroutable == 0,
+              "bench_fig8: DeFT dropped packets under a valid pattern");
+      column.push_back(bench::total_latency_cell(r));
+    }
+    columns.push_back(std::move(column));
+  }
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    table.add_row({TextTable::num(rates[i], 3), columns[0][i], columns[1][i],
+                   columns[2][i]});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace deft
+
+int main() {
+  using namespace deft;
+  std::puts(
+      "Figure 8: DeFT latency under VL faults, by VL-selection strategy");
+  std::puts("('*' = at/past saturation: drain budget expired)");
+  const ExperimentContext ctx = ExperimentContext::reference(4);
+  run_subplot(ctx, 4, 'a');   // 12.5% fault rate
+  run_subplot(ctx, 8, 'b');   // 25% fault rate
+  return 0;
+}

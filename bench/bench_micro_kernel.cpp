@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) of the library's hot kernels: route
+// computation for the three algorithms, a full simulation cycle under
+// load, VL-selection optimization, CDG construction/verification, and the
+// per-pattern reachability evaluation that Fig. 7 amortizes millions of
+// times.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "routing/cdg.hpp"
+
+namespace deft {
+namespace {
+
+const ExperimentContext& ctx4() {
+  static const ExperimentContext ctx = ExperimentContext::reference(4);
+  return ctx;
+}
+
+void BM_RouteComputation(benchmark::State& state,
+                         Algorithm algorithm) {
+  const auto alg = ctx4().make_algorithm(algorithm);
+  const Topology& topo = ctx4().topo();
+  PacketRoute route;
+  route.src = topo.chiplet_node_at(0, 1, 1);
+  route.dst = topo.chiplet_node_at(3, 2, 2);
+  require(alg->prepare_packet(route), "pair must be routable");
+  const RouterView view{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alg->route(route.src, Port::local, 0, route, view));
+  }
+}
+BENCHMARK_CAPTURE(BM_RouteComputation, deft, Algorithm::deft);
+BENCHMARK_CAPTURE(BM_RouteComputation, mtr, Algorithm::mtr);
+BENCHMARK_CAPTURE(BM_RouteComputation, rc, Algorithm::rc);
+
+void BM_PreparePacket(benchmark::State& state, Algorithm algorithm) {
+  const auto alg = ctx4().make_algorithm(algorithm);
+  const Topology& topo = ctx4().topo();
+  PacketRoute route;
+  route.src = topo.chiplet_node_at(0, 1, 1);
+  route.dst = topo.chiplet_node_at(3, 2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alg->prepare_packet(route));
+  }
+}
+BENCHMARK_CAPTURE(BM_PreparePacket, deft, Algorithm::deft);
+BENCHMARK_CAPTURE(BM_PreparePacket, rc, Algorithm::rc);
+
+void BM_SimulationCycles(benchmark::State& state) {
+  // Cost of whole simulated cycles at a moderately loaded operating point
+  // (items processed = cycles; compare against wall clock for cycles/s).
+  for (auto _ : state) {
+    state.PauseTiming();
+    UniformTraffic traffic(ctx4().topo(), 0.012);
+    SimKnobs knobs;
+    knobs.warmup = 0;
+    knobs.measure = static_cast<Cycle>(state.range(0));
+    knobs.drain_max = 0;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        run_sim(ctx4(), Algorithm::deft, traffic, knobs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationCycles)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_VlSelectionComposition(benchmark::State& state) {
+  // Algorithm 2's exact solver for one 16-router / 4-VL chiplet scenario.
+  std::vector<Coord> routers;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      routers.push_back({x, y});
+    }
+  }
+  const VlSelectionProblem p = VlSelectionProblem::uniform(
+      routers, {{1, 0}, {3, 2}, {2, 3}, {0, 1}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_composition(p));
+  }
+}
+BENCHMARK(BM_VlSelectionComposition)->Unit(benchmark::kMillisecond);
+
+void BM_VlSelectionAnneal(benchmark::State& state) {
+  std::vector<Coord> routers;
+  std::vector<double> traffic;
+  Rng gen(5);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      routers.push_back({x, y});
+      traffic.push_back(0.01 + gen.uniform_real() * 0.05);
+    }
+  }
+  VlSelectionProblem p;
+  p.routers = routers;
+  p.traffic = traffic;
+  p.vls = {{1, 0}, {3, 2}, {2, 3}, {0, 1}};
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_anneal(p, rng, 2, 5000));
+  }
+}
+BENCHMARK(BM_VlSelectionAnneal)->Unit(benchmark::kMillisecond);
+
+void BM_CdgVerification(benchmark::State& state) {
+  // Building DeFT's rule-level CDG and proving it acyclic, as the test
+  // suite does per fault scenario.
+  for (auto _ : state) {
+    const auto cdg = build_cdg(ctx4().topo(), 2, deft_dependency_oracle(1));
+    benchmark::DoNotOptimize(is_acyclic(cdg));
+  }
+}
+BENCHMARK(BM_CdgVerification)->Unit(benchmark::kMillisecond);
+
+void BM_ReachabilityPerPattern(benchmark::State& state, Algorithm algorithm) {
+  const ReachabilityAnalyzer analyzer(ctx4(), algorithm);
+  Rng rng(3);
+  const auto faults = sample_fault_scenario(ctx4().topo(), 6, rng);
+  require(faults.has_value(), "sampling failed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.reachability(*faults));
+  }
+}
+BENCHMARK_CAPTURE(BM_ReachabilityPerPattern, deft, Algorithm::deft);
+BENCHMARK_CAPTURE(BM_ReachabilityPerPattern, mtr, Algorithm::mtr);
+
+void BM_MtrPlanSynthesis(benchmark::State& state) {
+  const SystemSpec spec = make_reference_spec(4);
+  const Topology topo(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MtrPlan(topo));
+  }
+}
+BENCHMARK(BM_MtrPlanSynthesis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace deft
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table I: router area and power of MTR, RC (non-boundary and boundary)
+// and DeFT routers at 45 nm / 1 GHz, from the analytic ORION-style model
+// calibrated to the paper's MTR baseline (see DESIGN.md).
+//
+// Expected shape (paper): DeFT adds <2% area and <1% power over the MTR
+// baseline (VN-assignment logic + the 14-scenario VL look-up tables);
+// RC's boundary router is the expensive one (+13% area) because of the
+// packet-sized RC buffer and the permission network.
+#include "bench_util.hpp"
+#include "power/power_model.hpp"
+
+int main() {
+  using namespace deft;
+  std::puts("Table I: area and power analysis of DeFT, MTR, and RC");
+
+  const RouterEstimate mtr = estimate_router(mtr_router_params());
+  const std::vector<RouterEstimate> routers = {
+      mtr,
+      estimate_router(rc_nonboundary_router_params()),
+      estimate_router(rc_boundary_router_params()),
+      estimate_router(deft_router_params()),
+  };
+
+  TextTable table({"router", "area (um^2)", "norm. area", "power (mW)",
+                   "norm. power"});
+  for (const RouterEstimate& r : routers) {
+    table.add_row({r.name, TextTable::num(r.total_area, 0),
+                   TextTable::num(r.total_area / mtr.total_area, 3),
+                   TextTable::num(r.power_mw, 3),
+                   TextTable::num(r.power_mw / mtr.power_mw, 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  bench::print_section("component breakdown (um^2)");
+  TextTable parts({"router", "buffers", "crossbar", "allocators", "routing",
+                   "add-ons"});
+  for (const RouterEstimate& r : routers) {
+    parts.add_row({r.name, TextTable::num(r.buffer_area, 0),
+                   TextTable::num(r.crossbar_area, 0),
+                   TextTable::num(r.allocator_area, 0),
+                   TextTable::num(r.routing_area, 0),
+                   TextTable::num(r.extra_area, 0)});
+  }
+  std::fputs(parts.to_string().c_str(), stdout);
+  return 0;
+}

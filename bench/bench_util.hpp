@@ -1,0 +1,60 @@
+// Shared helpers for the bench harnesses (one binary per paper artifact).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "traffic/app_profiles.hpp"
+
+namespace deft::bench {
+
+/// Simulation windows used by all latency benches: long enough for stable
+/// means (thousands of measured packets), short enough that a full bench
+/// binary stays in the minutes range.
+inline SimKnobs bench_knobs() {
+  SimKnobs knobs;
+  knobs.warmup = 2000;
+  knobs.measure = 6'000;
+  knobs.drain_max = 12'000;
+  return knobs;
+}
+
+inline std::unique_ptr<TrafficGenerator> make_pattern(const Topology& topo,
+                                                      const std::string& name,
+                                                      double rate) {
+  if (name == "uniform") {
+    return std::make_unique<UniformTraffic>(topo, rate);
+  }
+  if (name == "localized") {
+    return std::make_unique<LocalizedTraffic>(topo, rate);
+  }
+  if (name == "hotspot") {
+    return std::make_unique<HotspotTraffic>(topo, rate);
+  }
+  require(false, "make_pattern: unknown pattern " + name);
+  return nullptr;
+}
+
+/// The figure series plot the packet's end-to-end latency (creation to
+/// tail ejection, the quantity Noxim reports); '*' marks points at or past
+/// saturation, where the drain budget expired and the mean underestimates
+/// the true (unbounded) latency.
+inline std::string total_latency_cell(const SimResults& r) {
+  if (r.total_latency.count == 0) {
+    return "-";
+  }
+  std::string cell = TextTable::num(r.total_latency.mean, 1);
+  if (!r.drained || r.deadlock_detected) {
+    cell += '*';
+  }
+  return cell;
+}
+
+inline void print_section(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace deft::bench

@@ -1,0 +1,73 @@
+// Custom topology: build a heterogeneous 2.5D system (unequal chiplet
+// sizes and VL counts), verify DeFT's deadlock-freedom on it with the CDG
+// checker, and run traffic - demonstrating that the library is not tied to
+// the paper's reference systems.
+//
+// DeFT's guarantees are topology-independent (Section III-A proves the
+// rules for any chiplet system whose chiplets are locally deadlock-free);
+// this example *checks* that claim on a system the paper never simulated.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "routing/cdg.hpp"
+#include "topology/builder.hpp"
+
+int main() {
+  using namespace deft;
+
+  // One 3x3 chiplet with 2 VLs and one 2x2 chiplet with 2 VLs on a 6x4
+  // interposer with two DRAM endpoints - nothing like the 4-chiplet
+  // reference system.
+  SystemSpec spec = make_two_chiplet_spec();
+  std::printf("system: %s (%dx%d interposer, %zu chiplets)\n",
+              spec.name.c_str(), spec.interposer_width,
+              spec.interposer_height, spec.chiplets.size());
+
+  const ExperimentContext ctx(std::move(spec));
+  const Topology& topo = ctx.topo();
+
+  // Verify deadlock freedom: DeFT's rule-level channel dependency graph
+  // must be acyclic on *this* topology (Dally-Seitz criterion).
+  const auto cdg = build_cdg(topo, 2, deft_dependency_oracle(1));
+  std::vector<int> cycle;
+  if (!is_acyclic(cdg, &cycle)) {
+    std::printf("CDG has a cycle of length %zu - DeFT would deadlock!\n",
+                cycle.size());
+    return 1;
+  }
+  std::printf("CDG over %d (channel, VC) nodes verified acyclic\n",
+              topo.num_channels() * 2);
+
+  // DeFT's VL tables adapt to the chiplet's own VL count: a 2-VL chiplet
+  // stores C(2,1) = 2 faulty scenarios instead of 14.
+  std::printf("chiplet 0 stores %d faulty-scenario table entries\n",
+              ctx.vl_tables()->down(0).faulty_entry_count());
+
+  // Run all three algorithms; MTR synthesizes turn restrictions for this
+  // topology on first use.
+  for (Algorithm alg : {Algorithm::deft, Algorithm::mtr, Algorithm::rc}) {
+    UniformTraffic traffic(topo, 0.02);
+    SimKnobs knobs;
+    knobs.warmup = 2000;
+    knobs.measure = 8000;
+    const SimResults r = run_sim(ctx, alg, traffic, knobs);
+    std::printf("%-5s latency %6.1f cycles, delivered %llu, %s\n",
+                algorithm_name(alg), r.total_latency.mean,
+                static_cast<unsigned long long>(r.packets_delivered_measured),
+                r.deadlock_detected ? "DEADLOCK" : "deadlock-free");
+  }
+  std::printf("MTR synthesized %d turn restrictions for this topology\n",
+              ctx.mtr_plan()->restricted_turn_count());
+
+  // Fault tolerance on the small system: kill one of chiplet 1's two up
+  // channels; DeFT must still reach every pair.
+  VlFaultSet faults;
+  faults.set_faulty(topo.vl(topo.chiplet_vls(1)[0]).up_vl_channel());
+  const ReachabilityAnalyzer deft_reach(ctx, Algorithm::deft);
+  const ReachabilityAnalyzer rc_reach(ctx, Algorithm::rc);
+  std::printf("with %s faulty: DeFT reachability %.1f%%, RC %.1f%%\n",
+              faults.to_string().c_str(),
+              100.0 * deft_reach.reachability(faults),
+              100.0 * rc_reach.reachability(faults));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// deft_sim: the command-line simulation driver (the Noxim-equivalent
+// front door of the library).
+//
+//   $ ./deft_sim config.cfg              # run a configuration file
+//   $ ./deft_sim                         # built-in default configuration
+//   $ ./deft_sim --dump-default > a.cfg  # start from a template
+//
+// The configuration format is documented in src/core/config_file.hpp.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/config_file.hpp"
+#include "topology/builder.hpp"
+
+namespace {
+
+constexpr const char* kDefaultConfig = R"(# deft_sim configuration
+chiplets   = 4          # 4 or 6 (the paper's reference systems)
+algorithm  = deft       # deft | mtr | rc
+vl_strategy = table     # table | distance | random (DeFT only)
+traffic    = uniform    # uniform | localized | hotspot | transpose |
+                        # bit-complement
+rate       = 0.008      # packets/cycle/core
+vcs        = 2
+buffer_depth = 4
+packet_size  = 8
+vl_serialization = 1    # >1 models serialized (narrower) vertical links
+warmup     = 10000
+measure    = 30000
+drain_max  = 100000
+seed       = 1
+faults     =            # e.g.: 0v 3^ 12v  (<vl>v = down half, <vl>^ = up)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deft;
+  if (argc > 1 && std::strcmp(argv[1], "--dump-default") == 0) {
+    std::fputs(kDefaultConfig, stdout);
+    return 0;
+  }
+
+  SimulationConfig config;
+  try {
+    if (argc > 1) {
+      std::ifstream file(argv[1]);
+      require(file.good(), std::string("cannot open ") + argv[1]);
+      config = parse_simulation_config(file);
+    } else {
+      config = parse_simulation_config(std::string(kDefaultConfig));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const ExperimentContext ctx(make_reference_spec(config.chiplets),
+                              config.knobs.seed);
+  const Topology& topo = ctx.topo();
+  const VlFaultSet faults = config.faults(topo);
+  std::printf("deft_sim: %d chiplets, %s routing (%s VL selection), %s "
+              "traffic @ %.4f pkt/cyc/core",
+              config.chiplets, algorithm_name(config.algorithm),
+              vl_strategy_name(config.vl_strategy), config.traffic.c_str(),
+              config.rate);
+  if (!faults.empty()) {
+    std::printf(", faults %s", faults.to_string().c_str());
+  }
+  std::puts("");
+
+  const auto traffic = config.make_traffic(topo);
+  const SimResults r = run_sim(ctx, config.algorithm, *traffic, config.knobs,
+                               faults, config.vl_strategy);
+
+  std::printf("cycles simulated:     %lld\n",
+              static_cast<long long>(r.cycles_run));
+  std::printf("packets measured:     %llu created, %llu delivered\n",
+              static_cast<unsigned long long>(r.packets_created_measured),
+              static_cast<unsigned long long>(r.packets_delivered_measured));
+  std::printf("unroutable packets:   %llu\n",
+              static_cast<unsigned long long>(r.packets_dropped_unroutable));
+  std::printf("network latency:      %.2f avg / %.1f p50 / %.1f p95 / %.0f "
+              "max (cycles)\n",
+              r.network_latency.mean, r.network_latency.p50,
+              r.network_latency.p95, r.network_latency.max);
+  std::printf("end-to-end latency:   %.2f avg (cycles)\n",
+              r.total_latency.mean);
+  std::printf("throughput:           %.4f flits/cycle/endpoint\n",
+              r.throughput(static_cast<int>(topo.endpoints().size())));
+  for (int region = 0; region <= topo.num_chiplets(); ++region) {
+    std::printf("VC utilization %-9s",
+                region == topo.num_chiplets()
+                    ? "intrpsr:"
+                    : ("chip-" + std::to_string(region) + ":").c_str());
+    for (int vc = 0; vc < config.knobs.num_vcs; ++vc) {
+      std::printf(" %5.1f%%", 100.0 * r.vc_utilization(region, vc));
+    }
+    std::puts("");
+  }
+  std::printf("status:               %s%s\n", r.drained ? "drained" : "not drained (saturated)",
+              r.deadlock_detected ? ", DEADLOCK DETECTED" : "");
+  return r.deadlock_detected ? 2 : 0;
+}

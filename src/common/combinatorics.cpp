@@ -1,0 +1,84 @@
+#include "common/combinatorics.hpp"
+
+#include <limits>
+
+namespace deft {
+
+std::uint64_t binomial(int n, int k) {
+  if (k < 0 || k > n) {
+    return 0;
+  }
+  if (k > n - k) {
+    k = n - k;
+  }
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is always integral at this point, but the
+    // multiplication may overflow; detect and saturate.
+    const std::uint64_t factor = static_cast<std::uint64_t>(n - k + i);
+    if (result > std::numeric_limits<std::uint64_t>::max() / factor) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * factor / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+std::uint64_t for_each_combination(
+    int n, int k, const std::function<bool(const std::vector<int>&)>& visit) {
+  require(n >= 0 && k >= 0, "for_each_combination: negative n or k");
+  if (k > n) {
+    return 0;
+  }
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    idx[static_cast<std::size_t>(i)] = i;
+  }
+  std::uint64_t count = 0;
+  while (true) {
+    ++count;
+    if (!visit(idx)) {
+      return count;
+    }
+    // Advance to the next lexicographic combination.
+    int i = k - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - k + i) {
+      --i;
+    }
+    if (i < 0) {
+      return count;
+    }
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+std::uint64_t for_each_composition(
+    int total, int parts,
+    const std::function<bool(const std::vector<int>&)>& visit) {
+  require(total >= 0 && parts >= 1, "for_each_composition: bad arguments");
+  std::vector<int> counts(static_cast<std::size_t>(parts), 0);
+  std::uint64_t visited = 0;
+  // Recursive enumeration: place 0..remaining in each slot, remainder in
+  // the last slot.
+  std::function<bool(int, int)> rec = [&](int slot, int remaining) -> bool {
+    if (slot == parts - 1) {
+      counts[static_cast<std::size_t>(slot)] = remaining;
+      ++visited;
+      return visit(counts);
+    }
+    for (int take = 0; take <= remaining; ++take) {
+      counts[static_cast<std::size_t>(slot)] = take;
+      if (!rec(slot + 1, remaining - take)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  rec(0, total);
+  return visited;
+}
+
+}  // namespace deft

@@ -1,0 +1,30 @@
+// Combinatorial helpers used by fault-scenario enumeration and the
+// VL-selection optimizer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace deft {
+
+/// Binomial coefficient C(n, k); saturates at
+/// std::numeric_limits<uint64_t>::max() on overflow.
+std::uint64_t binomial(int n, int k);
+
+/// Calls visit(indices) for every k-subset of {0..n-1} in lexicographic
+/// order; indices is strictly increasing. visit may return false to stop
+/// the enumeration early. Returns the number of subsets visited.
+std::uint64_t for_each_combination(
+    int n, int k, const std::function<bool(const std::vector<int>&)>& visit);
+
+/// Calls visit(counts) for every way to write `total` as an ordered sum of
+/// `parts` non-negative integers (a "weak composition"). Returns the number
+/// of compositions visited.
+std::uint64_t for_each_composition(
+    int total, int parts,
+    const std::function<bool(const std::vector<int>&)>& visit);
+
+}  // namespace deft

@@ -1,0 +1,33 @@
+#include "common/rng.hpp"
+
+namespace deft {
+
+std::uint64_t split_mix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four xoshiro words from SplitMix64 as recommended by the
+  // xoshiro authors; guarantees a nonzero state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = split_mix64(sm);
+  }
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  // Derive an independent generator, e.g. one per network interface, so
+  // that per-node traffic is reproducible regardless of simulation order.
+  std::uint64_t sm = next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  Rng child(0);
+  for (auto& word : child.state_) {
+    word = split_mix64(sm);
+  }
+  return child;
+}
+
+}  // namespace deft

@@ -1,0 +1,32 @@
+// Plain-text table formatting for bench/example output. Benches print the
+// same rows/series the paper's figures and tables report; this keeps that
+// output aligned and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace deft {
+
+/// Accumulates rows of string cells and renders a GitHub-style markdown
+/// table with padded columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table; every column is padded to its widest cell.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deft

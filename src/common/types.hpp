@@ -1,0 +1,44 @@
+// Basic shared types and checked-precondition helpers for the deft-noc
+// library. All other modules include this header.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace deft {
+
+/// Index of a router node in a Topology. Nodes are numbered densely from 0.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Index of a directed physical channel (link) in a Topology.
+using ChannelId = std::int32_t;
+inline constexpr ChannelId kInvalidChannel = -1;
+
+/// Index of a vertical link (bidirectional) within the whole system.
+using VlId = std::int32_t;
+inline constexpr VlId kInvalidVl = -1;
+
+/// Index of a unidirectional vertical channel (2 per vertical link).
+using VlChannelId = std::int32_t;
+
+/// Simulation time in cycles.
+using Cycle = std::int64_t;
+
+/// Throws std::invalid_argument when a caller-facing precondition fails.
+inline void require(bool condition, const std::string& what) {
+  if (!condition) {
+    throw std::invalid_argument(what);
+  }
+}
+
+/// Throws std::logic_error when an internal invariant fails. Used on paths
+/// where the cost of the check is negligible; hot paths use assert().
+inline void check(bool condition, const std::string& what) {
+  if (!condition) {
+    throw std::logic_error(what);
+  }
+}
+
+}  // namespace deft

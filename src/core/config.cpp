@@ -1,0 +1,56 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+
+namespace deft {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::deft: return "DeFT";
+    case Algorithm::mtr: return "MTR";
+    case Algorithm::rc: return "RC";
+  }
+  return "?";
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "deft") {
+    return Algorithm::deft;
+  }
+  if (n == "mtr") {
+    return Algorithm::mtr;
+  }
+  if (n == "rc") {
+    return Algorithm::rc;
+  }
+  require(false, "parse_algorithm: unknown algorithm '" + name + "'");
+  return Algorithm::deft;
+}
+
+VlStrategy parse_vl_strategy(const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "table") {
+    return VlStrategy::table;
+  }
+  if (n == "distance") {
+    return VlStrategy::distance;
+  }
+  if (n == "random") {
+    return VlStrategy::random;
+  }
+  require(false, "parse_vl_strategy: unknown strategy '" + name + "'");
+  return VlStrategy::table;
+}
+
+}  // namespace deft

@@ -1,0 +1,21 @@
+// Top-level configuration types for experiments.
+#pragma once
+
+#include <string>
+
+#include "routing/deft_routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace deft {
+
+enum class Algorithm : std::uint8_t { deft, mtr, rc };
+
+const char* algorithm_name(Algorithm a);
+
+/// Parses "deft" / "mtr" / "rc" (case-insensitive). Throws on junk.
+Algorithm parse_algorithm(const std::string& name);
+
+/// Parses "table" / "distance" / "random" (case-insensitive).
+VlStrategy parse_vl_strategy(const std::string& name);
+
+}  // namespace deft

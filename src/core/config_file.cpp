@@ -1,0 +1,169 @@
+#include "core/config_file.hpp"
+
+#include <istream>
+#include <limits>
+#include <sstream>
+
+#include "traffic/patterns.hpp"
+
+namespace deft {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+long parse_int(const std::string& key, const std::string& value, long lo,
+               long hi) {
+  std::size_t used = 0;
+  long parsed = 0;
+  try {
+    parsed = std::stol(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  require(used == value.size(),
+          "config: key '" + key + "' expects an integer, got '" + value + "'");
+  require(parsed >= lo && parsed <= hi,
+          "config: key '" + key + "' out of range [" + std::to_string(lo) +
+              ", " + std::to_string(hi) + "]");
+  return parsed;
+}
+
+double parse_double(const std::string& key, const std::string& value,
+                    double lo, double hi) {
+  std::size_t used = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  require(used == value.size(),
+          "config: key '" + key + "' expects a number, got '" + value + "'");
+  require(parsed >= lo && parsed <= hi,
+          "config: key '" + key + "' out of range");
+  return parsed;
+}
+
+}  // namespace
+
+VlFaultSet SimulationConfig::faults(const Topology& topo) const {
+  VlFaultSet set;
+  std::istringstream in(fault_spec);
+  std::string token;
+  while (in >> token) {
+    require(token.size() >= 2 &&
+                (token.back() == 'v' || token.back() == '^'),
+            "config: fault channel '" + token + "' must be <vl>v or <vl>^");
+    const long vl =
+        parse_int("faults", token.substr(0, token.size() - 1), 0,
+                  topo.num_vls() - 1);
+    set.set_faulty(token.back() == 'v'
+                       ? topo.vl(static_cast<VlId>(vl)).down_vl_channel()
+                       : topo.vl(static_cast<VlId>(vl)).up_vl_channel());
+  }
+  return set;
+}
+
+std::unique_ptr<TrafficGenerator> SimulationConfig::make_traffic(
+    const Topology& topo) const {
+  if (traffic == "uniform") {
+    return std::make_unique<UniformTraffic>(topo, rate);
+  }
+  if (traffic == "localized") {
+    return std::make_unique<LocalizedTraffic>(topo, rate);
+  }
+  if (traffic == "hotspot") {
+    return std::make_unique<HotspotTraffic>(topo, rate);
+  }
+  if (traffic == "transpose") {
+    return std::make_unique<TransposeTraffic>(topo, rate);
+  }
+  if (traffic == "bit-complement") {
+    return std::make_unique<BitComplementTraffic>(topo, rate);
+  }
+  require(false, "config: unknown traffic pattern '" + traffic + "'");
+  return nullptr;
+}
+
+SimulationConfig parse_simulation_config(std::istream& in) {
+  SimulationConfig config;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    const auto eq = trimmed.find('=');
+    require(eq != std::string::npos, "config: line " +
+                                         std::to_string(line_no) +
+                                         " is not 'key = value'");
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    require(!key.empty(),
+            "config: empty key on line " + std::to_string(line_no));
+    if (value.empty()) {
+      // An empty value means "keep the default" (it lets templates list
+      // optional keys like `faults =`).
+      continue;
+    }
+
+    if (key == "chiplets") {
+      config.chiplets = static_cast<int>(parse_int(key, value, 1, 64));
+    } else if (key == "algorithm") {
+      config.algorithm = parse_algorithm(value);
+    } else if (key == "vl_strategy") {
+      config.vl_strategy = parse_vl_strategy(value);
+    } else if (key == "traffic") {
+      config.traffic = value;
+    } else if (key == "rate") {
+      config.rate = parse_double(key, value, 0.0, 1.0);
+    } else if (key == "vcs") {
+      config.knobs.num_vcs = static_cast<int>(parse_int(key, value, 1, 4));
+    } else if (key == "buffer_depth") {
+      config.knobs.buffer_depth =
+          static_cast<int>(parse_int(key, value, 1, 8));
+    } else if (key == "packet_size") {
+      config.knobs.packet_size =
+          static_cast<int>(parse_int(key, value, 1, 64));
+    } else if (key == "vl_serialization") {
+      config.knobs.vl_serialization =
+          static_cast<int>(parse_int(key, value, 1, 32));
+    } else if (key == "warmup") {
+      config.knobs.warmup = parse_int(key, value, 0, 100'000'000);
+    } else if (key == "measure") {
+      config.knobs.measure = parse_int(key, value, 1, 100'000'000);
+    } else if (key == "drain_max") {
+      config.knobs.drain_max = parse_int(key, value, 0, 100'000'000);
+    } else if (key == "seed") {
+      config.knobs.seed = static_cast<std::uint64_t>(
+          parse_int(key, value, 0, std::numeric_limits<long>::max()));
+    } else if (key == "faults") {
+      config.fault_spec = value;
+    } else {
+      require(false, "config: unknown key '" + key + "' on line " +
+                         std::to_string(line_no));
+    }
+  }
+  return config;
+}
+
+SimulationConfig parse_simulation_config(const std::string& text) {
+  std::istringstream in(text);
+  return parse_simulation_config(in);
+}
+
+}  // namespace deft

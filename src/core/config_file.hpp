@@ -1,0 +1,56 @@
+// Minimal key=value configuration files for the CLI simulation driver.
+//
+// Format: one `key = value` per line; `#` starts a comment; whitespace is
+// ignored. Unknown keys are an error (typos should not silently fall back
+// to defaults).
+//
+//   # 4-chiplet reference system, DeFT, uniform traffic
+//   chiplets   = 4
+//   algorithm  = deft        # deft | mtr | rc
+//   traffic    = uniform     # uniform | localized | hotspot | transpose |
+//                            # bit-complement
+//   rate       = 0.008       # packets/cycle/core
+//   vcs        = 2
+//   buffer_depth = 4
+//   packet_size  = 8
+//   warmup     = 10000
+//   measure    = 30000
+//   seed       = 1
+//   vl_strategy = table      # table | distance | random (DeFT only)
+//   faults     = 0v 3^       # faulty VL channels: <vl>v (down) / <vl>^ (up)
+//   vl_serialization = 1
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/runner.hpp"
+
+namespace deft {
+
+/// A fully parsed simulation configuration.
+struct SimulationConfig {
+  int chiplets = 4;
+  Algorithm algorithm = Algorithm::deft;
+  VlStrategy vl_strategy = VlStrategy::table;
+  std::string traffic = "uniform";
+  double rate = 0.008;
+  SimKnobs knobs;
+  std::string fault_spec;  ///< raw channel list, resolved against the topo
+
+  /// Resolves the fault channel list ("0v 3^ ...") for a topology.
+  VlFaultSet faults(const Topology& topo) const;
+
+  /// Builds the configured traffic generator.
+  std::unique_ptr<TrafficGenerator> make_traffic(const Topology& topo) const;
+};
+
+/// Parses `key = value` lines. Throws std::invalid_argument on malformed
+/// lines, unknown keys, or out-of-range values.
+SimulationConfig parse_simulation_config(std::istream& in);
+
+/// Convenience: parse from a string.
+SimulationConfig parse_simulation_config(const std::string& text);
+
+}  // namespace deft

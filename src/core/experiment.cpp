@@ -1,0 +1,48 @@
+#include "core/experiment.hpp"
+
+#include "common/table.hpp"
+
+namespace deft {
+
+std::vector<LatencyPoint> latency_sweep(const ExperimentContext& ctx,
+                                        Algorithm algorithm,
+                                        const TrafficFactory& traffic,
+                                        const std::vector<double>& rates,
+                                        const SimKnobs& knobs,
+                                        VlFaultSet faults,
+                                        VlStrategy strategy) {
+  std::vector<LatencyPoint> points;
+  points.reserve(rates.size());
+  for (double rate : rates) {
+    const auto generator = traffic(rate);
+    LatencyPoint point;
+    point.rate = rate;
+    point.results =
+        run_sim(ctx, algorithm, *generator, knobs, faults, strategy);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::string latency_cell(const SimResults& results) {
+  if (results.network_latency.count == 0) {
+    return "-";
+  }
+  std::string cell = TextTable::num(results.network_latency.mean, 1);
+  if (!results.drained || results.deadlock_detected) {
+    cell += '*';
+  }
+  return cell;
+}
+
+std::vector<double> rate_steps(double lo, double hi, int steps) {
+  require(steps >= 2 && hi > lo, "rate_steps: bad sweep bounds");
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    rates.push_back(lo + (hi - lo) * i / (steps - 1));
+  }
+  return rates;
+}
+
+}  // namespace deft

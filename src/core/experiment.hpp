@@ -1,0 +1,37 @@
+// Shared experiment drivers used by the bench harnesses and examples.
+#pragma once
+
+#include <functional>
+
+#include "core/reachability.hpp"
+#include "traffic/patterns.hpp"
+
+namespace deft {
+
+/// Builds a traffic generator for a given injection rate
+/// (packets/cycle/endpoint).
+using TrafficFactory =
+    std::function<std::unique_ptr<TrafficGenerator>(double rate)>;
+
+struct LatencyPoint {
+  double rate = 0.0;
+  SimResults results;
+};
+
+/// Runs one simulation per injection rate.
+std::vector<LatencyPoint> latency_sweep(
+    const ExperimentContext& ctx, Algorithm algorithm,
+    const TrafficFactory& traffic, const std::vector<double>& rates,
+    const SimKnobs& knobs, VlFaultSet faults = {},
+    VlStrategy strategy = VlStrategy::table);
+
+/// Formats the plot value for a sweep point: the mean network latency in
+/// cycles, annotated with '*' when the drain did not complete (the point
+/// is at or past saturation, so the value underestimates the true
+/// latency).
+std::string latency_cell(const SimResults& results);
+
+/// Evenly spaced injection rates in [lo, hi].
+std::vector<double> rate_steps(double lo, double hi, int steps);
+
+}  // namespace deft

@@ -1,0 +1,137 @@
+#include "core/reachability.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/combinatorics.hpp"
+
+namespace deft {
+
+ReachabilityAnalyzer::ReachabilityAnalyzer(const ExperimentContext& ctx,
+                                           Algorithm algorithm, int num_vcs,
+                                           bool include_drams)
+    : ctx_(&ctx), algorithm_(algorithm), num_vcs_(num_vcs) {
+  nodes_ = ctx.topo().core_endpoints();
+  if (include_drams) {
+    const auto& drams = ctx.topo().dram_endpoints();
+    nodes_.insert(nodes_.end(), drams.begin(), drams.end());
+  }
+  require(nodes_.size() >= 2, "ReachabilityAnalyzer: need at least 2 nodes");
+
+  // Aggregate pairs by (src chiplet, dst chiplet, combo mask): the combo
+  // mask is fault-independent, so each fault pattern only needs a handful
+  // of mask-vs-alive tests instead of one test per pair.
+  const auto alg = ctx.make_algorithm(algorithm, {}, num_vcs_);
+  const Topology& topo = ctx.topo();
+  const int regions = topo.num_chiplets() + 1;  // chiplets + interposer
+  std::vector<std::map<std::uint64_t, std::uint64_t>> histograms(
+      static_cast<std::size_t>(regions) * static_cast<std::size_t>(regions));
+  total_pairs_ = 0;
+  always_reachable_pairs_ = 0;
+  const auto region = [&](NodeId n) {
+    const int c = topo.node(n).chiplet;
+    return c == kInterposer ? topo.num_chiplets() : c;
+  };
+  for (NodeId src : nodes_) {
+    for (NodeId dst : nodes_) {
+      if (src == dst) {
+        continue;
+      }
+      ++total_pairs_;
+      const std::uint64_t mask = alg->pair_combo_mask(src, dst);
+      if (mask == RoutingAlgorithm::kAlwaysReachable) {
+        ++always_reachable_pairs_;
+        continue;
+      }
+      ++histograms[static_cast<std::size_t>(region(src)) *
+                       static_cast<std::size_t>(regions) +
+                   static_cast<std::size_t>(region(dst))][mask];
+    }
+  }
+  for (int s = 0; s < regions; ++s) {
+    for (int d = 0; d < regions; ++d) {
+      const auto& hist = histograms[static_cast<std::size_t>(s) *
+                                        static_cast<std::size_t>(regions) +
+                                    static_cast<std::size_t>(d)];
+      if (hist.empty()) {
+        continue;
+      }
+      Bucket bucket;
+      bucket.src_region = s;
+      bucket.dst_region = d;
+      bucket.combos.assign(hist.begin(), hist.end());
+      buckets_.push_back(std::move(bucket));
+    }
+  }
+}
+
+double ReachabilityAnalyzer::reachability(const VlFaultSet& faults) const {
+  const Topology& topo = ctx_->topo();
+  const int interposer_region = topo.num_chiplets();
+  // Alive VL-index masks per chiplet.
+  std::vector<std::uint8_t> alive_down;
+  std::vector<std::uint8_t> alive_up;
+  for (int c = 0; c < topo.num_chiplets(); ++c) {
+    const std::uint32_t all = (1u << topo.chiplet_vls(c).size()) - 1u;
+    alive_down.push_back(
+        static_cast<std::uint8_t>(~faults.chiplet_down_mask(topo, c) & all));
+    alive_up.push_back(
+        static_cast<std::uint8_t>(~faults.chiplet_up_mask(topo, c) & all));
+  }
+
+  std::uint64_t reachable = always_reachable_pairs_;
+  for (const Bucket& bucket : buckets_) {
+    std::uint64_t alive = 0;
+    if (bucket.src_region != interposer_region &&
+        bucket.dst_region != interposer_region) {
+      const std::uint8_t downs =
+          alive_down[static_cast<std::size_t>(bucket.src_region)];
+      const std::uint8_t ups =
+          alive_up[static_cast<std::size_t>(bucket.dst_region)];
+      for (int dn = 0; dn < 8; ++dn) {
+        if (downs & (1u << dn)) {
+          alive |= static_cast<std::uint64_t>(ups) << (8 * dn);
+        }
+      }
+    } else if (bucket.src_region != interposer_region) {
+      alive = alive_down[static_cast<std::size_t>(bucket.src_region)];
+    } else {
+      alive = alive_up[static_cast<std::size_t>(bucket.dst_region)];
+    }
+    for (const auto& [mask, count] : bucket.combos) {
+      if ((mask & alive) != 0) {
+        reachable += count;
+      }
+    }
+  }
+  return static_cast<double>(reachable) / static_cast<double>(total_pairs_);
+}
+
+ReachabilitySweepPoint ReachabilityAnalyzer::sweep(
+    int faulty_vls, std::uint64_t enumeration_limit, std::uint64_t samples,
+    std::uint64_t seed) const {
+  ReachabilitySweepPoint point;
+  point.faulty_vls = faulty_vls;
+  point.exhaustive =
+      binomial(ctx_->topo().num_vl_channels(), faulty_vls) <=
+      enumeration_limit;
+  double sum = 0.0;
+  double worst = 1.0;
+  std::uint64_t count = 0;
+  Rng rng(seed);
+  visit_fault_scenarios(ctx_->topo(), faulty_vls, enumeration_limit, samples,
+                        rng, [&](const VlFaultSet& f) {
+                          const double r = reachability(f);
+                          sum += r;
+                          worst = std::min(worst, r);
+                          ++count;
+                        });
+  point.patterns = count;
+  if (count > 0) {
+    point.average = sum / static_cast<double>(count);
+    point.worst = worst;
+  }
+  return point;
+}
+
+}  // namespace deft

@@ -1,0 +1,61 @@
+// Reachability analysis under VL faults (Fig. 7).
+//
+// Reachability is the fraction of endpoint pairs an algorithm can deliver
+// under a fault pattern - equivalently, the fraction of uniformly injected
+// packets that can be successfully routed (the paper's definition). The
+// sweep enumerates every non-disconnecting k-fault pattern when that is
+// tractable and falls back to uniform Monte-Carlo sampling otherwise,
+// reporting the average and worst case, exactly as Fig. 7 plots them.
+#pragma once
+
+#include "core/runner.hpp"
+#include "fault/scenario.hpp"
+
+namespace deft {
+
+struct ReachabilitySweepPoint {
+  int faulty_vls = 0;
+  double average = 1.0;
+  double worst = 1.0;
+  std::uint64_t patterns = 0;  ///< patterns evaluated
+  bool exhaustive = true;      ///< false when Monte-Carlo sampled
+};
+
+class ReachabilityAnalyzer {
+ public:
+  /// Pairs are taken over `core` endpoints by default (the synthetic
+  /// fault-injection workload of Fig. 7 runs core-to-core traffic);
+  /// include_drams adds DRAM endpoints to the pair set.
+  ReachabilityAnalyzer(const ExperimentContext& ctx, Algorithm algorithm,
+                       int num_vcs = 2, bool include_drams = false);
+
+  /// Reachability under one fault pattern.
+  double reachability(const VlFaultSet& faults) const;
+
+  /// Average/worst reachability over the k-fault patterns.
+  ReachabilitySweepPoint sweep(int faulty_vls,
+                               std::uint64_t enumeration_limit = 200'000,
+                               std::uint64_t samples = 20'000,
+                               std::uint64_t seed = 7) const;
+
+  std::uint64_t total_pairs() const { return total_pairs_; }
+
+ private:
+  /// Pairs aggregated by (src region, dst region, combo mask); regions are
+  /// chiplet indices with the interposer as the last region.
+  struct Bucket {
+    int src_region = 0;
+    int dst_region = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> combos;
+  };
+
+  const ExperimentContext* ctx_;
+  Algorithm algorithm_;
+  int num_vcs_;
+  std::vector<NodeId> nodes_;
+  std::vector<Bucket> buckets_;
+  std::uint64_t total_pairs_ = 0;
+  std::uint64_t always_reachable_pairs_ = 0;
+};
+
+}  // namespace deft

@@ -1,0 +1,55 @@
+#include "core/runner.hpp"
+
+namespace deft {
+
+ExperimentContext::ExperimentContext(SystemSpec spec, std::uint64_t seed)
+    : topo_(std::move(spec)), seed_(seed) {}
+
+ExperimentContext ExperimentContext::reference(int num_chiplets,
+                                               std::uint64_t seed) {
+  return ExperimentContext(make_reference_spec(num_chiplets), seed);
+}
+
+std::shared_ptr<const SystemVlTables> ExperimentContext::vl_tables() const {
+  if (!vl_tables_) {
+    Rng rng(seed_);
+    vl_tables_ =
+        std::make_shared<const SystemVlTables>(SystemVlTables::build(topo_, rng));
+  }
+  return vl_tables_;
+}
+
+std::shared_ptr<const MtrPlan> ExperimentContext::mtr_plan() const {
+  if (!mtr_plan_) {
+    mtr_plan_ = std::make_shared<const MtrPlan>(topo_);
+  }
+  return mtr_plan_;
+}
+
+std::unique_ptr<RoutingAlgorithm> ExperimentContext::make_algorithm(
+    Algorithm algorithm, VlFaultSet faults, int num_vcs,
+    VlStrategy strategy) const {
+  switch (algorithm) {
+    case Algorithm::deft:
+      return std::make_unique<DeftRouting>(
+          topo_, strategy == VlStrategy::table ? vl_tables() : nullptr,
+          faults, num_vcs, strategy, seed_ ^ 0x5eed);
+    case Algorithm::mtr:
+      return std::make_unique<MtrRouting>(mtr_plan(), faults, num_vcs);
+    case Algorithm::rc:
+      return std::make_unique<RcRouting>(topo_, faults, num_vcs);
+  }
+  require(false, "make_algorithm: bad algorithm");
+  return nullptr;
+}
+
+SimResults run_sim(const ExperimentContext& ctx, Algorithm algorithm,
+                   TrafficGenerator& traffic, const SimKnobs& knobs,
+                   VlFaultSet faults, VlStrategy strategy) {
+  const auto alg = ctx.make_algorithm(algorithm, faults, knobs.num_vcs,
+                                      strategy);
+  Simulator sim(ctx.topo(), *alg, traffic, knobs, faults);
+  return sim.run();
+}
+
+}  // namespace deft

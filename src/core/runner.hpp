@@ -1,0 +1,49 @@
+// ExperimentContext: one topology plus the (expensive, immutable)
+// design-time artifacts the three routing algorithms need - DeFT's
+// per-fault-scenario VL tables and MTR's synthesized turn restrictions -
+// built lazily and shared across every fault scenario and simulation run.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "routing/mtr_routing.hpp"
+#include "routing/rc_routing.hpp"
+#include "topology/builder.hpp"
+
+namespace deft {
+
+class ExperimentContext {
+ public:
+  explicit ExperimentContext(SystemSpec spec, std::uint64_t seed = 42);
+
+  /// Context over the paper's 4- or 6-chiplet reference system.
+  static ExperimentContext reference(int num_chiplets,
+                                     std::uint64_t seed = 42);
+
+  const Topology& topo() const { return topo_; }
+  std::uint64_t seed() const { return seed_; }
+
+  std::shared_ptr<const SystemVlTables> vl_tables() const;
+  std::shared_ptr<const MtrPlan> mtr_plan() const;
+
+  /// Builds a routing-algorithm instance for one fault scenario. Cheap:
+  /// the design-time artifacts are shared.
+  std::unique_ptr<RoutingAlgorithm> make_algorithm(
+      Algorithm algorithm, VlFaultSet faults = {}, int num_vcs = 2,
+      VlStrategy strategy = VlStrategy::table) const;
+
+ private:
+  Topology topo_;
+  std::uint64_t seed_;
+  mutable std::shared_ptr<const SystemVlTables> vl_tables_;
+  mutable std::shared_ptr<const MtrPlan> mtr_plan_;
+};
+
+/// Builds the algorithm and runs one simulation.
+SimResults run_sim(const ExperimentContext& ctx, Algorithm algorithm,
+                   TrafficGenerator& traffic, const SimKnobs& knobs,
+                   VlFaultSet faults = {},
+                   VlStrategy strategy = VlStrategy::table);
+
+}  // namespace deft

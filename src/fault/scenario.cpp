@@ -1,0 +1,79 @@
+#include "fault/scenario.hpp"
+
+#include "common/combinatorics.hpp"
+
+namespace deft {
+
+std::uint64_t for_each_fault_scenario(
+    const Topology& topo, int k,
+    const std::function<bool(const VlFaultSet&)>& visit) {
+  const int n = topo.num_vl_channels();
+  require(k >= 0 && k <= n, "for_each_fault_scenario: bad fault count");
+  std::uint64_t valid = 0;
+  for_each_combination(n, k, [&](const std::vector<int>& idx) {
+    VlFaultSet f;
+    for (int c : idx) {
+      f.set_faulty(c);
+    }
+    if (f.disconnects_any_chiplet(topo)) {
+      return true;  // skip, keep enumerating
+    }
+    ++valid;
+    return visit(f);
+  });
+  return valid;
+}
+
+std::uint64_t count_fault_scenarios(const Topology& topo, int k) {
+  return for_each_fault_scenario(topo, k,
+                                 [](const VlFaultSet&) { return true; });
+}
+
+std::optional<VlFaultSet> sample_fault_scenario(const Topology& topo, int k,
+                                                Rng& rng, int max_attempts) {
+  const int n = topo.num_vl_channels();
+  require(k >= 0 && k <= n, "sample_fault_scenario: bad fault count");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Partial Fisher-Yates: draw k distinct channels uniformly.
+    std::vector<int> pool(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      pool[static_cast<std::size_t>(i)] = i;
+    }
+    VlFaultSet f;
+    for (int i = 0; i < k; ++i) {
+      const auto j =
+          i + static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n - i)));
+      std::swap(pool[static_cast<std::size_t>(i)],
+                pool[static_cast<std::size_t>(j)]);
+      f.set_faulty(pool[static_cast<std::size_t>(i)]);
+    }
+    if (!f.disconnects_any_chiplet(topo)) {
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t visit_fault_scenarios(
+    const Topology& topo, int k, std::uint64_t enumeration_limit,
+    std::uint64_t samples, Rng& rng,
+    const std::function<void(const VlFaultSet&)>& visit) {
+  const int n = topo.num_vl_channels();
+  if (binomial(n, k) <= enumeration_limit) {
+    return for_each_fault_scenario(topo, k, [&](const VlFaultSet& f) {
+      visit(f);
+      return true;
+    });
+  }
+  std::uint64_t visited = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto f = sample_fault_scenario(topo, k, rng);
+    if (f.has_value()) {
+      visit(*f);
+      ++visited;
+    }
+  }
+  return visited;
+}
+
+}  // namespace deft

@@ -1,0 +1,46 @@
+// Fault-scenario enumeration and sampling.
+//
+// Fig. 7 of the paper sweeps the number of faulty VL channels k from 1 to 8
+// and reports average- and worst-case reachability over "all combinations
+// of fault patterns excluding those that disconnected chiplets completely".
+// Exhaustive enumeration is used while C(n, k) stays small; larger sweeps
+// fall back to uniform Monte-Carlo sampling over valid patterns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_set.hpp"
+
+namespace deft {
+
+/// Calls visit(fault_set) for every k-channel fault pattern that does not
+/// disconnect a chiplet, in lexicographic channel order. Returns the number
+/// of valid patterns visited. visit may return false to stop early.
+std::uint64_t for_each_fault_scenario(
+    const Topology& topo, int k,
+    const std::function<bool(const VlFaultSet&)>& visit);
+
+/// Number of valid (non-disconnecting) k-channel fault patterns.
+std::uint64_t count_fault_scenarios(const Topology& topo, int k);
+
+/// Draws one k-channel fault pattern uniformly at random among *all*
+/// patterns and rejects disconnecting ones. Returns nullopt if no valid
+/// pattern exists (e.g. k exceeds what the topology can absorb).
+std::optional<VlFaultSet> sample_fault_scenario(const Topology& topo, int k,
+                                                Rng& rng,
+                                                int max_attempts = 10000);
+
+/// Enumerate-or-sample driver used by the reachability experiments: visits
+/// every valid pattern when C(n, k) <= enumeration_limit, otherwise visits
+/// `samples` uniformly sampled valid patterns. Returns the number of
+/// patterns visited.
+std::uint64_t visit_fault_scenarios(
+    const Topology& topo, int k, std::uint64_t enumeration_limit,
+    std::uint64_t samples, Rng& rng,
+    const std::function<void(const VlFaultSet&)>& visit);
+
+}  // namespace deft

@@ -1,0 +1,91 @@
+#include "power/power_model.hpp"
+
+#include "common/types.hpp"
+
+namespace deft {
+
+RouterEstimate estimate_router(const RouterParams& p, const TechParams& t) {
+  require(p.ports >= 2 && p.vcs >= 1 && p.buffer_depth >= 1 &&
+              p.flit_bits >= 1,
+          "estimate_router: bad router parameters");
+  RouterEstimate e;
+  e.name = p.name;
+
+  const double buffered_bits = static_cast<double>(p.ports) * p.vcs *
+                               p.buffer_depth * p.flit_bits;
+  e.buffer_area = buffered_bits * t.ff_bit_area;
+  e.crossbar_area =
+      static_cast<double>(p.ports) * p.ports * p.flit_bits * t.xbar_bit_area;
+  const double requests = static_cast<double>(p.ports) * p.vcs;
+  e.allocator_area = requests * requests * t.alloc_req_area;
+  e.routing_area = t.routing_logic_area;
+
+  const double rc_buffer_area =
+      static_cast<double>(p.rc_buffer_flits) * p.flit_bits * t.control_bit_area;
+  const double lut_area = static_cast<double>(p.lut_entries) *
+                          p.lut_entry_bits * t.lut_bit_area;
+  e.extra_area =
+      rc_buffer_area + p.rc_control_area + lut_area + p.vn_logic_area;
+  e.total_area = e.buffer_area + e.crossbar_area + e.allocator_area +
+                 e.routing_area + e.extra_area;
+
+  // Power: leakage scales with all area; dynamic power scales with area
+  // weighted by per-component activity. Datapath components switch every
+  // cycle under load (activity 1.0); the DeFT LUT is only consulted per
+  // head flit (0.1) and its VN logic per hop (0.5); RC permission logic
+  // runs per packet (0.3 non-boundary / 0.5 boundary) and the RC buffer
+  // streams whole packets (0.8).
+  const double datapath_area = e.buffer_area + e.crossbar_area +
+                               e.allocator_area + e.routing_area;
+  double dynamic = datapath_area * t.dynamic_mw_per_um2;
+  dynamic += lut_area * 0.1 * t.dynamic_mw_per_um2;
+  dynamic += p.vn_logic_area * 0.5 * t.dynamic_mw_per_um2;
+  dynamic += rc_buffer_area * 0.8 * t.dynamic_mw_per_um2;
+  const double rc_ctrl_activity = p.rc_buffer_flits > 0 ? 0.5 : 0.3;
+  dynamic += p.rc_control_area * rc_ctrl_activity * t.dynamic_mw_per_um2;
+  e.power_mw = e.total_area * t.leakage_mw_per_um2 + dynamic;
+  return e;
+}
+
+RouterParams mtr_router_params() {
+  RouterParams p;
+  p.name = "MTR";
+  return p;
+}
+
+RouterParams rc_nonboundary_router_params() {
+  RouterParams p;
+  p.name = "RC-non-boundary";
+  // Permission-network client: request/grant tracking for the local NI.
+  p.rc_control_area = 785.0;
+  return p;
+}
+
+RouterParams rc_boundary_router_params(int packet_flits) {
+  RouterParams p;
+  p.name = "RC-boundary";
+  p.rc_buffer_flits = packet_flits;
+  // Request queue, grant arbiter and absorb/reinject control.
+  p.rc_control_area = 3034.0;
+  return p;
+}
+
+RouterParams deft_router_params(int vls_per_chiplet) {
+  RouterParams p;
+  p.name = "DeFT";
+  // One VL address per non-disconnecting fault scenario: 2^V - 2 faulty
+  // masks plus the fault-free one (the paper counts the 14 faulty ones for
+  // V = 4); each entry holds a VL address of ceil(log2(V)) bits, stored
+  // for both the down- and up-side selections.
+  const int scenarios = (1 << vls_per_chiplet) - 1;
+  int addr_bits = 1;
+  while ((1 << addr_bits) < vls_per_chiplet) {
+    ++addr_bits;
+  }
+  p.lut_entries = 2 * scenarios;
+  p.lut_entry_bits = addr_bits;
+  p.vn_logic_area = 293.0;
+  return p;
+}
+
+}  // namespace deft

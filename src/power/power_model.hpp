@@ -1,0 +1,68 @@
+// Analytic router area/power model (the substitution for Cadence Genus +
+// ORION 3.0 in Table I; see DESIGN.md).
+//
+// The model decomposes a virtual-channel router into input buffers,
+// crossbar, allocators and routing logic, with per-component area
+// coefficients at 45 nm calibrated so the six-port MTR baseline router
+// lands on the paper's absolute numbers (45878 um^2, 11.644 mW @ 1 GHz).
+// The three other variants add only small structures on top - permission
+// logic (RC non-boundary), a packet-sized RC buffer plus its control (RC
+// boundary), VN-assignment logic and the 14-entry VL look-up table (DeFT)
+// - so the comparison is structural rather than tool-dependent.
+#pragma once
+
+#include <string>
+
+namespace deft {
+
+/// Technology coefficients (45 nm, 1 GHz, 1.0 V class).
+struct TechParams {
+  double ff_bit_area = 12.0;        ///< um^2 per buffered bit (FF-based FIFO)
+  double xbar_bit_area = 9.5;       ///< um^2 per (port^2-normalized) bit
+  double alloc_req_area = 30.0;     ///< um^2 per (P*V)^2 request pair
+  double routing_logic_area = 12182.0;  ///< base route-compute block
+  double lut_bit_area = 8.0;        ///< um^2 per look-up-table bit
+  double control_bit_area = 12.0;   ///< um^2 per control/buffer bit (RC)
+  double leakage_mw_per_um2 = 5.0e-5;
+  double dynamic_mw_per_um2 = 2.038e-4;  ///< at activity factor 1.0
+};
+
+/// A router configuration to estimate.
+struct RouterParams {
+  std::string name = "router";
+  int ports = 6;        ///< paper: six-port router (4 mesh + local + vertical)
+  int vcs = 2;
+  int buffer_depth = 4;  ///< flits per VC
+  int flit_bits = 32;
+  // --- optional add-ons --------------------------------------------------
+  int rc_buffer_flits = 0;       ///< RC boundary: packet-sized buffer
+  double rc_control_area = 0.0;  ///< RC: permission network logic (um^2)
+  int lut_entries = 0;           ///< DeFT: per-fault-scenario VL entries
+  int lut_entry_bits = 0;
+  double vn_logic_area = 0.0;    ///< DeFT: VN-assignment logic (um^2)
+};
+
+struct RouterEstimate {
+  std::string name;
+  double buffer_area = 0.0;
+  double crossbar_area = 0.0;
+  double allocator_area = 0.0;
+  double routing_area = 0.0;
+  double extra_area = 0.0;  ///< add-ons (RC buffer/control, LUT, VN logic)
+  double total_area = 0.0;  ///< um^2
+  double power_mw = 0.0;    ///< @1 GHz, nominal activity
+};
+
+/// Estimates one router.
+RouterEstimate estimate_router(const RouterParams& params,
+                               const TechParams& tech = TechParams{});
+
+/// The four Table-I router variants at the paper's configuration
+/// (6 ports, 2 VCs, 4-flit buffers, 32-bit flits, 8-flit packets,
+/// `vls_per_chiplet` VLs giving 2^V - 2 faulty LUT scenarios + 1).
+RouterParams mtr_router_params();
+RouterParams rc_nonboundary_router_params();
+RouterParams rc_boundary_router_params(int packet_flits = 8);
+RouterParams deft_router_params(int vls_per_chiplet = 4);
+
+}  // namespace deft

@@ -1,0 +1,136 @@
+#include "routing/cdg.hpp"
+
+#include "routing/line_graph.hpp"
+
+namespace deft {
+
+bool is_acyclic(const std::vector<std::vector<int>>& adj,
+                std::vector<int>* cycle_out) {
+  const int n = static_cast<int>(adj.size());
+  // Iterative three-colour DFS; the explicit stack stores (node, next child
+  // index) so a witness cycle can be reconstructed from the grey path.
+  enum : char { kWhite, kGrey, kBlack };
+  std::vector<char> colour(static_cast<std::size_t>(n), kWhite);
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int root = 0; root < n; ++root) {
+    if (colour[static_cast<std::size_t>(root)] != kWhite) {
+      continue;
+    }
+    stack.clear();
+    stack.emplace_back(root, 0);
+    colour[static_cast<std::size_t>(root)] = kGrey;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      if (child < adj[static_cast<std::size_t>(node)].size()) {
+        const int next = adj[static_cast<std::size_t>(node)][child++];
+        if (colour[static_cast<std::size_t>(next)] == kWhite) {
+          colour[static_cast<std::size_t>(next)] = kGrey;
+          stack.emplace_back(next, 0);
+        } else if (colour[static_cast<std::size_t>(next)] == kGrey) {
+          if (cycle_out != nullptr) {
+            cycle_out->clear();
+            std::size_t start = 0;
+            while (stack[start].first != next) {
+              ++start;
+            }
+            for (std::size_t i = start; i < stack.size(); ++i) {
+              cycle_out->push_back(stack[i].first);
+            }
+            cycle_out->push_back(next);
+          }
+          return false;
+        }
+      } else {
+        colour[static_cast<std::size_t>(node)] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> build_cdg(const Topology& topo, int num_vcs,
+                                        const DependencyOracle& oracle) {
+  require(num_vcs >= 1, "build_cdg: need at least one VC");
+  std::vector<std::vector<int>> adj(
+      static_cast<std::size_t>(topo.num_channels() * num_vcs));
+  for (ChannelId in = 0; in < topo.num_channels(); ++in) {
+    const Channel& cin = topo.channel(in);
+    for (int p = 0; p < kNumPorts; ++p) {
+      const ChannelId out = topo.out_channel(cin.dst, static_cast<Port>(p));
+      if (out == kInvalidChannel) {
+        continue;
+      }
+      const Channel& cout = topo.channel(out);
+      for (int vin = 0; vin < num_vcs; ++vin) {
+        for (int vout = 0; vout < num_vcs; ++vout) {
+          if (oracle(cin, vin, cout, vout)) {
+            adj[static_cast<std::size_t>(in * num_vcs + vin)].push_back(
+                out * num_vcs + vout);
+          }
+        }
+      }
+    }
+  }
+  return adj;
+}
+
+namespace {
+
+bool is_vertical_up(const Channel& c) { return c.src_port == Port::up; }
+bool is_vertical_down(const Channel& c) { return c.src_port == Port::down; }
+
+/// Physical sanity shared by the oracles: a packet never reverses through
+/// a vertical pair (down then immediately up or vice versa; minimal
+/// routing has no use for it), and intra-mesh continuations follow XY.
+bool physically_sensible(const Channel& in, const Channel& out) {
+  if (is_horizontal(in.src_port) && is_horizontal(out.src_port)) {
+    return xy_turn_allowed(in, out);
+  }
+  if ((is_vertical_down(in) && is_vertical_up(out)) ||
+      (is_vertical_up(in) && is_vertical_down(out))) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DependencyOracle deft_dependency_oracle(int vcs_per_vn) {
+  require(vcs_per_vn >= 1, "deft_dependency_oracle: vcs_per_vn >= 1");
+  return [vcs_per_vn](const Channel& in, int in_vc, const Channel& out,
+                      int out_vc) {
+    if (!physically_sensible(in, out)) {
+      return false;
+    }
+    const int vn_in = in_vc / vcs_per_vn;
+    const int vn_out = out_vc / vcs_per_vn;
+    if (vn_out < vn_in) {
+      return false;  // Rule 1: no VN.1 -> VN.0 transition.
+    }
+    if (vn_out == 0 && is_vertical_up(in) && is_horizontal(out.src_port)) {
+      return false;  // Rule 2: VN.0 forbids Up -> Horizontal.
+    }
+    if (vn_in == 1 && is_horizontal(in.src_port) && is_vertical_down(out)) {
+      return false;  // Rule 3: VN.1 forbids Horizontal -> Down.
+    }
+    return true;
+  };
+}
+
+DependencyOracle rc_dependency_oracle() {
+  return [](const Channel& in, int /*in_vc*/, const Channel& out,
+            int /*out_vc*/) {
+    if (!physically_sensible(in, out)) {
+      return false;
+    }
+    // Packets leaving an Up channel are absorbed into the reserved RC
+    // buffer; they never wait on another network channel.
+    if (is_vertical_up(in)) {
+      return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace deft

@@ -1,0 +1,52 @@
+// Channel-dependency-graph (CDG) construction and cycle detection.
+//
+// Dally & Seitz: a routing algorithm is deadlock-free if its channel
+// dependency graph - nodes are (physical channel, virtual channel) pairs,
+// edges are the resource-wait dependencies the routing relation permits -
+// is acyclic. The test suite uses this to *verify* (not assume) the
+// deadlock-freedom arguments of Section III-A for every fault scenario.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace deft {
+
+/// True if the digraph is acyclic. When cyclic and `cycle_out` is non-null,
+/// one witness cycle (sequence of node ids, first == last) is stored.
+bool is_acyclic(const std::vector<std::vector<int>>& adj,
+                std::vector<int>* cycle_out = nullptr);
+
+/// Decides whether a packet buffered on (in, in_vc) may wait for
+/// (out, out_vc). Channels are adjacent: in.dst == out.src.
+using DependencyOracle = std::function<bool(
+    const Channel& in, int in_vc, const Channel& out, int out_vc)>;
+
+/// Builds the CDG for `num_vcs` virtual channels per physical channel.
+/// Node id = channel * num_vcs + vc.
+std::vector<std::vector<int>> build_cdg(const Topology& topo, int num_vcs,
+                                        const DependencyOracle& oracle);
+
+/// DeFT's rule-level dependency oracle (Fig. 2 / Section III-A), with
+/// `vcs_per_vn` VCs per virtual network (VN = vc / vcs_per_vn):
+///  Rule 1: VN may never decrease across a hop.
+///  Rule 2: in VN.0, a packet arriving on an Up channel may not continue
+///          on a horizontal channel.
+///  Rule 3: a packet in VN.1 arriving on a horizontal channel may not
+///          continue on a Down channel.
+/// Intra-mesh continuations additionally follow XY order. This
+/// over-approximates every transition DeFT's routing can make, so an
+/// acyclic CDG here proves deadlock freedom for all traffic and all fault
+/// scenarios.
+DependencyOracle deft_dependency_oracle(int vcs_per_vn);
+
+/// Dependency oracle for the RC baseline's in-network segments: XY inside
+/// meshes, horizontal->down->horizontal across the source crossing, and
+/// horizontal->up at the destination crossing. Up channels have no
+/// outgoing dependencies because packets leaving them are absorbed
+/// unconditionally into the reserved RC buffer.
+DependencyOracle rc_dependency_oracle();
+
+}  // namespace deft

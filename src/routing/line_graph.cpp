@@ -1,0 +1,90 @@
+#include "routing/line_graph.hpp"
+
+#include <deque>
+
+namespace deft {
+
+bool is_x_port(Port p) { return p == Port::east || p == Port::west; }
+
+bool xy_turn_allowed(const Channel& in, const Channel& out) {
+  if (!is_horizontal(in.src_port) || !is_horizontal(out.src_port)) {
+    return false;
+  }
+  // No U-turns (east->west etc. through the same router).
+  const bool u_turn =
+      (in.src_port == Port::east && out.src_port == Port::west) ||
+      (in.src_port == Port::west && out.src_port == Port::east) ||
+      (in.src_port == Port::north && out.src_port == Port::south) ||
+      (in.src_port == Port::south && out.src_port == Port::north);
+  if (u_turn) {
+    return false;
+  }
+  // Dimension order: once a packet moves in Y it may not return to X.
+  if (!is_x_port(in.src_port) && is_x_port(out.src_port)) {
+    return false;
+  }
+  return true;
+}
+
+LineGraph::LineGraph(const Topology& topo, const TurnPredicate& allowed)
+    : topo_(&topo) {
+  const int channels = topo.num_channels();
+  const int nodes = topo.num_nodes();
+  succ_.assign(static_cast<std::size_t>(channels + 2 * nodes), {});
+
+  // Channel-to-channel turns.
+  for (ChannelId in = 0; in < channels; ++in) {
+    const Channel& cin = topo.channel(in);
+    for (int p = 0; p < kNumPorts; ++p) {
+      const ChannelId out =
+          topo.out_channel(cin.dst, static_cast<Port>(p));
+      if (out == kInvalidChannel) {
+        continue;
+      }
+      const Channel& cout = topo.channel(out);
+      if (allowed(topo, cin, cout)) {
+        succ_[static_cast<std::size_t>(in)].push_back(out);
+      }
+    }
+    // Any channel may hand its packet to the ejection pseudo-channel.
+    succ_[static_cast<std::size_t>(in)].push_back(ejection_node(cin.dst));
+  }
+  // Injection may start on any output channel of the source router.
+  for (NodeId n = 0; n < nodes; ++n) {
+    for (int p = 0; p < kNumPorts; ++p) {
+      const ChannelId out = topo.out_channel(n, static_cast<Port>(p));
+      if (out != kInvalidChannel) {
+        succ_[static_cast<std::size_t>(injection_node(n))].push_back(out);
+      }
+    }
+  }
+}
+
+LineReachability::LineReachability(const LineGraph& graph) {
+  const int n = graph.size();
+  words_ = static_cast<std::size_t>((n + 63) / 64);
+  bits_.assign(static_cast<std::size_t>(n) * words_, 0);
+  std::deque<int> queue;
+  std::vector<char> seen(static_cast<std::size_t>(n));
+  for (int from = 0; from < n; ++from) {
+    std::fill(seen.begin(), seen.end(), 0);
+    queue.clear();
+    queue.push_back(from);
+    seen[static_cast<std::size_t>(from)] = 1;
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      bits_[static_cast<std::size_t>(from) * words_ +
+            static_cast<std::size_t>(cur / 64)] |= std::uint64_t{1}
+                                                   << (cur % 64);
+      for (int next : graph.successors(cur)) {
+        if (!seen[static_cast<std::size_t>(next)]) {
+          seen[static_cast<std::size_t>(next)] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace deft

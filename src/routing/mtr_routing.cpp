@@ -1,0 +1,545 @@
+#include "routing/mtr_routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "routing/cdg.hpp"
+
+namespace deft {
+
+namespace {
+
+bool is_vertical(const Channel& c) {
+  return c.src_port == Port::up || c.src_port == Port::down;
+}
+
+/// The pre-synthesis turn rule: XY inside every mesh, vertical reversals
+/// forbidden, every other vertical-adjacent turn initially allowed.
+bool initial_turn_allowed(const Channel& in, const Channel& out) {
+  if (is_horizontal(in.src_port) && is_horizontal(out.src_port)) {
+    return xy_turn_allowed(in, out);
+  }
+  if (is_vertical(in) && is_vertical(out)) {
+    return false;  // down->up / up->down through one boundary router
+  }
+  return true;
+}
+
+std::uint64_t turn_key(ChannelId in, ChannelId out) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(in)) << 32) |
+         static_cast<std::uint32_t>(out);
+}
+
+}  // namespace
+
+MtrPlan::MtrPlan(const Topology& topo) : topo_(&topo) {
+  endpoint_index_.assign(static_cast<std::size_t>(topo.num_nodes()), -1);
+  for (std::size_t i = 0; i < topo.endpoints().size(); ++i) {
+    endpoint_index_[static_cast<std::size_t>(topo.endpoints()[i])] =
+        static_cast<int>(i);
+  }
+  synthesize_restrictions();
+  line_graph_ = std::make_unique<LineGraph>(
+      topo, [this](const Topology&, const Channel& in, const Channel& out) {
+        return turn_allowed(in.id, out.id);
+      });
+  check(connectivity_preserved(),
+        "MtrPlan: synthesis broke endpoint connectivity");
+  build_route_tables();
+  build_pair_combos();
+}
+
+bool MtrPlan::turn_allowed(ChannelId in, ChannelId out) const {
+  const Channel& cin = topo_->channel(in);
+  const Channel& cout = topo_->channel(out);
+  if (!initial_turn_allowed(cin, cout)) {
+    return false;
+  }
+  return forbidden_.find(turn_key(in, out)) == forbidden_.end();
+}
+
+std::vector<std::vector<int>> MtrPlan::channel_turn_adjacency() const {
+  std::vector<std::vector<int>> adj(
+      static_cast<std::size_t>(topo_->num_channels()));
+  for (ChannelId in = 0; in < topo_->num_channels(); ++in) {
+    const Channel& cin = topo_->channel(in);
+    for (int p = 0; p < kNumPorts; ++p) {
+      const ChannelId out =
+          topo_->out_channel(cin.dst, static_cast<Port>(p));
+      if (out != kInvalidChannel && turn_allowed(in, out)) {
+        adj[static_cast<std::size_t>(in)].push_back(out);
+      }
+    }
+  }
+  return adj;
+}
+
+bool MtrPlan::connectivity_preserved() const {
+  // Every endpoint must reach every other endpoint inside the allowed-turn
+  // graph. One BFS per source endpoint over the line graph.
+  const LineGraph graph(
+      *topo_, [this](const Topology&, const Channel& in, const Channel& out) {
+        return turn_allowed(in.id, out.id);
+      });
+  std::vector<char> seen;
+  std::deque<int> queue;
+  for (NodeId s : topo_->endpoints()) {
+    seen.assign(static_cast<std::size_t>(graph.size()), 0);
+    queue.clear();
+    const int start = graph.injection_node(s);
+    seen[static_cast<std::size_t>(start)] = 1;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      for (int next : graph.successors(cur)) {
+        if (!seen[static_cast<std::size_t>(next)]) {
+          seen[static_cast<std::size_t>(next)] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    for (NodeId d : topo_->endpoints()) {
+      if (d != s &&
+          !seen[static_cast<std::size_t>(graph.ejection_node(d))]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool MtrPlan::try_synthesize(Rng* shuffle) {
+  // Greedy cycle breaking: while the channel turn graph has a cycle, forbid
+  // one restrictable turn on it whose removal keeps every endpoint pair
+  // connected. Cycles cannot live inside a single mesh (XY is acyclic), so
+  // every cycle crosses a vertical channel and offers restrictable turns.
+  forbidden_.clear();
+  while (true) {
+    std::vector<int> cycle;
+    if (is_acyclic(channel_turn_adjacency(), &cycle)) {
+      return true;
+    }
+    std::vector<std::pair<ChannelId, ChannelId>> candidates;
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+      const ChannelId a = cycle[i];
+      const ChannelId b = cycle[i + 1];
+      if (is_vertical(topo_->channel(a)) || is_vertical(topo_->channel(b))) {
+        candidates.emplace_back(a, b);  // intra-mesh XY turns stay untouched
+      }
+    }
+    if (shuffle != nullptr) {
+      for (std::size_t i = candidates.size(); i > 1; --i) {
+        std::swap(candidates[i - 1], candidates[shuffle->uniform(i)]);
+      }
+    }
+    bool restricted = false;
+    for (const auto& [a, b] : candidates) {
+      forbidden_.insert(turn_key(a, b));
+      if (leg_connectivity_ok(compute_leg_tables())) {
+        restricted = true;
+        break;
+      }
+      forbidden_.erase(turn_key(a, b));
+    }
+    if (!restricted) {
+      return false;  // greedy wedged itself; caller restarts with a shuffle
+    }
+  }
+}
+
+void MtrPlan::synthesize_restrictions() {
+  // First-fit order is deterministic and usually converges; when it wedges
+  // (every restrictable turn on some cycle has become load-bearing),
+  // restart with seeded random candidate orders. The seed sequence is
+  // fixed, so the resulting plan is still deterministic per topology.
+  if (try_synthesize(nullptr)) {
+    return;
+  }
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    if (try_synthesize(&rng)) {
+      return;
+    }
+  }
+  check(false,
+        "MtrPlan: turn-restriction synthesis failed to converge on this "
+        "topology");
+}
+
+void MtrPlan::build_route_tables() {
+  // Reverse BFS from every endpoint's ejection node gives minimal
+  // allowed-path distances for all line nodes.
+  const int n = line_graph_->size();
+  std::vector<std::vector<int>> pred(static_cast<std::size_t>(n));
+  for (int l = 0; l < n; ++l) {
+    for (int s : line_graph_->successors(l)) {
+      pred[static_cast<std::size_t>(s)].push_back(l);
+    }
+  }
+  dist_.assign(topo_->endpoints().size(),
+               std::vector<std::uint16_t>(static_cast<std::size_t>(n),
+                                          kUnreachable));
+  std::deque<int> queue;
+  for (std::size_t d = 0; d < topo_->endpoints().size(); ++d) {
+    auto& dist = dist_[d];
+    const int target =
+        line_graph_->ejection_node(topo_->endpoints()[d]);
+    dist[static_cast<std::size_t>(target)] = 0;
+    queue.clear();
+    queue.push_back(target);
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      for (int p : pred[static_cast<std::size_t>(cur)]) {
+        if (dist[static_cast<std::size_t>(p)] == kUnreachable) {
+          dist[static_cast<std::size_t>(p)] = static_cast<std::uint16_t>(
+              dist[static_cast<std::size_t>(cur)] + 1);
+          queue.push_back(p);
+        }
+      }
+    }
+  }
+}
+
+std::uint16_t MtrPlan::distance(int line_node, NodeId dst) const {
+  const int d = endpoint_index(dst);
+  require(d >= 0, "MtrPlan::distance: dst is not an endpoint");
+  return dist_[static_cast<std::size_t>(d)][static_cast<std::size_t>(line_node)];
+}
+
+MtrPlan::LegTables MtrPlan::compute_leg_tables() const {
+  // Inter-chiplet MTR routes cross exactly once: source mesh -> one down
+  // VL -> interposer -> one up VL -> destination mesh. Each leg is
+  // explored on a graph that forbids any other vertical channel, so a
+  // combination recorded here never silently depends on a third vertical
+  // channel: combo-alive implies deliverable under the fault pattern.
+  const auto leg_graph = [this](auto edge_ok) {
+    return LineGraph(*topo_,
+                     [this, edge_ok](const Topology&, const Channel& in,
+                                     const Channel& out) {
+                       return edge_ok(in, out) && turn_allowed(in.id, out.id);
+                     });
+  };
+  // Source leg: walks may not continue past any vertical channel (the
+  // first vertical reached is the descent, or the ascent for interposer
+  // sources).
+  const LineGraph g_src = leg_graph(
+      [](const Channel& in, const Channel&) { return !is_vertical(in); });
+  // Interposer leg: down -> interposer horizontals -> up only.
+  const LineGraph g_mid = leg_graph([this](const Channel& in,
+                                           const Channel& out) {
+    const bool in_ih = is_horizontal(in.src_port) &&
+                       topo_->node(in.src).chiplet == kInterposer;
+    const bool out_ih = is_horizontal(out.src_port) &&
+                        topo_->node(out.src).chiplet == kInterposer;
+    if (in.src_port == Port::down) {
+      return out_ih || out.src_port == Port::up;
+    }
+    return in_ih && (out_ih || out.src_port == Port::up);
+  });
+  // Destination leg: up -> destination-mesh horizontals -> ejection.
+  const LineGraph g_dst = leg_graph([](const Channel& in, const Channel& out) {
+    return !is_vertical(out) &&
+           (in.src_port == Port::up || is_horizontal(in.src_port));
+  });
+
+  const std::size_t num_ep = topo_->endpoints().size();
+  const std::size_t num_vls = static_cast<std::size_t>(topo_->num_vls());
+  LegTables legs;
+  legs.src_downs.assign(num_ep, 0);
+  legs.src_ups.assign(num_ep, 0);
+  legs.mid_ups.assign(num_vls, 0);
+  legs.mid_ej.assign(num_vls, std::vector<char>(num_ep, 0));
+  legs.dst_ej.assign(num_vls, std::vector<char>(num_ep, 0));
+
+  std::vector<char> seen;
+  std::deque<int> queue;
+  const auto bfs = [&](const LineGraph& g, int start, auto&& on_node) {
+    seen.assign(static_cast<std::size_t>(g.size()), 0);
+    queue.clear();
+    queue.push_back(start);
+    seen[static_cast<std::size_t>(start)] = 1;
+    while (!queue.empty()) {
+      const int cur = queue.front();
+      queue.pop_front();
+      on_node(cur);
+      for (int next : g.successors(cur)) {
+        if (!seen[static_cast<std::size_t>(next)]) {
+          seen[static_cast<std::size_t>(next)] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  };
+
+  // Channel -> VL lookup for classification during the walks.
+  std::vector<VlId> down_vl(static_cast<std::size_t>(topo_->num_channels()),
+                            kInvalidVl);
+  std::vector<VlId> up_vl(static_cast<std::size_t>(topo_->num_channels()),
+                          kInvalidVl);
+  for (const VerticalLink& vl : topo_->vls()) {
+    down_vl[static_cast<std::size_t>(vl.down_channel)] = vl.id;
+    up_vl[static_cast<std::size_t>(vl.up_channel)] = vl.id;
+  }
+  // Ejection line node -> endpoint index (same id layout in all graphs).
+  std::vector<int> ej_endpoint(static_cast<std::size_t>(g_src.size()), -1);
+  for (std::size_t e = 0; e < num_ep; ++e) {
+    ej_endpoint[static_cast<std::size_t>(
+        g_src.ejection_node(topo_->endpoints()[e]))] = static_cast<int>(e);
+  }
+
+  for (std::size_t e = 0; e < num_ep; ++e) {
+    bfs(g_src, g_src.injection_node(topo_->endpoints()[e]), [&](int cur) {
+      if (!g_src.is_channel(cur)) {
+        return;
+      }
+      if (down_vl[static_cast<std::size_t>(cur)] != kInvalidVl) {
+        legs.src_downs[e] |= std::uint64_t{1}
+                             << down_vl[static_cast<std::size_t>(cur)];
+      }
+      if (up_vl[static_cast<std::size_t>(cur)] != kInvalidVl) {
+        legs.src_ups[e] |= std::uint64_t{1}
+                           << up_vl[static_cast<std::size_t>(cur)];
+      }
+    });
+  }
+  for (const VerticalLink& vl : topo_->vls()) {
+    bfs(g_mid, vl.down_channel, [&](int cur) {
+      if (g_mid.is_channel(cur)) {
+        if (up_vl[static_cast<std::size_t>(cur)] != kInvalidVl) {
+          legs.mid_ups[static_cast<std::size_t>(vl.id)] |=
+              std::uint64_t{1} << up_vl[static_cast<std::size_t>(cur)];
+        }
+      } else if (ej_endpoint[static_cast<std::size_t>(cur)] >= 0) {
+        legs.mid_ej[static_cast<std::size_t>(vl.id)][static_cast<std::size_t>(
+            ej_endpoint[static_cast<std::size_t>(cur)])] = 1;
+      }
+    });
+    bfs(g_dst, vl.up_channel, [&](int cur) {
+      if (!g_dst.is_channel(cur) &&
+          ej_endpoint[static_cast<std::size_t>(cur)] >= 0) {
+        legs.dst_ej[static_cast<std::size_t>(vl.id)][static_cast<std::size_t>(
+            ej_endpoint[static_cast<std::size_t>(cur)])] = 1;
+      }
+    });
+  }
+  return legs;
+}
+
+bool MtrPlan::leg_connectivity_ok(const LegTables& legs) const {
+  // Every different-mesh endpoint pair must keep at least one
+  // single-crossing route; same-mesh pairs ride plain (unrestricted) XY.
+  const std::size_t num_ep = topo_->endpoints().size();
+  for (std::size_t s = 0; s < num_ep; ++s) {
+    const int src_chiplet = topo_->node(topo_->endpoints()[s]).chiplet;
+    for (std::size_t d = 0; d < num_ep; ++d) {
+      const int dst_chiplet = topo_->node(topo_->endpoints()[d]).chiplet;
+      if (s == d || src_chiplet == dst_chiplet) {
+        continue;
+      }
+      bool connected = false;
+      if (src_chiplet != kInterposer && dst_chiplet != kInterposer) {
+        for (VlId dn : topo_->chiplet_vls(src_chiplet)) {
+          if ((legs.src_downs[s] & (std::uint64_t{1} << dn)) == 0) {
+            continue;
+          }
+          for (VlId up : topo_->chiplet_vls(dst_chiplet)) {
+            if ((legs.mid_ups[static_cast<std::size_t>(dn)] &
+                 (std::uint64_t{1} << up)) != 0 &&
+                legs.dst_ej[static_cast<std::size_t>(up)][d] != 0) {
+              connected = true;
+              break;
+            }
+          }
+          if (connected) {
+            break;
+          }
+        }
+      } else if (dst_chiplet == kInterposer) {
+        for (VlId dn : topo_->chiplet_vls(src_chiplet)) {
+          if ((legs.src_downs[s] & (std::uint64_t{1} << dn)) != 0 &&
+              legs.mid_ej[static_cast<std::size_t>(dn)][d] != 0) {
+            connected = true;
+            break;
+          }
+        }
+      } else {
+        for (VlId up : topo_->chiplet_vls(dst_chiplet)) {
+          if ((legs.src_ups[s] & (std::uint64_t{1} << up)) != 0 &&
+              legs.dst_ej[static_cast<std::size_t>(up)][d] != 0) {
+            connected = true;
+            break;
+          }
+        }
+      }
+      if (!connected) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void MtrPlan::build_pair_combos() {
+  // Reachability semantics for Fig. 7: a pair survives a fault pattern
+  // when MTR, keeping its design-time turn restrictions but aware of the
+  // faults, can still deliver through some single-crossing route whose
+  // two vertical channels are alive. The synthesis guaranteed at least
+  // one combination per pair fault-free (leg_connectivity_ok).
+  const LegTables legs = compute_leg_tables();
+  const std::size_t num_ep = topo_->endpoints().size();
+  combos_.assign(num_ep * num_ep, 0);
+  for (std::size_t s = 0; s < num_ep; ++s) {
+    const int src_chiplet = topo_->node(topo_->endpoints()[s]).chiplet;
+    for (std::size_t d = 0; d < num_ep; ++d) {
+      const int dst_chiplet = topo_->node(topo_->endpoints()[d]).chiplet;
+      if (s == d || src_chiplet == dst_chiplet) {
+        continue;
+      }
+      std::uint64_t combo = 0;
+      if (src_chiplet != kInterposer && dst_chiplet != kInterposer) {
+        for (VlId dn : topo_->chiplet_vls(src_chiplet)) {
+          if ((legs.src_downs[s] & (std::uint64_t{1} << dn)) == 0) {
+            continue;
+          }
+          for (VlId up : topo_->chiplet_vls(dst_chiplet)) {
+            if ((legs.mid_ups[static_cast<std::size_t>(dn)] &
+                 (std::uint64_t{1} << up)) != 0 &&
+                legs.dst_ej[static_cast<std::size_t>(up)][d] != 0) {
+              combo |= std::uint64_t{1}
+                       << (8 * topo_->vl(dn).index_in_chiplet +
+                           topo_->vl(up).index_in_chiplet);
+            }
+          }
+        }
+      } else if (dst_chiplet == kInterposer) {
+        for (VlId dn : topo_->chiplet_vls(src_chiplet)) {
+          if ((legs.src_downs[s] & (std::uint64_t{1} << dn)) != 0 &&
+              legs.mid_ej[static_cast<std::size_t>(dn)][d] != 0) {
+            combo |= std::uint64_t{1} << topo_->vl(dn).index_in_chiplet;
+          }
+        }
+      } else {
+        for (VlId up : topo_->chiplet_vls(dst_chiplet)) {
+          if ((legs.src_ups[s] & (std::uint64_t{1} << up)) != 0 &&
+              legs.dst_ej[static_cast<std::size_t>(up)][d] != 0) {
+            combo |= std::uint64_t{1} << topo_->vl(up).index_in_chiplet;
+          }
+        }
+      }
+      combos_[s * num_ep + d] = combo;
+    }
+  }
+}
+
+std::uint64_t MtrPlan::pair_combos(NodeId src, NodeId dst) const {
+  const int s = endpoint_index(src);
+  const int d = endpoint_index(dst);
+  require(s >= 0 && d >= 0, "pair_combos: not endpoint nodes");
+  return combos_[static_cast<std::size_t>(s) * topo_->endpoints().size() +
+                 static_cast<std::size_t>(d)];
+}
+
+MtrRouting::MtrRouting(std::shared_ptr<const MtrPlan> plan, VlFaultSet faults,
+                       int num_vcs)
+    : plan_(std::move(plan)), faults_(faults), num_vcs_(num_vcs) {
+  require(plan_ != nullptr, "MtrRouting: plan required");
+  require(num_vcs_ >= 1 && num_vcs_ <= kMaxVcs, "MtrRouting: bad VC count");
+  const Topology& topo = plan_->topo();
+  for (int c = 0; c < topo.num_chiplets(); ++c) {
+    const auto n = topo.chiplet_vls(c).size();
+    alive_down_.push_back(static_cast<std::uint8_t>(
+        ~faults_.chiplet_down_mask(topo, c) & ((1u << n) - 1u)));
+    alive_up_.push_back(static_cast<std::uint8_t>(
+        ~faults_.chiplet_up_mask(topo, c) & ((1u << n) - 1u)));
+  }
+}
+
+bool MtrRouting::prepare_packet(PacketRoute& route) {
+  // MTR has no per-packet intermediate destinations: the route tables
+  // already encode the (fixed) VL choices. Any VC may be used anywhere.
+  route.down_node = kInvalidNode;
+  route.up_exit = kInvalidNode;
+  route.rc_absorb = false;
+  route.initial_vcs = all_vcs_mask(num_vcs_);
+  return pair_reachable(route.src, route.dst);
+}
+
+RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
+                                const PacketRoute& rt,
+                                const RouterView& view) const {
+  (void)in_vc;
+  const LineGraph& graph = plan_->line_graph();
+  const Topology& topo = plan_->topo();
+  int line_node;
+  if (in_port == Port::local) {
+    line_node = graph.injection_node(node);
+  } else {
+    const ChannelId in = topo.in_channel(node, in_port);
+    check(in != kInvalidChannel, "MtrRouting: no channel on input port");
+    line_node = graph.channel_node(in);
+  }
+  const std::uint16_t here = plan_->distance(line_node, rt.dst);
+  check(here != MtrPlan::kUnreachable && here > 0,
+        "MtrRouting: routing from an unreachable line node");
+
+  // Adaptive among minimal continuations: prefer the port with the most
+  // free downstream credits; ejection wins immediately.
+  RouteDecision decision;
+  decision.vcs = all_vcs_mask(num_vcs_);
+  int best_credits = -1;
+  for (int s : graph.successors(line_node)) {
+    if (plan_->distance(s, rt.dst) != here - 1) {
+      continue;
+    }
+    if (!graph.is_channel(s)) {
+      decision.out_port = Port::local;  // ejection node of rt.dst
+      return decision;
+    }
+    const Port port = topo.channel(s).src_port;
+    const int credits = view.free_credits[port_index(port)];
+    if (credits > best_credits) {
+      best_credits = credits;
+      decision.out_port = port;
+    }
+  }
+  check(best_credits >= 0, "MtrRouting: no minimal continuation found");
+  return decision;
+}
+
+std::uint64_t MtrRouting::pair_combo_mask(NodeId src, NodeId dst) const {
+  const Topology& topo = plan_->topo();
+  if (src == dst || topo.node(src).chiplet == topo.node(dst).chiplet) {
+    return kAlwaysReachable;
+  }
+  return plan_->pair_combos(src, dst);
+}
+
+bool MtrRouting::pair_reachable(NodeId src, NodeId dst) const {
+  const Topology& topo = plan_->topo();
+  const Node& s = topo.node(src);
+  const Node& d = topo.node(dst);
+  if (src == dst || s.chiplet == d.chiplet) {
+    return true;
+  }
+  const std::uint64_t combos = plan_->pair_combos(src, dst);
+  if (s.chiplet != kInterposer && d.chiplet != kInterposer) {
+    // Joint mask: bit (down_idx * 8 + up_idx) usable.
+    std::uint64_t alive = 0;
+    const std::uint8_t downs = alive_down_[static_cast<std::size_t>(s.chiplet)];
+    const std::uint8_t ups = alive_up_[static_cast<std::size_t>(d.chiplet)];
+    for (int dn = 0; dn < 8; ++dn) {
+      if (downs & (1u << dn)) {
+        alive |= static_cast<std::uint64_t>(ups) << (8 * dn);
+      }
+    }
+    return (combos & alive) != 0;
+  }
+  if (s.chiplet != kInterposer) {
+    return (combos & alive_down_[static_cast<std::size_t>(s.chiplet)]) != 0;
+  }
+  return (combos & alive_up_[static_cast<std::size_t>(d.chiplet)]) != 0;
+}
+
+}  // namespace deft

@@ -1,0 +1,125 @@
+// MTR baseline: modular turn-restriction routing (Yin et al., ISCA'18),
+// reimplemented from its characterisation in the DeFT paper (Section II-A).
+//
+// Chiplets and the interposer keep their own deadlock-free XY routing;
+// deadlock across the layers is avoided by *restricting some inter-chiplet
+// turns at the boundary/vertical crossings* (e.g. the green left-to-down
+// turn of Fig. 1). The restriction set is synthesized at design time:
+// starting from all physically sensible turns, cycles in the channel turn
+// graph are broken greedily, always preserving all-endpoint connectivity.
+// Routing then follows minimal paths inside the allowed-turn graph
+// (adaptive among equal-length continuations).
+//
+// Because the allowed-VL choices per source/destination pair are baked in
+// at design time, MTR cannot re-select VLs when one fails - the property
+// Fig. 7 measures.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "routing/line_graph.hpp"
+#include "routing/routing.hpp"
+
+namespace deft {
+
+/// Design-time artifacts of MTR for one topology: the synthesized turn
+/// restrictions, per-destination minimal-route tables, and the
+/// vertical-channel combinations each endpoint pair can use (for fault
+/// reachability analysis). Immutable and shared across fault scenarios.
+class MtrPlan {
+ public:
+  explicit MtrPlan(const Topology& topo);
+
+  const Topology& topo() const { return *topo_; }
+
+  /// True when the channel-to-channel turn survived synthesis.
+  bool turn_allowed(ChannelId in, ChannelId out) const;
+
+  /// Number of turns removed by the synthesis.
+  int restricted_turn_count() const { return static_cast<int>(forbidden_.size()); }
+
+  /// The final allowed-turn line graph (includes injection/ejection).
+  const LineGraph& line_graph() const { return *line_graph_; }
+
+  /// Minimal allowed-path length (in channels) from line node `l` to the
+  /// ejection of endpoint `dst`; kUnreachable when none exists.
+  static constexpr std::uint16_t kUnreachable = 0xffff;
+  std::uint16_t distance(int line_node, NodeId dst) const;
+
+  /// Endpoint pair -> bitmask of usable vertical combinations. For
+  /// chiplet->chiplet pairs, bit (down_idx * 8 + up_idx); for
+  /// chiplet->interposer, bit down_idx; for interposer->chiplet, bit
+  /// up_idx. Indices are per-chiplet VL indices.
+  std::uint64_t pair_combos(NodeId src, NodeId dst) const;
+
+  int endpoint_index(NodeId n) const {
+    return endpoint_index_[static_cast<std::size_t>(n)];
+  }
+
+ private:
+  /// Leg-restricted reachability under the current restriction set: which
+  /// VLs each source can descend through (source mesh only), which ascents
+  /// each descent can reach (interposer only), and which destinations each
+  /// ascent serves (destination mesh only). Inter-chiplet MTR routes cross
+  /// exactly once down and once up, so these tables decide both
+  /// connectivity during synthesis and the fault-reachability combos.
+  struct LegTables {
+    /// Per endpoint index: reachable down VLs / up VLs (bitmask by VlId).
+    std::vector<std::uint64_t> src_downs;
+    std::vector<std::uint64_t> src_ups;
+    /// Per descending VL: reachable ascending VLs (bitmask by VlId).
+    std::vector<std::uint64_t> mid_ups;
+    /// Per descending VL: interposer endpoints whose ejection is reachable.
+    std::vector<std::vector<char>> mid_ej;
+    /// Per ascending VL: endpoints whose ejection is reachable.
+    std::vector<std::vector<char>> dst_ej;
+  };
+
+  void synthesize_restrictions();
+  bool try_synthesize(Rng* shuffle);
+  void build_route_tables();
+  void build_pair_combos();
+  LegTables compute_leg_tables() const;
+  bool leg_connectivity_ok(const LegTables& legs) const;
+
+  std::vector<std::vector<int>> channel_turn_adjacency() const;
+  bool connectivity_preserved() const;
+
+  const Topology* topo_;
+  std::unordered_set<std::uint64_t> forbidden_;
+  std::unique_ptr<LineGraph> line_graph_;
+  std::vector<int> endpoint_index_;
+  /// dist_[endpoint_index][line_node]
+  std::vector<std::vector<std::uint16_t>> dist_;
+  /// combos_[src_endpoint_index * num_endpoints + dst_endpoint_index]
+  std::vector<std::uint64_t> combos_;
+};
+
+class MtrRouting final : public RoutingAlgorithm {
+ public:
+  MtrRouting(std::shared_ptr<const MtrPlan> plan, VlFaultSet faults,
+             int num_vcs);
+
+  const char* name() const override { return "MTR"; }
+  int num_vcs() const override { return num_vcs_; }
+  bool prepare_packet(PacketRoute& route) override;
+  RouteDecision route(NodeId node, Port in_port, int in_vc,
+                      const PacketRoute& route,
+                      const RouterView& view) const override;
+  bool pair_reachable(NodeId src, NodeId dst) const override;
+  std::uint64_t pair_combo_mask(NodeId src, NodeId dst) const override;
+
+  const MtrPlan& plan() const { return *plan_; }
+
+ private:
+  std::shared_ptr<const MtrPlan> plan_;
+  VlFaultSet faults_;
+  int num_vcs_;
+  /// Per chiplet: alive down/up VL-index bitmasks under faults_.
+  std::vector<std::uint8_t> alive_down_;
+  std::vector<std::uint8_t> alive_up_;
+};
+
+}  // namespace deft

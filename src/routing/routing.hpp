@@ -1,0 +1,109 @@
+// Routing-algorithm interface shared by the simulator, the CDG analyzer,
+// and the reachability analyzer.
+//
+// Inter-chiplet routing in 2.5D systems uses two intermediate destinations
+// (Section II-A of the paper): a vertical link on the source chiplet and a
+// vertical link to the destination chiplet, selected when the packet is
+// created. The routing algorithm fills a PacketRoute at injection time and
+// then answers per-hop queries (output port + admissible virtual channels).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fault/fault_set.hpp"
+#include "topology/topology.hpp"
+
+namespace deft {
+
+/// Maximum virtual channels per physical channel supported by the library.
+inline constexpr int kMaxVcs = 4;
+
+/// Bitmask over VC indices.
+using VcMask = std::uint8_t;
+
+inline VcMask vc_bit(int vc) { return static_cast<VcMask>(1u << vc); }
+
+/// Per-packet routing state, fixed at injection (except for the VC/VN,
+/// which the VC allocator re-binds hop by hop within the admissible mask).
+struct PacketRoute {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Boundary router on the source chiplet where the packet descends
+  /// (first intermediate destination), or kInvalidNode.
+  NodeId down_node = kInvalidNode;
+  /// Interposer router where the packet ascends to the destination chiplet
+  /// (second intermediate destination), or kInvalidNode.
+  NodeId up_exit = kInvalidNode;
+  /// Admissible VCs for injection at the source NI.
+  VcMask initial_vcs = 0;
+  /// True when the packet must be absorbed by the RC unit at the
+  /// destination-side boundary router (RC routing only).
+  bool rc_absorb = false;
+  /// The boundary router whose RC unit must grant this packet before
+  /// injection (RC routing only).
+  NodeId rc_unit = kInvalidNode;
+};
+
+/// Per-hop routing answer: one output port plus the set of admissible
+/// downstream VCs. For DeFT the VC set encodes the virtual-network rules;
+/// the VC allocator's round-robin over the mask implements Algorithm 1's
+/// round-robin VN (re)assignment.
+struct RouteDecision {
+  Port out_port = Port::local;
+  VcMask vcs = 0;
+};
+
+/// Downstream congestion visible to a router when making adaptive choices;
+/// free_credits[p] is the total free credits over all VCs of output port p.
+struct RouterView {
+  std::array<int, kNumPorts> free_credits{};
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Number of virtual channels the algorithm is configured for.
+  virtual int num_vcs() const = 0;
+
+  /// Fills route state for a new packet. Returns false when the pair is
+  /// unreachable under the current fault set (the NI drops the packet and
+  /// counts it against reachability).
+  virtual bool prepare_packet(PacketRoute& route) = 0;
+
+  /// Per-hop decision for the packet whose head flit sits at `node`,
+  /// arrived through `in_port` on VC `in_vc`.
+  virtual RouteDecision route(NodeId node, Port in_port, int in_vc,
+                              const PacketRoute& route,
+                              const RouterView& view) const = 0;
+
+  /// True when the algorithm can deliver src -> dst under the fault set it
+  /// was constructed with (used by the reachability analyzer).
+  virtual bool pair_reachable(NodeId src, NodeId dst) const = 0;
+
+  /// Fault-independent descriptor of the vertical channels usable for
+  /// src -> dst: for chiplet->chiplet pairs, a bitmask with bit
+  /// (down_idx * 8 + up_idx) per usable combination (per-chiplet VL
+  /// indices); for chiplet->interposer pairs, bit down_idx; for
+  /// interposer->chiplet pairs, bit up_idx. kAlwaysReachable for pairs
+  /// that never cross a vertical link. A pair is deliverable under a
+  /// fault set iff its mask intersects the alive combinations - this lets
+  /// the reachability analyzer aggregate identical pairs across thousands
+  /// of fault patterns.
+  virtual std::uint64_t pair_combo_mask(NodeId src, NodeId dst) const = 0;
+
+  static constexpr std::uint64_t kAlwaysReachable = ~std::uint64_t{0};
+};
+
+/// One XY hop on a mesh: the port moving `cur` toward `target` (both must
+/// be on the same mesh), X first, then Y; Port::local when cur == target.
+Port xy_step(const Topology& topo, NodeId cur, NodeId target);
+
+/// All minimal next-hop ports from `cur` toward `target` on the same mesh
+/// (both X and Y moves when both remain); used by adaptive baselines.
+VcMask all_vcs_mask(int num_vcs);
+
+}  // namespace deft

@@ -1,0 +1,28 @@
+#include "routing/routing.hpp"
+
+namespace deft {
+
+Port xy_step(const Topology& topo, NodeId cur, NodeId target) {
+  const Node& a = topo.node(cur);
+  const Node& b = topo.node(target);
+  require(a.chiplet == b.chiplet, "xy_step: nodes on different meshes");
+  if (a.local.x < b.local.x) {
+    return Port::east;
+  }
+  if (a.local.x > b.local.x) {
+    return Port::west;
+  }
+  if (a.local.y < b.local.y) {
+    return Port::south;
+  }
+  if (a.local.y > b.local.y) {
+    return Port::north;
+  }
+  return Port::local;
+}
+
+VcMask all_vcs_mask(int num_vcs) {
+  return static_cast<VcMask>((1u << num_vcs) - 1u);
+}
+
+}  // namespace deft

@@ -1,0 +1,119 @@
+// The cycle-accurate network: routers, channels, credits.
+//
+// Two-phase execution keeps the model order-independent: step() lets every
+// router compute routes, allocate VCs and arbitrate its crossbar against
+// the state left by the previous cycle, staging all flit movements and
+// credit returns; apply() then commits them. A flit therefore advances at
+// most one hop per cycle (router + link folded into one stage, the model
+// Noxim uses), and credits become visible one cycle after the buffer slot
+// frees.
+#pragma once
+
+#include <functional>
+
+#include "fault/fault_set.hpp"
+#include "sim/router.hpp"
+
+namespace deft {
+
+class Network {
+ public:
+  /// `vl_serialization` models serialized vertical interconnects (the
+  /// cost-reduction the paper cites from [18], Pasricha DAC'09): a
+  /// vertical channel accepts one flit every `vl_serialization` cycles
+  /// (1 = full-width VLs, the paper's baseline).
+  Network(const Topology& topo, RoutingAlgorithm& algorithm,
+          PacketTable& packets, int num_vcs, int buffer_depth,
+          VlFaultSet faults, int vl_serialization = 1);
+
+  /// Compute one cycle of router activity (stages moves, does not commit).
+  void step(Cycle now);
+
+  /// Commit staged arrivals, credits, ejections and absorptions.
+  void apply(Cycle now);
+
+  // --- Network-interface side -------------------------------------------
+  /// Free slots the NI may still inject into (node's local input VC).
+  int local_free(NodeId node, int vc) const {
+    return local_credit_[index(node, vc)];
+  }
+  /// Stage one flit into the node's local input port on `vc`.
+  void inject_local(NodeId node, int vc, const Flit& flit);
+
+  // --- RC-unit side -------------------------------------------------------
+  int rc_in_free(NodeId node, int vc) const {
+    return rc_in_credit_[index(node, vc)];
+  }
+  /// Stage one flit into the boundary router's RC input port.
+  void inject_rc(NodeId node, int vc, const Flit& flit);
+  /// Make `credits` additional flit slots available on the router's RC
+  /// output (called by the RC unit as its packet buffer frees).
+  void add_rc_out_credits(NodeId node, int credits);
+
+  // --- Hooks ---------------------------------------------------------------
+  /// Tail-inclusive flit ejection at a node's local port.
+  std::function<void(NodeId, const Flit&, Cycle)> on_eject;
+  /// Flit handed to the RC unit of a boundary router.
+  std::function<void(NodeId, const Flit&, Cycle)> on_rc_absorb;
+  /// Flit traversing a physical channel on a VC (for VC/VL statistics).
+  std::function<void(ChannelId, int)> on_traverse;
+
+  // --- Introspection --------------------------------------------------------
+  std::uint64_t flits_buffered() const { return flits_buffered_; }
+  std::uint64_t moves_last_cycle() const { return moves_last_cycle_; }
+  int num_vcs() const { return num_vcs_; }
+  int buffer_depth() const { return buffer_depth_; }
+  const RouterState& router(NodeId node) const {
+    return routers_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  struct Arrival {
+    NodeId node;
+    std::uint8_t port;
+    std::uint8_t vc;
+    Flit flit;
+  };
+  struct CreditReturn {
+    NodeId node;
+    std::uint8_t port;
+    std::uint8_t vc;
+  };
+  struct Departure {
+    NodeId node;
+    Flit flit;
+    bool to_rc;  ///< RC-unit absorption rather than local ejection
+  };
+
+  std::size_t index(NodeId node, int vc) const {
+    return static_cast<std::size_t>(node) * static_cast<std::size_t>(num_vcs_) +
+           static_cast<std::size_t>(vc);
+  }
+
+  void process_router(NodeId node, Cycle now);
+  RouterView make_view(const RouterState& r, NodeId node) const;
+
+  const Topology* topo_;
+  RoutingAlgorithm* algorithm_;
+  PacketTable* packets_;
+  int num_vcs_;
+  int buffer_depth_;
+  int vl_serialization_;
+
+  std::vector<RouterState> routers_;
+  std::vector<char> channel_faulty_;
+  /// Per vertical channel: earliest cycle the serialized link is free.
+  std::vector<Cycle> vl_next_free_;
+  std::vector<int> local_credit_;  ///< NI-visible credits per (node, vc)
+  std::vector<int> rc_in_credit_;  ///< RC-unit-visible credits per (node, vc)
+
+  std::vector<Arrival> staged_arrivals_;
+  std::vector<CreditReturn> staged_credits_;
+  std::vector<Departure> staged_departures_;
+  std::vector<std::pair<NodeId, int>> staged_rc_out_credits_;
+
+  std::uint64_t flits_buffered_ = 0;
+  std::uint64_t moves_last_cycle_ = 0;
+};
+
+}  // namespace deft

@@ -1,0 +1,99 @@
+#include "sim/ni.hpp"
+
+namespace deft {
+
+void NetworkInterface::generate(Cycle now, TrafficGenerator& traffic,
+                                RoutingAlgorithm& algorithm,
+                                PacketTable& packets, int packet_size,
+                                bool in_measure_window,
+                                NiCounters& counters) {
+  scratch_.clear();
+  traffic.tick(node_, now, rng_, scratch_);
+  for (const PacketRequest& req : scratch_) {
+    PacketRoute route;
+    route.src = node_;
+    route.dst = req.dst;
+    if (!algorithm.prepare_packet(route)) {
+      ++counters.dropped_unroutable;
+      continue;
+    }
+    const PacketId id =
+        packets.create(route, now, static_cast<std::uint16_t>(packet_size),
+                       req.app, in_measure_window);
+    queue_.push_back(id);
+    ++counters.created;
+    if (in_measure_window) {
+      ++counters.created_measured;
+    }
+  }
+}
+
+void NetworkInterface::try_inject(Cycle now, Network& net,
+                                  PacketTable& packets,
+                                  RcUnitManager& rc_units) {
+  if (active_ < 0) {
+    if (queue_.empty()) {
+      return;
+    }
+    const PacketId head = queue_.front();
+    const PacketRoute& route = packets.get(head).route;
+    if (route.rc_unit != kInvalidNode) {
+      // RC permission handshake for the head-of-queue packet.
+      if (!perm_requested_) {
+        rc_units.request(route.rc_unit, node_, head, now);
+        perm_requested_ = true;
+        return;
+      }
+      if (!rc_units.grant_ready(route.rc_unit, node_, head, now)) {
+        return;
+      }
+    }
+    queue_.pop_front();
+    active_ = head;
+    next_seq_ = 0;
+    vc_ = -1;
+    perm_requested_ = false;
+  }
+
+  PacketState& pkt = packets.get(active_);
+  if (vc_ < 0) {
+    // Bind the whole packet to one local-input VC (wormhole). Packets that
+    // may start in either VN round-robin over the admissible mask
+    // (Algorithm 1's VN assignment); packets pinned to one VN must not
+    // disturb that pointer, or the assignment drifts toward one VN.
+    const bool round_robins = (pkt.route.initial_vcs &
+                               (pkt.route.initial_vcs - 1)) != 0;
+    const int start = round_robins ? vc_rr_ : 0;
+    for (int k = 0; k < net.num_vcs(); ++k) {
+      const int cand = (start + k) % net.num_vcs();
+      if ((pkt.route.initial_vcs & vc_bit(cand)) != 0 &&
+          net.local_free(node_, cand) > 0) {
+        vc_ = cand;
+        break;
+      }
+    }
+    if (vc_ < 0) {
+      return;
+    }
+    if (round_robins) {
+      vc_rr_ = static_cast<std::uint8_t>((vc_ + 1) % net.num_vcs());
+    }
+  }
+  if (net.local_free(node_, vc_) <= 0) {
+    return;
+  }
+  Flit flit;
+  flit.packet = active_;
+  flit.seq = next_seq_;
+  net.inject_local(node_, vc_, flit);
+  if (next_seq_ == 0) {
+    pkt.net_injected = now;
+  }
+  ++next_seq_;
+  if (next_seq_ == pkt.size) {
+    active_ = -1;
+    vc_ = -1;
+  }
+}
+
+}  // namespace deft

@@ -1,0 +1,56 @@
+// Network interface: open-loop packet source and sink at an endpoint.
+//
+// Each NI owns an unbounded source queue (so offered load is independent
+// of network backpressure, the standard open-loop measurement setup), a
+// private RNG stream, and - for the RC baseline - the permission-request
+// state machine for the packet at the head of its queue.
+#pragma once
+
+#include <deque>
+
+#include "sim/network.hpp"
+#include "sim/rc_units.hpp"
+#include "traffic/patterns.hpp"
+
+namespace deft {
+
+/// Injection-side counters, aggregated by the simulator.
+struct NiCounters {
+  std::uint64_t created = 0;
+  std::uint64_t created_measured = 0;
+  std::uint64_t dropped_unroutable = 0;
+};
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId node, Rng rng) : node_(node), rng_(std::move(rng)) {}
+
+  /// Asks the traffic generator for this cycle's packets, prepares their
+  /// routes and enqueues them (unroutable ones are dropped and counted).
+  void generate(Cycle now, TrafficGenerator& traffic,
+                RoutingAlgorithm& algorithm, PacketTable& packets,
+                int packet_size, bool in_measure_window, NiCounters& counters);
+
+  /// Pushes at most one flit of the active packet into the router; handles
+  /// RC permission acquisition for the head-of-queue packet.
+  void try_inject(Cycle now, Network& net, PacketTable& packets,
+                  RcUnitManager& rc_units);
+
+  /// Work still owned by this NI (queued or partially injected packets).
+  bool busy() const { return active_ >= 0 || !queue_.empty(); }
+  std::size_t queue_depth() const { return queue_.size() + (active_ >= 0); }
+  NodeId node() const { return node_; }
+
+ private:
+  NodeId node_;
+  Rng rng_;
+  std::deque<PacketId> queue_;
+  PacketId active_ = -1;
+  std::uint16_t next_seq_ = 0;
+  int vc_ = -1;
+  bool perm_requested_ = false;
+  std::uint8_t vc_rr_ = 0;
+  std::vector<PacketRequest> scratch_;
+};
+
+}  // namespace deft

@@ -1,0 +1,64 @@
+// Packets and flits.
+//
+// Flits carry only their packet id and sequence number; everything else
+// (route state, timestamps, size) lives in the central PacketTable. This
+// keeps the per-flit footprint at 8 bytes, which matters because the
+// cycle-accurate model moves every flit through every buffer it occupies.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace deft {
+
+using PacketId = std::int32_t;
+
+struct Flit {
+  PacketId packet = -1;
+  std::uint16_t seq = 0;
+
+  bool is_head() const { return seq == 0; }
+};
+
+struct PacketState {
+  PacketRoute route;
+  Cycle created = -1;
+  Cycle net_injected = -1;  ///< head flit entered the source router buffer
+  Cycle ejected = -1;       ///< tail flit left the network
+  std::uint16_t size = 0;   ///< flits
+  std::uint8_t app = 0;     ///< traffic class (application id)
+  bool measured = false;    ///< created inside the measurement window
+};
+
+/// Flat storage for every packet created during a simulation run.
+class PacketTable {
+ public:
+  PacketId create(const PacketRoute& route, Cycle now, std::uint16_t size,
+                  std::uint8_t app, bool measured) {
+    PacketState state;
+    state.route = route;
+    state.created = now;
+    state.size = size;
+    state.app = app;
+    state.measured = measured;
+    packets_.push_back(state);
+    return static_cast<PacketId>(packets_.size() - 1);
+  }
+
+  PacketState& get(PacketId id) { return packets_[static_cast<std::size_t>(id)]; }
+  const PacketState& get(PacketId id) const {
+    return packets_[static_cast<std::size_t>(id)];
+  }
+
+  bool is_tail(const Flit& flit) const {
+    return flit.seq + 1 == get(flit.packet).size;
+  }
+
+  std::size_t size() const { return packets_.size(); }
+
+ private:
+  std::vector<PacketState> packets_;
+};
+
+}  // namespace deft

@@ -1,0 +1,114 @@
+#include "sim/rc_units.hpp"
+
+namespace deft {
+
+RcUnitManager::RcUnitManager(const Topology& topo, int packet_size)
+    : topo_(&topo), packet_size_(packet_size) {
+  require(packet_size_ >= 1, "RcUnitManager: bad packet size");
+  unit_of_node_.assign(static_cast<std::size_t>(topo.num_nodes()), -1);
+  for (const VerticalLink& vl : topo.vls()) {
+    Unit unit;
+    unit.node = vl.chiplet_node;
+    unit_of_node_[static_cast<std::size_t>(vl.chiplet_node)] =
+        static_cast<int>(units_.size());
+    units_.push_back(std::move(unit));
+  }
+}
+
+int RcUnitManager::permission_latency(NodeId a, NodeId b) const {
+  // The permission network is modelled as hop-count-delayed signalling:
+  // Manhattan distance on the global grid plus two cycles for the vertical
+  // crossings of the control path.
+  return manhattan(topo_->node(a).global, topo_->node(b).global) + 2;
+}
+
+RcUnitManager::Unit& RcUnitManager::unit_at(NodeId node) {
+  const int u = unit_of_node_[static_cast<std::size_t>(node)];
+  require(u >= 0, "RcUnitManager: node has no RC unit");
+  return units_[static_cast<std::size_t>(u)];
+}
+
+const RcUnitManager::Unit& RcUnitManager::unit_at(NodeId node) const {
+  const int u = unit_of_node_[static_cast<std::size_t>(node)];
+  require(u >= 0, "RcUnitManager: node has no RC unit");
+  return units_[static_cast<std::size_t>(u)];
+}
+
+void RcUnitManager::request(NodeId unit_node, NodeId requester,
+                            PacketId packet, Cycle now) {
+  unit_at(unit_node).queue.push_back(
+      {requester, packet, now + permission_latency(requester, unit_node)});
+}
+
+bool RcUnitManager::grant_ready(NodeId unit_node, NodeId requester,
+                                PacketId packet, Cycle now) const {
+  const Unit& unit = unit_at(unit_node);
+  return unit.reserved && unit.granted_to == requester &&
+         unit.granted_packet == packet && now >= unit.grant_arrives;
+}
+
+void RcUnitManager::absorb(NodeId unit_node, const Flit& flit, Cycle now,
+                           const PacketTable& packets) {
+  Unit& unit = unit_at(unit_node);
+  check(unit.reserved && unit.granted_packet == flit.packet,
+        "RcUnitManager: absorbing a flit without a reservation");
+  check(static_cast<int>(unit.buffer.size()) < packet_size_,
+        "RcUnitManager: RC buffer overflow");
+  unit.buffer.push_back(flit);
+  if (packets.is_tail(flit)) {
+    unit.absorbing_done = true;
+  }
+  (void)now;
+}
+
+void RcUnitManager::publish_initial_credits(Network& net) const {
+  for (const Unit& unit : units_) {
+    net.add_rc_out_credits(unit.node, packet_size_);
+  }
+}
+
+void RcUnitManager::tick(Cycle now, Network& net,
+                         const PacketTable& packets) {
+  (void)packets;
+  for (Unit& unit : units_) {
+    // Re-inject absorbed flits into the chiplet through the RC input port.
+    if (unit.absorbing_done && !unit.buffer.empty()) {
+      if (net.rc_in_free(unit.node, unit.reinject_vc) > 0) {
+        net.inject_rc(unit.node, unit.reinject_vc, unit.buffer.front());
+        unit.buffer.pop_front();
+        ++progress_;
+        if (unit.buffer.empty()) {
+          // Packet fully re-injected: free the buffer, release the
+          // reservation, restore the router's RC output credits.
+          unit.absorbing_done = false;
+          unit.reserved = false;
+          unit.granted_to = kInvalidNode;
+          unit.granted_packet = -1;
+          unit.reinject_vc = (unit.reinject_vc + 1) % net.num_vcs();
+          net.add_rc_out_credits(unit.node, packet_size_);
+        }
+      }
+    }
+    // Issue the next grant once the unit is idle.
+    if (!unit.reserved && !unit.queue.empty() &&
+        unit.queue.front().arrives <= now) {
+      const Request req = unit.queue.front();
+      unit.queue.pop_front();
+      unit.reserved = true;
+      unit.granted_to = req.requester;
+      unit.granted_packet = req.packet;
+      unit.grant_arrives = now + permission_latency(unit.node, req.requester);
+      ++progress_;
+    }
+  }
+}
+
+std::uint64_t RcUnitManager::flits_held() const {
+  std::uint64_t held = 0;
+  for (const Unit& unit : units_) {
+    held += unit.buffer.size();
+  }
+  return held;
+}
+
+}  // namespace deft

@@ -1,0 +1,89 @@
+// RC-buffer units and the permission network for the RC baseline.
+//
+// One unit sits at every boundary router. A source NI must be granted the
+// unit guarding its packet's ascending crossing before injecting; requests
+// and grants travel with hop-count latency through the permission network.
+// The granted packet is absorbed whole into the unit's packet buffer when
+// it arrives via the Up channel (the absorption can never stall - the
+// buffer was empty and reserved at grant time), then re-injected into the
+// destination chiplet through the router's RC input port. The reservation
+// is released once the buffer is empty again, which keeps the "ascents
+// always drain" invariant that makes RC deadlock-free.
+#pragma once
+
+#include <deque>
+
+#include "sim/network.hpp"
+
+namespace deft {
+
+class RcUnitManager {
+ public:
+  /// Creates one unit per boundary router; `packet_size` fixes each unit's
+  /// buffer capacity (they store exactly one packet).
+  RcUnitManager(const Topology& topo, int packet_size);
+
+  /// NI-side: file a permission request for `packet` targeting the unit at
+  /// boundary router `unit_node`. One outstanding request per NI.
+  void request(NodeId unit_node, NodeId requester, PacketId packet, Cycle now);
+
+  /// NI-side: true once the grant for (requester, packet) has arrived.
+  bool grant_ready(NodeId unit_node, NodeId requester, PacketId packet,
+                   Cycle now) const;
+
+  /// Network hook: a flit was handed to the unit at `unit_node`.
+  void absorb(NodeId unit_node, const Flit& flit, Cycle now,
+              const PacketTable& packets);
+
+  /// Advance grants and re-inject buffered flits (<= 1 flit/cycle/unit).
+  void tick(Cycle now, Network& net, const PacketTable& packets);
+
+  /// Registers each unit's initial buffer capacity as RC output credits.
+  void publish_initial_credits(Network& net) const;
+
+  /// Progress events (grants issued, flits re-injected) since the last
+  /// call; feeds the deadlock watchdog.
+  std::uint64_t take_progress() {
+    const std::uint64_t p = progress_;
+    progress_ = 0;
+    return p;
+  }
+
+  /// Flits currently buffered across all units (in-flight work).
+  std::uint64_t flits_held() const;
+
+  bool has_unit(NodeId node) const {
+    return static_cast<std::size_t>(node) < unit_of_node_.size() &&
+           unit_of_node_[static_cast<std::size_t>(node)] >= 0;
+  }
+
+ private:
+  struct Request {
+    NodeId requester;
+    PacketId packet;
+    Cycle arrives;  ///< when the request reaches the unit
+  };
+  struct Unit {
+    NodeId node = kInvalidNode;
+    std::deque<Request> queue;
+    bool reserved = false;
+    NodeId granted_to = kInvalidNode;
+    PacketId granted_packet = -1;
+    Cycle grant_arrives = 0;  ///< when the grant reaches the requester
+    std::deque<Flit> buffer;
+    bool absorbing_done = false;  ///< tail absorbed, re-injection may run
+    int reinject_vc = 0;
+  };
+
+  int permission_latency(NodeId a, NodeId b) const;
+  Unit& unit_at(NodeId node);
+  const Unit& unit_at(NodeId node) const;
+
+  const Topology* topo_;
+  int packet_size_;
+  std::vector<int> unit_of_node_;
+  std::vector<Unit> units_;
+  std::uint64_t progress_ = 0;
+};
+
+}  // namespace deft

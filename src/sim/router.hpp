@@ -1,0 +1,76 @@
+// Per-router microarchitectural state.
+//
+// The router is input-queued with per-port virtual-channel buffers and
+// credit-based wormhole flow control, processed in three stages per cycle
+// (route computation, VC allocation, switch allocation + traversal),
+// matching the one-cycle-per-hop model of the Noxim simulator the paper
+// builds on. Round-robin pointers make every arbiter fair; the output-VC
+// round-robin doubles as DeFT's round-robin VN (re)assignment wherever the
+// routing function admits both VNs.
+#pragma once
+
+#include <array>
+
+#include "sim/packet.hpp"
+
+namespace deft {
+
+/// Maximum supported buffer depth in flits (configured depth may be less).
+inline constexpr int kMaxBufferDepth = 8;
+
+/// Fixed-capacity flit FIFO (ring buffer).
+class FlitFifo {
+ public:
+  bool empty() const { return count_ == 0; }
+  int size() const { return count_; }
+
+  void push(const Flit& flit) {
+    slots_[static_cast<std::size_t>((head_ + count_) % kMaxBufferDepth)] = flit;
+    ++count_;
+  }
+
+  const Flit& front() const { return slots_[static_cast<std::size_t>(head_)]; }
+
+  Flit pop() {
+    const Flit flit = slots_[static_cast<std::size_t>(head_)];
+    head_ = (head_ + 1) % kMaxBufferDepth;
+    --count_;
+    return flit;
+  }
+
+ private:
+  std::array<Flit, kMaxBufferDepth> slots_{};
+  int head_ = 0;
+  int count_ = 0;
+};
+
+struct InputVc {
+  FlitFifo fifo;
+  bool route_ready = false;  ///< head-of-line route has been computed
+  RouteDecision decision;
+  std::int8_t out_vc = -1;  ///< allocated downstream VC, -1 = none
+};
+
+struct OutputVc {
+  std::int8_t owner_port = -1;  ///< input (port, vc) holding this output VC
+  std::int8_t owner_vc = -1;
+  std::int16_t credits = 0;  ///< free downstream buffer slots
+};
+
+struct RouterState {
+  std::array<std::array<InputVc, kMaxVcs>, kNumPorts> in;
+  std::array<std::array<OutputVc, kMaxVcs>, kNumPorts> out;
+  /// Round-robin pointers: VC allocation (per output port, over input VC
+  /// index space), output-VC choice (per output port), switch allocation
+  /// (per output port).
+  std::array<std::uint8_t, kNumPorts> va_ptr{};
+  std::array<std::uint8_t, kNumPorts> ovc_ptr{};
+  std::array<std::uint8_t, kNumPorts> sa_ptr{};
+  /// Occupancy bitmask: bit (port * kMaxVcs + vc) set when the input VC
+  /// FIFO is non-empty; lets idle routers cost almost nothing.
+  std::uint64_t occupancy = 0;
+
+  static int occ_bit(int port, int vc) { return port * kMaxVcs + vc; }
+};
+
+}  // namespace deft

@@ -1,0 +1,128 @@
+#include "sim/simulator.hpp"
+
+namespace deft {
+
+Simulator::Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
+                     TrafficGenerator& traffic, SimKnobs knobs,
+                     VlFaultSet faults)
+    : topo_(&topo),
+      algorithm_(&algorithm),
+      traffic_(&traffic),
+      knobs_(knobs),
+      faults_(faults) {
+  require(knobs_.packet_size >= 1, "Simulator: bad packet size");
+  require(knobs_.warmup >= 0 && knobs_.measure > 0 && knobs_.drain_max >= 0,
+          "Simulator: bad phase lengths");
+}
+
+SimResults Simulator::run() {
+  require(!ran_, "Simulator::run may only be called once");
+  ran_ = true;
+
+  PacketTable packets;
+  Network net(*topo_, *algorithm_, packets, knobs_.num_vcs,
+              knobs_.buffer_depth, faults_, knobs_.vl_serialization);
+  RcUnitManager rc_units(*topo_, knobs_.packet_size);
+  rc_units.publish_initial_credits(net);
+
+  Rng root(knobs_.seed);
+  std::vector<NetworkInterface> nis;
+  nis.reserve(topo_->endpoints().size());
+  for (NodeId n : topo_->endpoints()) {
+    nis.emplace_back(n, root.fork(static_cast<std::uint64_t>(n)));
+  }
+
+  SimResults results;
+  results.measure_cycles = knobs_.measure;
+  results.region_vc_flits.assign(
+      static_cast<std::size_t>(topo_->num_chiplets()) + 1, {});
+  results.vl_channel_flits.assign(
+      static_cast<std::size_t>(topo_->num_vl_channels()), 0);
+
+  NiCounters counters;
+  std::vector<std::uint32_t> net_latencies;
+  std::vector<std::uint32_t> total_latencies;
+  std::uint64_t delivered_measured = 0;
+  bool in_window = false;
+
+  net.on_traverse = [&](ChannelId c, int vc) {
+    if (!in_window) {
+      return;
+    }
+    const Channel& ch = topo_->channel(c);
+    const int chiplet = topo_->node(ch.src).chiplet;
+    const int region = chiplet == kInterposer ? topo_->num_chiplets() : chiplet;
+    ++results.region_vc_flits[static_cast<std::size_t>(region)]
+                             [static_cast<std::size_t>(vc)];
+    if (ch.vl_channel >= 0) {
+      ++results.vl_channel_flits[static_cast<std::size_t>(ch.vl_channel)];
+    }
+  };
+  net.on_rc_absorb = [&](NodeId node, const Flit& flit, Cycle now) {
+    rc_units.absorb(node, flit, now, packets);
+  };
+  net.on_eject = [&](NodeId node, const Flit& flit, Cycle now) {
+    PacketState& pkt = packets.get(flit.packet);
+    check(node == pkt.route.dst, "Simulator: flit ejected at a wrong node");
+    if (in_window) {
+      ++results.flits_ejected_in_window;
+    }
+    if (packets.is_tail(flit)) {
+      pkt.ejected = now;
+      if (pkt.measured) {
+        ++delivered_measured;
+        net_latencies.push_back(
+            static_cast<std::uint32_t>(now - pkt.net_injected));
+        total_latencies.push_back(
+            static_cast<std::uint32_t>(now - pkt.created));
+      }
+    }
+  };
+
+  const Cycle measure_end = knobs_.warmup + knobs_.measure;
+  const Cycle hard_end = measure_end + knobs_.drain_max;
+  Cycle idle_cycles = 0;
+  Cycle now = 0;
+  for (; now < hard_end; ++now) {
+    in_window = now >= knobs_.warmup && now < measure_end;
+
+    for (NetworkInterface& ni : nis) {
+      ni.generate(now, *traffic_, *algorithm_, packets, knobs_.packet_size,
+                  in_window, counters);
+      ni.try_inject(now, net, packets, rc_units);
+    }
+    rc_units.tick(now, net, packets);
+    net.step(now);
+    net.apply(now);
+
+    // Deadlock watchdog: pending work with no forward progress.
+    const std::uint64_t progress =
+        net.moves_last_cycle() + rc_units.take_progress();
+    if (progress > 0) {
+      idle_cycles = 0;
+    } else if (net.flits_buffered() + rc_units.flits_held() > 0) {
+      if (++idle_cycles >= knobs_.watchdog_cycles) {
+        results.deadlock_detected = true;
+        break;
+      }
+    }
+
+    if (now + 1 >= measure_end &&
+        delivered_measured == counters.created_measured) {
+      results.drained = true;
+      ++now;
+      break;
+    }
+  }
+
+  results.cycles_run = now;
+  results.packets_created = counters.created;
+  results.packets_created_measured = counters.created_measured;
+  results.packets_delivered_measured = delivered_measured;
+  results.packets_dropped_unroutable = counters.dropped_unroutable;
+  results.network_latency = LatencySummary::from_samples(net_latencies);
+  results.total_latency = LatencySummary::from_samples(total_latencies);
+  return results;
+}
+
+}  // namespace deft

@@ -1,0 +1,53 @@
+// Simulation driver: warmup -> measurement -> drain, with a deadlock
+// watchdog.
+//
+// Packets created inside the measurement window are tagged; the run ends
+// when all of them have been delivered (drained) or when the drain budget
+// is exhausted (reported as drained=false, which near/past saturation is
+// the expected outcome). Traffic generation continues during the drain so
+// the network stays loaded, as in standard open-loop methodology.
+#pragma once
+
+#include <memory>
+
+#include "sim/ni.hpp"
+#include "stats/stats.hpp"
+
+namespace deft {
+
+struct SimKnobs {
+  int num_vcs = 2;       ///< paper: two VCs for all algorithms
+  int buffer_depth = 4;  ///< paper: four flits per VC
+  int packet_size = 8;   ///< paper: eight 32-bit flits
+  /// Vertical-link serialization factor (1 = full-width VLs, the paper's
+  /// baseline; higher values model the narrower serialized vertical
+  /// interconnects of [18] at 1/S bandwidth).
+  int vl_serialization = 1;
+  Cycle warmup = 10'000;
+  Cycle measure = 30'000;
+  Cycle drain_max = 100'000;
+  Cycle watchdog_cycles = 20'000;  ///< no-progress cycles before deadlock
+  std::uint64_t seed = 1;
+};
+
+class Simulator {
+ public:
+  /// The topology, algorithm and traffic objects must outlive run().
+  Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
+            TrafficGenerator& traffic, SimKnobs knobs,
+            VlFaultSet faults = {});
+
+  /// Runs the full simulation and returns its statistics. Can be called
+  /// once per Simulator instance.
+  SimResults run();
+
+ private:
+  const Topology* topo_;
+  RoutingAlgorithm* algorithm_;
+  TrafficGenerator* traffic_;
+  SimKnobs knobs_;
+  VlFaultSet faults_;
+  bool ran_ = false;
+};
+
+}  // namespace deft

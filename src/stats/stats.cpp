@@ -1,0 +1,65 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+
+namespace deft {
+
+namespace {
+
+double percentile(const std::vector<std::uint32_t>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double pos = q * (static_cast<double>(sorted.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+}  // namespace
+
+LatencySummary LatencySummary::from_samples(
+    std::vector<std::uint32_t>& samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (std::uint32_t v : samples) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = percentile(samples, 0.50);
+  s.p95 = percentile(samples, 0.95);
+  s.p99 = percentile(samples, 0.99);
+  return s;
+}
+
+double SimResults::vc_utilization(int region, int vc) const {
+  const auto& row = region_vc_flits[static_cast<std::size_t>(region)];
+  std::uint64_t total = 0;
+  for (std::uint64_t v : row) {
+    total += v;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(row[static_cast<std::size_t>(vc)]) /
+         static_cast<double>(total);
+}
+
+double SimResults::delivery_ratio() const {
+  if (packets_created_measured == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(packets_delivered_measured) /
+         static_cast<double>(packets_created_measured);
+}
+
+}  // namespace deft

@@ -1,0 +1,70 @@
+// Simulation statistics: latency summaries, VC utilization, VL loads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace deft {
+
+inline constexpr int kMaxVcsStats = 4;
+
+/// Order statistics over a sample of latencies.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  /// Consumes (sorts) the sample.
+  static LatencySummary from_samples(std::vector<std::uint32_t>& samples);
+};
+
+/// Everything a single simulation run reports.
+struct SimResults {
+  LatencySummary network_latency;  ///< head injected -> tail ejected
+  LatencySummary total_latency;    ///< created -> tail ejected (incl. queue)
+
+  std::uint64_t packets_created = 0;
+  std::uint64_t packets_created_measured = 0;
+  std::uint64_t packets_delivered_measured = 0;
+  std::uint64_t packets_dropped_unroutable = 0;
+  std::uint64_t flits_ejected_in_window = 0;
+
+  Cycle cycles_run = 0;
+  Cycle measure_cycles = 0;
+  bool deadlock_detected = false;
+  bool drained = false;  ///< all measured packets were delivered
+
+  /// Flits forwarded per (region, VC) during the measurement window.
+  /// Region r < num_chiplets is chiplet r; region num_chiplets is the
+  /// interposer.
+  std::vector<std::array<std::uint64_t, kMaxVcsStats>> region_vc_flits;
+
+  /// Flits forwarded per unidirectional VL channel during the window.
+  std::vector<std::uint64_t> vl_channel_flits;
+
+  /// Fraction of flit traffic in `region` carried by VC `vc` (Fig. 5).
+  double vc_utilization(int region, int vc) const;
+
+  /// Delivered measured flits / cycle / endpoint.
+  double throughput(int num_endpoints) const {
+    if (measure_cycles <= 0 || num_endpoints <= 0) {
+      return 0.0;
+    }
+    return static_cast<double>(flits_ejected_in_window) /
+           static_cast<double>(measure_cycles) / num_endpoints;
+  }
+
+  /// Delivered / created among measured packets; 1.0 when nothing was
+  /// dropped and the drain completed.
+  double delivery_ratio() const;
+};
+
+}  // namespace deft

@@ -1,0 +1,81 @@
+#include "topology/builder.hpp"
+
+namespace deft {
+
+namespace {
+
+/// Border VL placement for a w x h chiplet: one VL per edge near the edge
+/// midpoint, arranged with pinwheel symmetry, per the paper's observation
+/// ([7] in the paper) that border placement is optimal for 4x4 chiplets.
+std::vector<Coord> pinwheel_vls(int w, int h) {
+  return {
+      {w / 2 - (w > 1 ? 1 : 0), 0},  // north edge
+      {w - 1, h / 2 - (h > 1 ? 1 : 0)},  // east edge
+      {w / 2, h - 1},  // south edge
+      {0, h / 2},  // west edge
+  };
+}
+
+}  // namespace
+
+SystemSpec make_grid_spec(int cols, int rows, int chiplet_width,
+                          int chiplet_height) {
+  require(cols >= 1 && rows >= 1, "make_grid_spec: need a positive grid");
+  require(chiplet_width >= 2 && chiplet_height >= 2,
+          "make_grid_spec: chiplets must be at least 2x2 for border VLs");
+  SystemSpec spec;
+  spec.name = std::to_string(cols * rows) + "-chiplet";
+  spec.interposer_width = cols * chiplet_width;
+  spec.interposer_height = rows * chiplet_height;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      ChipletSpec ch;
+      ch.width = chiplet_width;
+      ch.height = chiplet_height;
+      ch.origin = {c * chiplet_width, r * chiplet_height};
+      ch.vl_positions = pinwheel_vls(chiplet_width, chiplet_height);
+      spec.chiplets.push_back(ch);
+    }
+  }
+  spec.dram_positions = {
+      {0, 0},
+      {spec.interposer_width - 1, 0},
+      {0, spec.interposer_height - 1},
+      {spec.interposer_width - 1, spec.interposer_height - 1},
+  };
+  return spec;
+}
+
+SystemSpec make_reference_spec(int num_chiplets) {
+  if (num_chiplets == 4) {
+    return make_grid_spec(2, 2, 4, 4);
+  }
+  if (num_chiplets == 6) {
+    return make_grid_spec(3, 2, 4, 4);
+  }
+  require(false, "make_reference_spec: paper evaluates 4 or 6 chiplets");
+  return {};
+}
+
+SystemSpec make_two_chiplet_spec() {
+  SystemSpec spec;
+  spec.name = "two-chiplet-hetero";
+  spec.interposer_width = 6;
+  spec.interposer_height = 4;
+  ChipletSpec a;
+  a.width = 3;
+  a.height = 3;
+  a.origin = {0, 0};
+  a.vl_positions = {{1, 0}, {0, 2}};
+  spec.chiplets.push_back(a);
+  ChipletSpec b;
+  b.width = 2;
+  b.height = 2;
+  b.origin = {4, 1};
+  b.vl_positions = {{0, 0}, {1, 1}};
+  spec.chiplets.push_back(b);
+  spec.dram_positions = {{0, 3}, {5, 3}};
+  return spec;
+}
+
+}  // namespace deft

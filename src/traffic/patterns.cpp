@@ -1,0 +1,171 @@
+#include "traffic/patterns.hpp"
+
+namespace deft {
+
+namespace {
+
+bool is_core(const Topology& topo, NodeId n) {
+  return topo.node(n).endpoint == EndpointKind::core;
+}
+
+/// Uniformly random core other than `src`.
+NodeId random_other_core(const Topology& topo, NodeId src, Rng& rng) {
+  const auto& cores = topo.core_endpoints();
+  while (true) {
+    const NodeId dst = cores[static_cast<std::size_t>(
+        rng.uniform(static_cast<std::uint64_t>(cores.size())))];
+    if (dst != src) {
+      return dst;
+    }
+  }
+}
+
+}  // namespace
+
+NodeId node_at_global(const Topology& topo, Coord global) {
+  for (int c = 0; c < topo.num_chiplets(); ++c) {
+    const ChipletSpec& ch = topo.spec().chiplets[static_cast<std::size_t>(c)];
+    if (global.x >= ch.origin.x && global.x < ch.origin.x + ch.width &&
+        global.y >= ch.origin.y && global.y < ch.origin.y + ch.height) {
+      return topo.chiplet_node_at(c, global.x - ch.origin.x,
+                                  global.y - ch.origin.y);
+    }
+  }
+  return topo.interposer_node_at(global.x, global.y);
+}
+
+UniformTraffic::UniformTraffic(const Topology& topo, double rate)
+    : topo_(&topo), rate_(rate) {
+  require(rate >= 0.0 && rate <= 1.0, "UniformTraffic: bad rate");
+}
+
+void UniformTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
+                          std::vector<PacketRequest>& out) {
+  if (!is_core(*topo_, src) || !rng.bernoulli(rate_)) {
+    return;
+  }
+  out.push_back({random_other_core(*topo_, src, rng), 0});
+}
+
+LocalizedTraffic::LocalizedTraffic(const Topology& topo, double rate,
+                                   double intra_fraction)
+    : topo_(&topo), rate_(rate), intra_fraction_(intra_fraction) {
+  require(rate >= 0.0 && rate <= 1.0, "LocalizedTraffic: bad rate");
+  require(intra_fraction >= 0.0 && intra_fraction <= 1.0,
+          "LocalizedTraffic: bad intra fraction");
+  require(topo.num_chiplets() >= 2,
+          "LocalizedTraffic: needs at least two chiplets");
+}
+
+void LocalizedTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
+                            std::vector<PacketRequest>& out) {
+  if (!is_core(*topo_, src) || !rng.bernoulli(rate_)) {
+    return;
+  }
+  const int chiplet = topo_->node(src).chiplet;
+  if (rng.bernoulli(intra_fraction_)) {
+    const auto& local = topo_->chiplet_nodes(chiplet);
+    while (true) {
+      const NodeId dst = local[static_cast<std::size_t>(
+          rng.uniform(static_cast<std::uint64_t>(local.size())))];
+      if (dst != src) {
+        out.push_back({dst, 0});
+        return;
+      }
+    }
+  }
+  while (true) {
+    const NodeId dst = random_other_core(*topo_, src, rng);
+    if (topo_->node(dst).chiplet != chiplet) {
+      out.push_back({dst, 0});
+      return;
+    }
+  }
+}
+
+HotspotTraffic::HotspotTraffic(const Topology& topo, double rate,
+                               std::vector<NodeId> hotspots,
+                               double per_hotspot_fraction)
+    : topo_(&topo),
+      rate_(rate),
+      hotspots_(std::move(hotspots)),
+      per_hotspot_fraction_(per_hotspot_fraction) {
+  require(rate >= 0.0 && rate <= 1.0, "HotspotTraffic: bad rate");
+  if (hotspots_.empty()) {
+    // The paper uses 3 hotspot points at 10% each; default to the first
+    // three DRAM endpoints.
+    const auto& drams = topo.dram_endpoints();
+    require(drams.size() >= 3,
+            "HotspotTraffic: need 3 DRAM endpoints for default hotspots");
+    hotspots_.assign(drams.begin(), drams.begin() + 3);
+  }
+  require(per_hotspot_fraction_ * static_cast<double>(hotspots_.size()) <=
+              1.0,
+          "HotspotTraffic: hotspot fractions exceed 1");
+}
+
+void HotspotTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
+                          std::vector<PacketRequest>& out) {
+  if (!is_core(*topo_, src) || !rng.bernoulli(rate_)) {
+    return;
+  }
+  const double roll = rng.uniform_real();
+  const double hotspot_total =
+      per_hotspot_fraction_ * static_cast<double>(hotspots_.size());
+  if (roll < hotspot_total) {
+    const auto pick = static_cast<std::size_t>(roll / per_hotspot_fraction_);
+    const NodeId dst = hotspots_[pick];
+    if (dst != src) {
+      out.push_back({dst, 0});
+    }
+    return;
+  }
+  out.push_back({random_other_core(*topo_, src, rng), 0});
+}
+
+TransposeTraffic::TransposeTraffic(const Topology& topo, double rate)
+    : topo_(&topo), rate_(rate) {
+  partner_.assign(static_cast<std::size_t>(topo.num_nodes()), kInvalidNode);
+  for (NodeId n : topo.core_endpoints()) {
+    const Coord g = topo.node(n).global;
+    if (g.y < topo.spec().interposer_width &&
+        g.x < topo.spec().interposer_height) {
+      const NodeId partner = node_at_global(topo, {g.y, g.x});
+      if (partner != n) {
+        partner_[static_cast<std::size_t>(n)] = partner;
+      }
+    }
+  }
+}
+
+void TransposeTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
+                            std::vector<PacketRequest>& out) {
+  const NodeId dst = partner_[static_cast<std::size_t>(src)];
+  if (dst != kInvalidNode && rng.bernoulli(rate_)) {
+    out.push_back({dst, 0});
+  }
+}
+
+BitComplementTraffic::BitComplementTraffic(const Topology& topo, double rate)
+    : topo_(&topo), rate_(rate) {
+  partner_.assign(static_cast<std::size_t>(topo.num_nodes()), kInvalidNode);
+  const int w = topo.spec().interposer_width;
+  const int h = topo.spec().interposer_height;
+  for (NodeId n : topo.core_endpoints()) {
+    const Coord g = topo.node(n).global;
+    const NodeId partner = node_at_global(topo, {w - 1 - g.x, h - 1 - g.y});
+    if (partner != n) {
+      partner_[static_cast<std::size_t>(n)] = partner;
+    }
+  }
+}
+
+void BitComplementTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
+                                std::vector<PacketRequest>& out) {
+  const NodeId dst = partner_[static_cast<std::size_t>(src)];
+  if (dst != kInvalidNode && rng.bernoulli(rate_)) {
+    out.push_back({dst, 0});
+  }
+}
+
+}  // namespace deft

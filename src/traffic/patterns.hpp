@@ -1,0 +1,115 @@
+// Synthetic traffic patterns (Section IV-A/B).
+//
+// Rates are in packets/cycle/endpoint, matching the paper's x-axes. Only
+// core endpoints generate synthetic traffic; DRAM endpoints participate as
+// hotspot sinks (and as sources under application traffic, exercising
+// Algorithm 1's interposer-source case).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/topology.hpp"
+
+namespace deft {
+
+/// A packet the generator wants injected at a given source this cycle.
+struct PacketRequest {
+  NodeId dst = kInvalidNode;
+  std::uint8_t app = 0;  ///< traffic class (application id)
+};
+
+/// Stateful traffic source shared by all NIs; tick() is called once per
+/// endpoint per cycle with the NI's private RNG stream.
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+  virtual const char* name() const = 0;
+  /// Appends this cycle's requests for endpoint `src` to `out`.
+  virtual void tick(NodeId src, Cycle cycle, Rng& rng,
+                    std::vector<PacketRequest>& out) = 0;
+};
+
+/// Uniform random: every core sends to a uniformly random other core.
+class UniformTraffic final : public TrafficGenerator {
+ public:
+  UniformTraffic(const Topology& topo, double rate);
+  const char* name() const override { return "uniform"; }
+  void tick(NodeId src, Cycle cycle, Rng& rng,
+            std::vector<PacketRequest>& out) override;
+
+ private:
+  const Topology* topo_;
+  double rate_;
+};
+
+/// Localized: a fraction of packets (40% in Fig. 4b) stay on the source
+/// chiplet; the rest go to a uniformly random core on another chiplet.
+class LocalizedTraffic final : public TrafficGenerator {
+ public:
+  LocalizedTraffic(const Topology& topo, double rate,
+                   double intra_fraction = 0.4);
+  const char* name() const override { return "localized"; }
+  void tick(NodeId src, Cycle cycle, Rng& rng,
+            std::vector<PacketRequest>& out) override;
+
+ private:
+  const Topology* topo_;
+  double rate_;
+  double intra_fraction_;
+};
+
+/// Hotspot: each packet targets one of the hotspot endpoints with the
+/// given per-hotspot probability (3 hotspots at 10% each in Fig. 4c),
+/// otherwise a uniformly random core. Hotspots default to DRAM endpoints.
+class HotspotTraffic final : public TrafficGenerator {
+ public:
+  HotspotTraffic(const Topology& topo, double rate,
+                 std::vector<NodeId> hotspots = {},
+                 double per_hotspot_fraction = 0.10);
+  const char* name() const override { return "hotspot"; }
+  void tick(NodeId src, Cycle cycle, Rng& rng,
+            std::vector<PacketRequest>& out) override;
+  const std::vector<NodeId>& hotspots() const { return hotspots_; }
+
+ private:
+  const Topology* topo_;
+  double rate_;
+  std::vector<NodeId> hotspots_;
+  double per_hotspot_fraction_;
+};
+
+/// Transpose: core at global (x, y) sends to the node at (y, x).
+class TransposeTraffic final : public TrafficGenerator {
+ public:
+  TransposeTraffic(const Topology& topo, double rate);
+  const char* name() const override { return "transpose"; }
+  void tick(NodeId src, Cycle cycle, Rng& rng,
+            std::vector<PacketRequest>& out) override;
+
+ private:
+  const Topology* topo_;
+  double rate_;
+  std::vector<NodeId> partner_;  ///< per node; kInvalidNode = silent
+};
+
+/// Bit-complement: core at global (x, y) sends to (W-1-x, H-1-y).
+class BitComplementTraffic final : public TrafficGenerator {
+ public:
+  BitComplementTraffic(const Topology& topo, double rate);
+  const char* name() const override { return "bit-complement"; }
+  void tick(NodeId src, Cycle cycle, Rng& rng,
+            std::vector<PacketRequest>& out) override;
+
+ private:
+  const Topology* topo_;
+  double rate_;
+  std::vector<NodeId> partner_;
+};
+
+/// Helper: node at global grid coordinate, searching chiplets first, else
+/// the interposer node (used by permutation patterns).
+NodeId node_at_global(const Topology& topo, Coord global);
+
+}  // namespace deft

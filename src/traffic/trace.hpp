@@ -1,0 +1,62 @@
+// Traffic-trace record and replay.
+//
+// The trace format is one record per line: `cycle src dst app`. Recorded
+// traces are bit-exact to replay (the simulator is deterministic), and the
+// reader accepts externally produced traces - e.g. converted gem5 traffic
+// dumps - so real-application traffic can be swapped in for the synthetic
+// profiles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/patterns.hpp"
+
+namespace deft {
+
+struct TraceRecord {
+  Cycle cycle = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint8_t app = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Accumulates records and serializes them, ordered by (cycle, src).
+class TraceRecorder {
+ public:
+  void record(Cycle cycle, NodeId src, NodeId dst, std::uint8_t app);
+  void write(std::ostream& out) const;
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Parses a trace stream. Throws std::invalid_argument on malformed input.
+std::vector<TraceRecord> parse_trace(std::istream& in);
+
+/// Replays a trace as a TrafficGenerator. Records must be sorted by cycle
+/// (ties in any order); each is injected at its source when its cycle is
+/// reached.
+class TraceReplayGenerator final : public TrafficGenerator {
+ public:
+  explicit TraceReplayGenerator(std::vector<TraceRecord> records);
+
+  const char* name() const override { return "trace"; }
+  void tick(NodeId src, Cycle cycle, Rng& rng,
+            std::vector<PacketRequest>& out) override;
+
+  /// True once every record has been replayed.
+  bool exhausted() const;
+
+ private:
+  std::vector<TraceRecord> records_;  ///< sorted by (cycle, src)
+  /// Per-source cursor into records_ would need per-source ordering;
+  /// instead records are bucketed per source at construction.
+  std::vector<std::vector<TraceRecord>> per_source_;
+  std::vector<std::size_t> cursor_;
+};
+
+}  // namespace deft

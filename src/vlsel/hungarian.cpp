@@ -1,0 +1,89 @@
+#include "vlsel/hungarian.hpp"
+
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace deft {
+
+std::vector<int> solve_assignment(const std::vector<std::vector<double>>& cost,
+                                  double* total_cost) {
+  const int n = static_cast<int>(cost.size());
+  require(n > 0, "solve_assignment: empty cost matrix");
+  const int m = static_cast<int>(cost.front().size());
+  require(m >= n, "solve_assignment: need at least as many columns as rows");
+  for (const auto& row : cost) {
+    require(static_cast<int>(row.size()) == m,
+            "solve_assignment: ragged cost matrix");
+  }
+
+  // Standard JV shortest-augmenting-path formulation with 1-based arrays;
+  // p[j] is the row assigned to column j (0 = none).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<std::size_t>(n + 1), 0.0);
+  std::vector<double> v(static_cast<std::size_t>(m + 1), 0.0);
+  std::vector<int> p(static_cast<std::size_t>(m + 1), 0);
+  std::vector<int> way(static_cast<std::size_t>(m + 1), 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(m + 1), kInf);
+    std::vector<char> used(static_cast<std::size_t>(m + 1), 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          continue;
+        }
+        const double cur = cost[static_cast<std::size_t>(i0 - 1)]
+                               [static_cast<std::size_t>(j - 1)] -
+                           u[static_cast<std::size_t>(i0)] -
+                           v[static_cast<std::size_t>(j)];
+        if (cur < minv[static_cast<std::size_t>(j)]) {
+          minv[static_cast<std::size_t>(j)] = cur;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    // Augment along the alternating path back to the virtual column 0.
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> row_to_col(static_cast<std::size_t>(n), -1);
+  double total = 0.0;
+  for (int j = 1; j <= m; ++j) {
+    const int i = p[static_cast<std::size_t>(j)];
+    if (i > 0) {
+      row_to_col[static_cast<std::size_t>(i - 1)] = j - 1;
+      total += cost[static_cast<std::size_t>(i - 1)]
+                   [static_cast<std::size_t>(j - 1)];
+    }
+  }
+  if (total_cost != nullptr) {
+    *total_cost = total;
+  }
+  return row_to_col;
+}
+
+}  // namespace deft

@@ -1,0 +1,19 @@
+// Minimum-cost assignment (Hungarian algorithm, Jonker-Volgonant potential
+// formulation, O(n^3)).
+//
+// Used by the exact VL-selection solver: once the per-VL router counts are
+// fixed, minimizing total hop distance is a transportation problem, solved
+// as an assignment of routers to replicated VL "slots".
+#pragma once
+
+#include <vector>
+
+namespace deft {
+
+/// Solves min-cost perfect assignment on an n x m cost matrix (n <= m):
+/// each row is assigned a distinct column minimizing the total cost.
+/// cost[r][c] must be finite. Returns the assigned column per row.
+std::vector<int> solve_assignment(const std::vector<std::vector<double>>& cost,
+                                  double* total_cost = nullptr);
+
+}  // namespace deft

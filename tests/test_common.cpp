@@ -1,0 +1,171 @@
+// Tests for the common substrate: RNG determinism and distribution sanity,
+// combinatorics, and table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/combinatorics.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace deft {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next() == b.next();
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int bound : {1, 2, 3, 17, 1000}) {
+    for (int i = 0; i < 2000; ++i) {
+      const auto v = rng.uniform(static_cast<std::uint64_t>(bound));
+      EXPECT_LT(v, static_cast<std::uint64_t>(bound));
+    }
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform_real();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    hits += rng.bernoulli(0.3);
+  }
+  EXPECT_NEAR(hits / 50'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng root(42);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next() == b.next();
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng root1(42);
+  Rng root2(42);
+  Rng a = root1.fork(9);
+  Rng b = root2.fork(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(4, 0), 1u);
+  EXPECT_EQ(binomial(4, 1), 4u);
+  EXPECT_EQ(binomial(4, 2), 6u);
+  EXPECT_EQ(binomial(4, 3), 4u);
+  EXPECT_EQ(binomial(4, 4), 1u);
+  EXPECT_EQ(binomial(4, 5), 0u);
+  EXPECT_EQ(binomial(0, 0), 1u);
+}
+
+TEST(Binomial, PaperFaultScenarioCount) {
+  // The paper: C(4,1)+C(4,2)+C(4,3) = 14 faulty-VL scenarios per chiplet.
+  EXPECT_EQ(binomial(4, 1) + binomial(4, 2) + binomial(4, 3), 14u);
+  // Fig. 7 sweeps up to 8 faults over 32 unidirectional VL channels.
+  EXPECT_EQ(binomial(32, 8), 10'518'300u);
+}
+
+TEST(Combinations, EnumeratesAllSubsetsOnce) {
+  std::set<std::vector<int>> seen;
+  const auto visited =
+      for_each_combination(6, 3, [&](const std::vector<int>& idx) {
+        EXPECT_TRUE(seen.insert(idx).second) << "duplicate subset";
+        EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+        return true;
+      });
+  EXPECT_EQ(visited, binomial(6, 3));
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Combinations, EarlyStop) {
+  int count = 0;
+  for_each_combination(10, 2, [&](const std::vector<int>&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Compositions, CountMatchesStarsAndBars) {
+  int count = 0;
+  const auto visited =
+      for_each_composition(16, 4, [&](const std::vector<int>& c) {
+        int sum = 0;
+        for (int v : c) {
+          sum += v;
+        }
+        EXPECT_EQ(sum, 16);
+        ++count;
+        return true;
+      });
+  EXPECT_EQ(visited, binomial(16 + 3, 3));
+  EXPECT_EQ(static_cast<std::uint64_t>(count), binomial(19, 3));
+}
+
+TEST(TextTable, FormatsAlignedMarkdown) {
+  TextTable t({"rate", "DeFT"});
+  t.add_row({"0.001", "31.2"});
+  t.add_row({"0.002", "33.90"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| rate  | DeFT  |"), std::string::npos);
+  EXPECT_NE(s.find("| 0.001 | 31.2  |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(100.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace deft

@@ -1,0 +1,176 @@
+// Configuration-file parser tests and VL-serialization knob tests.
+#include <gtest/gtest.h>
+
+#include "core/config_file.hpp"
+#include "topology/builder.hpp"
+
+namespace deft {
+namespace {
+
+TEST(ConfigFile, ParsesFullConfiguration) {
+  const SimulationConfig c = parse_simulation_config(std::string(R"(
+    # comment line
+    chiplets   = 6
+    algorithm  = MTR          # case-insensitive
+    vl_strategy = random
+    traffic    = hotspot
+    rate       = 0.0125
+    vcs        = 4
+    buffer_depth = 8
+    packet_size  = 16
+    vl_serialization = 2
+    warmup     = 500
+    measure    = 1500
+    drain_max  = 9000
+    seed       = 77
+    faults     = 0v 3^
+  )"));
+  EXPECT_EQ(c.chiplets, 6);
+  EXPECT_EQ(c.algorithm, Algorithm::mtr);
+  EXPECT_EQ(c.vl_strategy, VlStrategy::random);
+  EXPECT_EQ(c.traffic, "hotspot");
+  EXPECT_DOUBLE_EQ(c.rate, 0.0125);
+  EXPECT_EQ(c.knobs.num_vcs, 4);
+  EXPECT_EQ(c.knobs.buffer_depth, 8);
+  EXPECT_EQ(c.knobs.packet_size, 16);
+  EXPECT_EQ(c.knobs.vl_serialization, 2);
+  EXPECT_EQ(c.knobs.warmup, 500);
+  EXPECT_EQ(c.knobs.measure, 1500);
+  EXPECT_EQ(c.knobs.drain_max, 9000);
+  EXPECT_EQ(c.knobs.seed, 77u);
+  const Topology topo(make_reference_spec(6));
+  const VlFaultSet faults = c.faults(topo);
+  EXPECT_EQ(faults.count(), 2);
+  EXPECT_TRUE(faults.is_faulty(topo.vl(0).down_vl_channel()));
+  EXPECT_TRUE(faults.is_faulty(topo.vl(3).up_vl_channel()));
+}
+
+TEST(ConfigFile, DefaultsAreThePaperBaseline) {
+  const SimulationConfig c = parse_simulation_config(std::string(""));
+  EXPECT_EQ(c.chiplets, 4);
+  EXPECT_EQ(c.algorithm, Algorithm::deft);
+  EXPECT_EQ(c.knobs.num_vcs, 2);
+  EXPECT_EQ(c.knobs.buffer_depth, 4);
+  EXPECT_EQ(c.knobs.packet_size, 8);
+  EXPECT_EQ(c.knobs.vl_serialization, 1);
+  EXPECT_TRUE(c.fault_spec.empty());
+}
+
+TEST(ConfigFile, RejectsUnknownKeys) {
+  EXPECT_THROW(parse_simulation_config(std::string("typo_key = 3\n")),
+               std::invalid_argument);
+}
+
+TEST(ConfigFile, RejectsMalformedLines) {
+  EXPECT_THROW(parse_simulation_config(std::string("chiplets 4\n")),
+               std::invalid_argument);
+  EXPECT_THROW(parse_simulation_config(std::string("rate = fast\n")),
+               std::invalid_argument);
+  EXPECT_THROW(parse_simulation_config(std::string("vcs = 9\n")),
+               std::invalid_argument);
+  EXPECT_THROW(parse_simulation_config(std::string("= 3\n")),
+               std::invalid_argument);
+}
+
+TEST(ConfigFile, EmptyValueKeepsDefault) {
+  const SimulationConfig c =
+      parse_simulation_config(std::string("faults =\nrate =  # comment\n"));
+  EXPECT_TRUE(c.fault_spec.empty());
+  EXPECT_DOUBLE_EQ(c.rate, 0.008);
+}
+
+TEST(ConfigFile, RejectsBadFaultSpecs) {
+  const SimulationConfig c =
+      parse_simulation_config(std::string("faults = 99v\n"));
+  const Topology topo(make_reference_spec(4));
+  EXPECT_THROW(c.faults(topo), std::invalid_argument);
+  const SimulationConfig c2 =
+      parse_simulation_config(std::string("faults = 3x\n"));
+  EXPECT_THROW(c2.faults(topo), std::invalid_argument);
+}
+
+TEST(ConfigFile, BuildsEveryTrafficPattern) {
+  const Topology topo(make_reference_spec(4));
+  for (const char* name : {"uniform", "localized", "hotspot", "transpose",
+                           "bit-complement"}) {
+    SimulationConfig c;
+    c.traffic = name;
+    c.rate = 0.01;
+    EXPECT_EQ(std::string(c.make_traffic(topo)->name()), name);
+  }
+  SimulationConfig bad;
+  bad.traffic = "nonsense";
+  EXPECT_THROW(bad.make_traffic(topo), std::invalid_argument);
+}
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  SerializationTest() : ctx_(ExperimentContext::reference(4)) {}
+  ExperimentContext ctx_;
+};
+
+TEST_F(SerializationTest, FactorOneMatchesBaselineExactly) {
+  for (int s : {1}) {
+    UniformTraffic a(ctx_.topo(), 0.006);
+    UniformTraffic b(ctx_.topo(), 0.006);
+    SimKnobs base;
+    base.warmup = 500;
+    base.measure = 2000;
+    SimKnobs serialized = base;
+    serialized.vl_serialization = s;
+    const SimResults ra = run_sim(ctx_, Algorithm::deft, a, base);
+    const SimResults rb = run_sim(ctx_, Algorithm::deft, b, serialized);
+    EXPECT_DOUBLE_EQ(ra.total_latency.mean, rb.total_latency.mean);
+  }
+}
+
+TEST_F(SerializationTest, HigherFactorsRaiseLatencyMonotonically) {
+  double prev = 0.0;
+  for (int s : {1, 2, 4}) {
+    UniformTraffic traffic(ctx_.topo(), 0.004);
+    SimKnobs knobs;
+    knobs.warmup = 500;
+    knobs.measure = 3000;
+    knobs.vl_serialization = s;
+    const SimResults r = run_sim(ctx_, Algorithm::deft, traffic, knobs);
+    EXPECT_TRUE(r.drained) << "s=" << s;
+    EXPECT_FALSE(r.deadlock_detected);
+    EXPECT_GT(r.total_latency.mean, prev) << "s=" << s;
+    prev = r.total_latency.mean;
+  }
+}
+
+TEST_F(SerializationTest, SerializedVlsThrottleVlThroughput) {
+  // At a load the full-width VLs sustain, 4:1 serialization caps each
+  // vertical channel at 0.25 flits/cycle.
+  UniformTraffic traffic(ctx_.topo(), 0.010);
+  SimKnobs knobs;
+  knobs.warmup = 1000;
+  knobs.measure = 4000;
+  knobs.vl_serialization = 4;
+  knobs.drain_max = 40000;
+  const SimResults r = run_sim(ctx_, Algorithm::deft, traffic, knobs);
+  for (std::size_t c = 0; c < r.vl_channel_flits.size(); ++c) {
+    EXPECT_LE(static_cast<double>(r.vl_channel_flits[c]) / knobs.measure,
+              0.25 + 0.01)
+        << "channel " << c;
+  }
+}
+
+TEST_F(SerializationTest, NoDeadlockUnderSaturationWithSerialization) {
+  for (Algorithm alg : {Algorithm::deft, Algorithm::mtr, Algorithm::rc}) {
+    UniformTraffic traffic(ctx_.topo(), 0.04);
+    SimKnobs knobs;
+    knobs.warmup = 0;
+    knobs.measure = 2500;
+    knobs.drain_max = 500;
+    knobs.watchdog_cycles = 2000;
+    knobs.vl_serialization = 4;
+    const SimResults r = run_sim(ctx_, alg, traffic, knobs);
+    EXPECT_FALSE(r.deadlock_detected) << algorithm_name(alg);
+    EXPECT_GT(r.packets_delivered_measured, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace deft

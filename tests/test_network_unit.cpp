@@ -1,0 +1,184 @@
+// Low-level unit tests of the network engine: the flit FIFO, credit
+// accounting at injection, two-phase visibility, and backpressure through
+// a single bottleneck channel.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "sim/network.hpp"
+
+namespace deft {
+namespace {
+
+TEST(FlitFifo, FifoOrderAndWraparound) {
+  FlitFifo fifo;
+  EXPECT_TRUE(fifo.empty());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kMaxBufferDepth; ++i) {
+      fifo.push({round * 100 + i, static_cast<std::uint16_t>(i)});
+    }
+    EXPECT_EQ(fifo.size(), kMaxBufferDepth);
+    for (int i = 0; i < kMaxBufferDepth; ++i) {
+      EXPECT_EQ(fifo.front().packet, round * 100 + i);
+      const Flit f = fifo.pop();
+      EXPECT_EQ(f.seq, i);
+    }
+    EXPECT_TRUE(fifo.empty());
+  }
+}
+
+class NetworkUnitTest : public ::testing::Test {
+ protected:
+  NetworkUnitTest()
+      : ctx_(ExperimentContext::reference(4)),
+        alg_(ctx_.make_algorithm(Algorithm::deft)),
+        net_(ctx_.topo(), *alg_, packets_, 2, 4, {}) {}
+
+  PacketId make_packet(NodeId src, NodeId dst) {
+    PacketRoute route;
+    route.src = src;
+    route.dst = dst;
+    EXPECT_TRUE(alg_->prepare_packet(route));
+    return packets_.create(route, 0, 8, 0, true);
+  }
+
+  ExperimentContext ctx_;
+  PacketTable packets_;
+  std::unique_ptr<RoutingAlgorithm> alg_;
+  Network net_;
+};
+
+TEST_F(NetworkUnitTest, LocalCreditsDecreaseOnInjectAndRecoverOnForward) {
+  const NodeId src = ctx_.topo().chiplet_node_at(0, 0, 0);
+  const NodeId dst = ctx_.topo().chiplet_node_at(0, 3, 0);
+  const PacketId pid = make_packet(src, dst);
+  EXPECT_EQ(net_.local_free(src, 0), 4);
+  net_.inject_local(src, 0, {pid, 0});
+  EXPECT_EQ(net_.local_free(src, 0), 3);
+  net_.apply(0);
+  EXPECT_EQ(net_.flits_buffered(), 1u);
+  // The router forwards the flit next cycle; the credit returns one cycle
+  // after that.
+  net_.step(1);
+  EXPECT_EQ(net_.moves_last_cycle(), 1u);
+  net_.apply(1);
+  EXPECT_EQ(net_.local_free(src, 0), 4);
+}
+
+TEST_F(NetworkUnitTest, InjectWithoutCreditIsRejected) {
+  const NodeId src = ctx_.topo().chiplet_node_at(0, 0, 0);
+  const NodeId dst = ctx_.topo().chiplet_node_at(0, 3, 0);
+  const PacketId pid = make_packet(src, dst);
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    net_.inject_local(src, 0, {pid, i});
+  }
+  EXPECT_EQ(net_.local_free(src, 0), 0);
+  EXPECT_THROW(net_.inject_local(src, 0, {pid, 4}), std::logic_error);
+}
+
+TEST_F(NetworkUnitTest, TwoPhaseVisibility) {
+  // A staged flit is not visible to routers until apply().
+  const NodeId src = ctx_.topo().chiplet_node_at(0, 0, 0);
+  const NodeId dst = ctx_.topo().chiplet_node_at(0, 2, 0);
+  const PacketId pid = make_packet(src, dst);
+  net_.inject_local(src, 0, {pid, 0});
+  net_.step(0);  // flit not yet in any buffer
+  EXPECT_EQ(net_.moves_last_cycle(), 0u);
+  net_.apply(0);
+  net_.step(1);
+  EXPECT_EQ(net_.moves_last_cycle(), 1u);
+}
+
+TEST_F(NetworkUnitTest, FlitAdvancesOneChannelPerCycle) {
+  const Topology& topo = ctx_.topo();
+  const NodeId src = topo.chiplet_node_at(0, 0, 0);
+  const NodeId dst = topo.chiplet_node_at(0, 3, 0);
+  const PacketId pid = make_packet(src, dst);
+  NodeId ejected_at = kInvalidNode;
+  Cycle eject_cycle = -1;
+  net_.on_eject = [&](NodeId node, const Flit&, Cycle now) {
+    ejected_at = node;
+    eject_cycle = now;
+  };
+  net_.inject_local(src, 0, {pid, 0});
+  net_.apply(0);
+  for (Cycle now = 1; now <= 10 && ejected_at == kInvalidNode; ++now) {
+    net_.step(now);
+    net_.apply(now);
+  }
+  EXPECT_EQ(ejected_at, dst);
+  // 3 channels + ejection: visible in buffer at t=0, ejects at t=4.
+  EXPECT_EQ(eject_cycle, 4);
+}
+
+TEST_F(NetworkUnitTest, WormholeKeepsPacketContiguousPerVc) {
+  // Two packets from different sources converge on one channel; their
+  // flits must not interleave within a VC (the tail releases the output
+  // VC before the next head may claim it).
+  const Topology& topo = ctx_.topo();
+  const NodeId dst = topo.chiplet_node_at(0, 3, 1);
+  const PacketId a = make_packet(topo.chiplet_node_at(0, 0, 1), dst);
+  const PacketId b = make_packet(topo.chiplet_node_at(0, 1, 0), dst);
+  std::vector<std::pair<PacketId, int>> ejected;
+  net_.on_eject = [&](NodeId, const Flit& f, Cycle) {
+    ejected.push_back({f.packet, f.seq});
+  };
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    net_.inject_local(topo.node(topo.chiplet_node_at(0, 0, 1)).id, 0,
+                      {a, i});
+    net_.inject_local(topo.node(topo.chiplet_node_at(0, 1, 0)).id, 0,
+                      {b, i});
+    net_.apply(0);
+    net_.step(1);
+  }
+  for (Cycle now = 1; now < 80; ++now) {
+    net_.step(now);
+    net_.apply(now);
+  }
+  ASSERT_EQ(ejected.size(), 16u);
+  // Flits of each packet eject in order, and per-packet runs do not
+  // interleave mid-packet on the same VC path... sequence per packet:
+  int next_seq_a = 0;
+  int next_seq_b = 0;
+  for (const auto& [pid, seq] : ejected) {
+    if (pid == a) {
+      EXPECT_EQ(seq, next_seq_a++);
+    } else {
+      EXPECT_EQ(seq, next_seq_b++);
+    }
+  }
+  EXPECT_EQ(next_seq_a, 8);
+  EXPECT_EQ(next_seq_b, 8);
+}
+
+TEST_F(NetworkUnitTest, FaultyChannelTraversalIsAnError) {
+  // Build a faulted network but hand it an algorithm that ignores faults:
+  // crossing the dead channel must be caught, not silently simulated.
+  const Topology& topo = ctx_.topo();
+  VlFaultSet faults;
+  faults.set_faulty(0);  // VL 0's down channel
+  auto blind = ctx_.make_algorithm(Algorithm::deft);  // fault-oblivious
+  Network net(topo, *blind, packets_, 2, 4, faults);
+  const VerticalLink& vl = topo.vl(0);
+  // A packet whose fault-free DeFT route descends exactly at VL 0.
+  PacketRoute route;
+  route.src = vl.chiplet_node;
+  route.dst = topo.dram_endpoints()[0];
+  ASSERT_TRUE(blind->prepare_packet(route));
+  if (route.down_node != vl.chiplet_node) {
+    GTEST_SKIP() << "table picked a different VL for this source";
+  }
+  const PacketId pid = packets_.create(route, 0, 1, 0, true);
+  net.inject_local(route.src, 0, {pid, 0});
+  net.apply(0);
+  EXPECT_THROW(
+      {
+        for (Cycle now = 1; now < 5; ++now) {
+          net.step(now);
+          net.apply(now);
+        }
+      },
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace deft

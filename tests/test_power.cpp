@@ -1,0 +1,108 @@
+// Area/power model tests against Table I of the paper. Absolute numbers
+// are calibrated to the MTR baseline; the variant *ratios* are structural
+// and must land close to the paper's normalized values.
+#include <gtest/gtest.h>
+
+#include "power/power_model.hpp"
+
+namespace deft {
+namespace {
+
+TEST(PowerModel, MtrBaselineMatchesTableOne) {
+  const RouterEstimate mtr = estimate_router(mtr_router_params());
+  EXPECT_NEAR(mtr.total_area, 45878.0, 45878.0 * 0.01);
+  EXPECT_NEAR(mtr.power_mw, 11.644, 11.644 * 0.01);
+}
+
+TEST(PowerModel, TableOneNormalizedAreas) {
+  const double base = estimate_router(mtr_router_params()).total_area;
+  const double rc_nb =
+      estimate_router(rc_nonboundary_router_params()).total_area;
+  const double rc_b = estimate_router(rc_boundary_router_params()).total_area;
+  const double deft = estimate_router(deft_router_params()).total_area;
+  // Paper: 1.017, 1.133, 1.016.
+  EXPECT_NEAR(rc_nb / base, 1.017, 0.005);
+  EXPECT_NEAR(rc_b / base, 1.133, 0.01);
+  EXPECT_NEAR(deft / base, 1.016, 0.005);
+  // DeFT's overhead stays below 2% of the baseline (the paper's headline).
+  EXPECT_LT(deft / base, 1.02);
+}
+
+TEST(PowerModel, TableOneNormalizedPower) {
+  const double base = estimate_router(mtr_router_params()).power_mw;
+  const double rc_nb =
+      estimate_router(rc_nonboundary_router_params()).power_mw;
+  const double rc_b = estimate_router(rc_boundary_router_params()).power_mw;
+  const double deft = estimate_router(deft_router_params()).power_mw;
+  // Paper: 1.009, 1.102, 1.004.
+  EXPECT_NEAR(rc_nb / base, 1.009, 0.01);
+  EXPECT_NEAR(rc_b / base, 1.102, 0.01);
+  EXPECT_NEAR(deft / base, 1.004, 0.01);
+  EXPECT_LT(deft / base, 1.01);  // < 1% power overhead
+}
+
+TEST(PowerModel, OrderingIsStructural) {
+  const double mtr = estimate_router(mtr_router_params()).total_area;
+  const double deft = estimate_router(deft_router_params()).total_area;
+  const double rc_nb =
+      estimate_router(rc_nonboundary_router_params()).total_area;
+  const double rc_b = estimate_router(rc_boundary_router_params()).total_area;
+  EXPECT_LT(mtr, deft);
+  EXPECT_LT(deft, rc_nb);
+  EXPECT_LT(rc_nb, rc_b);
+}
+
+TEST(PowerModel, AreaScalesWithBuffers) {
+  RouterParams small = mtr_router_params();
+  RouterParams big = mtr_router_params();
+  big.buffer_depth = 8;
+  const RouterEstimate a = estimate_router(small);
+  const RouterEstimate b = estimate_router(big);
+  EXPECT_GT(b.total_area, a.total_area);
+  EXPECT_DOUBLE_EQ(b.buffer_area, 2.0 * a.buffer_area);
+  EXPECT_DOUBLE_EQ(b.crossbar_area, a.crossbar_area);
+}
+
+TEST(PowerModel, AreaScalesWithPortsAndVcs) {
+  RouterParams five = mtr_router_params();
+  five.ports = 5;  // a plain 2D-mesh router without a vertical port
+  const RouterEstimate a = estimate_router(five);
+  const RouterEstimate b = estimate_router(mtr_router_params());
+  EXPECT_LT(a.total_area, b.total_area);
+  RouterParams four_vcs = mtr_router_params();
+  four_vcs.vcs = 4;
+  EXPECT_GT(estimate_router(four_vcs).total_area, b.total_area);
+}
+
+TEST(PowerModel, DeftLutSizeTracksVlCount) {
+  // 4 VLs: 2 * (2^4 - 1) = 30 entries of 2 bits; 2 VLs: 2 * 3 entries of
+  // 1 bit.
+  const RouterParams p4 = deft_router_params(4);
+  EXPECT_EQ(p4.lut_entries, 30);
+  EXPECT_EQ(p4.lut_entry_bits, 2);
+  const RouterParams p2 = deft_router_params(2);
+  EXPECT_EQ(p2.lut_entries, 6);
+  EXPECT_EQ(p2.lut_entry_bits, 1);
+  EXPECT_LT(estimate_router(p2).total_area, estimate_router(p4).total_area);
+}
+
+TEST(PowerModel, ComponentsSumToTotal) {
+  for (const RouterParams& p :
+       {mtr_router_params(), rc_boundary_router_params(),
+        deft_router_params()}) {
+    const RouterEstimate e = estimate_router(p);
+    EXPECT_NEAR(e.buffer_area + e.crossbar_area + e.allocator_area +
+                    e.routing_area + e.extra_area,
+                e.total_area, 1e-9);
+    EXPECT_GT(e.power_mw, 0.0);
+  }
+}
+
+TEST(PowerModel, RejectsNonsenseParameters) {
+  RouterParams bad = mtr_router_params();
+  bad.ports = 0;
+  EXPECT_THROW(estimate_router(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deft

@@ -1,0 +1,113 @@
+// Generalization property sweeps (parameterized over a family of
+// topologies): DeFT's guarantees are claimed for *any* chiplet system with
+// locally deadlock-free chiplets, so the invariants must hold far beyond
+// the two reference systems.
+//
+// For every topology in the family:
+//  * DeFT's rule-level CDG is acyclic (deadlock freedom);
+//  * every endpoint pair is deliverable fault-free by all algorithms;
+//  * DeFT's VL tables never assign a faulty VL, for every fault scenario
+//    of every chiplet;
+//  * DeFT keeps 100% reachability under sampled non-disconnecting fault
+//    patterns while the baselines eventually lose pairs;
+//  * a short randomized simulation delivers everything it admits.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "routing/cdg.hpp"
+
+namespace deft {
+namespace {
+
+struct TopologyCase {
+  const char* name;
+  int cols, rows, chiplet_w, chiplet_h;
+};
+
+std::string case_name(const ::testing::TestParamInfo<TopologyCase>& info) {
+  return info.param.name;
+}
+
+class TopologyFamilyTest : public ::testing::TestWithParam<TopologyCase> {
+ protected:
+  TopologyFamilyTest()
+      : ctx_(make_grid_spec(GetParam().cols, GetParam().rows,
+                            GetParam().chiplet_w, GetParam().chiplet_h)) {}
+  ExperimentContext ctx_;
+};
+
+TEST_P(TopologyFamilyTest, DeftCdgAcyclic) {
+  EXPECT_TRUE(
+      is_acyclic(build_cdg(ctx_.topo(), 2, deft_dependency_oracle(1))));
+  EXPECT_TRUE(is_acyclic(build_cdg(ctx_.topo(), 2, rc_dependency_oracle())));
+}
+
+TEST_P(TopologyFamilyTest, AllPairsDeliverableFaultFree) {
+  for (Algorithm alg : {Algorithm::deft, Algorithm::mtr, Algorithm::rc}) {
+    const auto instance = ctx_.make_algorithm(alg);
+    const auto& eps = ctx_.topo().endpoints();
+    for (std::size_t i = 0; i < eps.size(); i += 2) {
+      for (std::size_t j = 1; j < eps.size(); j += 2) {
+        if (eps[i] != eps[j]) {
+          EXPECT_TRUE(instance->pair_reachable(eps[i], eps[j]))
+              << algorithm_name(alg);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TopologyFamilyTest, VlTablesNeverPickFaultyVls) {
+  const auto tables = ctx_.vl_tables();
+  const Topology& topo = ctx_.topo();
+  for (int c = 0; c < topo.num_chiplets(); ++c) {
+    const auto vls = static_cast<std::uint32_t>(topo.chiplet_vls(c).size());
+    for (std::uint32_t mask = 0; mask + 1 < (1u << vls); ++mask) {
+      for (NodeId r : topo.chiplet_nodes(c)) {
+        const int down = tables->down(c).selected_vl(mask, r);
+        EXPECT_EQ((mask >> down) & 1u, 0u);
+        const int up = tables->up(c).selected_vl(mask, r);
+        EXPECT_EQ((mask >> up) & 1u, 0u);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyFamilyTest, DeftPerfectReachabilityUnderSampledFaults) {
+  const ReachabilityAnalyzer deft(ctx_, Algorithm::deft);
+  Rng rng(17);
+  const int max_k = ctx_.topo().num_vl_channels() / 4;
+  for (int trial = 0; trial < 10; ++trial) {
+    const int k = 1 + static_cast<int>(
+                          rng.uniform(static_cast<std::uint64_t>(max_k)));
+    const auto faults = sample_fault_scenario(ctx_.topo(), k, rng);
+    ASSERT_TRUE(faults.has_value());
+    EXPECT_DOUBLE_EQ(deft.reachability(*faults), 1.0)
+        << faults->to_string();
+  }
+}
+
+TEST_P(TopologyFamilyTest, ShortSimulationDrainsClean) {
+  UniformTraffic traffic(ctx_.topo(), 0.004);
+  SimKnobs knobs;
+  knobs.warmup = 300;
+  knobs.measure = 1500;
+  knobs.drain_max = 15000;
+  const SimResults r = run_sim(ctx_, Algorithm::deft, traffic, knobs);
+  EXPECT_TRUE(r.drained);
+  EXPECT_FALSE(r.deadlock_detected);
+  EXPECT_EQ(r.packets_dropped_unroutable, 0u);
+  EXPECT_EQ(r.packets_delivered_measured, r.packets_created_measured);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridFamily, TopologyFamilyTest,
+    ::testing::Values(TopologyCase{"grid2x1_4x4", 2, 1, 4, 4},
+                      TopologyCase{"grid2x2_3x3", 2, 2, 3, 3},
+                      TopologyCase{"grid3x1_3x4", 3, 1, 3, 4},
+                      TopologyCase{"grid2x2_5x3", 2, 2, 5, 3},
+                      TopologyCase{"grid3x3_2x2", 3, 3, 2, 2}),
+    case_name);
+
+}  // namespace
+}  // namespace deft

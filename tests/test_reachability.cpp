@@ -1,0 +1,124 @@
+// Reachability-analyzer tests (the Fig. 7 machinery): DeFT's 100%
+// guarantee, bucketed evaluation vs direct per-pair evaluation, averages vs
+// worst cases, and the paper's qualitative algorithm ordering.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace deft {
+namespace {
+
+class ReachabilityTest : public ::testing::Test {
+ protected:
+  ReachabilityTest() : ctx_(ExperimentContext::reference(4)) {}
+  ExperimentContext ctx_;
+};
+
+TEST_F(ReachabilityTest, FaultFreeIsOneForAllAlgorithms) {
+  for (Algorithm alg : {Algorithm::deft, Algorithm::mtr, Algorithm::rc}) {
+    const ReachabilityAnalyzer analyzer(ctx_, alg);
+    EXPECT_DOUBLE_EQ(analyzer.reachability({}), 1.0) << algorithm_name(alg);
+  }
+}
+
+TEST_F(ReachabilityTest, DeftIsPerfectUnderAllValidPatterns) {
+  const ReachabilityAnalyzer analyzer(ctx_, Algorithm::deft);
+  for (int k = 1; k <= 8; k += 2) {
+    const auto point = analyzer.sweep(k, /*enumeration_limit=*/5000,
+                                      /*samples=*/300);
+    EXPECT_DOUBLE_EQ(point.average, 1.0) << "k=" << k;
+    EXPECT_DOUBLE_EQ(point.worst, 1.0) << "k=" << k;
+  }
+}
+
+TEST_F(ReachabilityTest, BucketsMatchDirectPairEvaluation) {
+  // The bucketed fast path must agree exactly with evaluating
+  // pair_reachable over every pair.
+  Rng rng(21);
+  for (Algorithm alg : {Algorithm::deft, Algorithm::mtr, Algorithm::rc}) {
+    const ReachabilityAnalyzer analyzer(ctx_, alg);
+    for (int trial = 0; trial < 10; ++trial) {
+      const int k = 1 + static_cast<int>(rng.uniform(8));
+      const auto faults = sample_fault_scenario(ctx_.topo(), k, rng);
+      ASSERT_TRUE(faults.has_value());
+      const auto instance = ctx_.make_algorithm(alg, *faults);
+      const auto& cores = ctx_.topo().core_endpoints();
+      std::uint64_t reachable = 0;
+      std::uint64_t total = 0;
+      for (NodeId s : cores) {
+        for (NodeId d : cores) {
+          if (s != d) {
+            ++total;
+            reachable += instance->pair_reachable(s, d);
+          }
+        }
+      }
+      EXPECT_NEAR(analyzer.reachability(*faults),
+                  static_cast<double>(reachable) / total, 1e-12)
+          << algorithm_name(alg) << " " << faults->to_string();
+    }
+  }
+}
+
+TEST_F(ReachabilityTest, WorstNeverExceedsAverage) {
+  for (Algorithm alg : {Algorithm::mtr, Algorithm::rc}) {
+    const ReachabilityAnalyzer analyzer(ctx_, alg);
+    for (int k : {2, 5}) {
+      const auto point = analyzer.sweep(k, 2000, 200);
+      EXPECT_LE(point.worst, point.average + 1e-12);
+      EXPECT_GT(point.patterns, 0u);
+    }
+  }
+}
+
+TEST_F(ReachabilityTest, PaperOrderingDeftOverMtrOverRc) {
+  const ReachabilityAnalyzer deft(ctx_, Algorithm::deft);
+  const ReachabilityAnalyzer mtr(ctx_, Algorithm::mtr);
+  const ReachabilityAnalyzer rc(ctx_, Algorithm::rc);
+  for (int k : {2, 4, 8}) {
+    const auto pd = deft.sweep(k, 2000, 400);
+    const auto pm = mtr.sweep(k, 2000, 400);
+    const auto pr = rc.sweep(k, 2000, 400);
+    EXPECT_GE(pd.average + 1e-12, pm.average) << "k=" << k;
+    EXPECT_GE(pm.average + 1e-12, pr.average) << "k=" << k;
+    EXPECT_LT(pr.average, 1.0) << "k=" << k;  // RC tolerates nothing
+  }
+}
+
+TEST_F(ReachabilityTest, RcAverageDegradesMonotonically) {
+  const ReachabilityAnalyzer rc(ctx_, Algorithm::rc);
+  double prev = 1.0;
+  for (int k = 1; k <= 6; ++k) {
+    const auto point = rc.sweep(k, 1000, 400);
+    EXPECT_LT(point.average, prev + 1e-9) << "k=" << k;
+    prev = point.average;
+  }
+}
+
+TEST_F(ReachabilityTest, SixChipletMtrBreaksAfterOneFault) {
+  // Fig. 7(b): MTR keeps 100% reachability only at one faulty VL (2.1%).
+  ExperimentContext ctx6 = ExperimentContext::reference(6);
+  const ReachabilityAnalyzer mtr(ctx6, Algorithm::mtr);
+  const ReachabilityAnalyzer deft(ctx6, Algorithm::deft);
+  const auto k2 = mtr.sweep(2, 2000, 300);
+  EXPECT_LT(k2.worst, 1.0);
+  const auto d8 = deft.sweep(8, 500, 200);
+  EXPECT_DOUBLE_EQ(d8.average, 1.0);
+  EXPECT_DOUBLE_EQ(d8.worst, 1.0);
+}
+
+TEST_F(ReachabilityTest, ExhaustiveFlagReflectsEnumerability) {
+  const ReachabilityAnalyzer deft(ctx_, Algorithm::deft);
+  EXPECT_TRUE(deft.sweep(1, 200'000, 10).exhaustive);
+  EXPECT_FALSE(deft.sweep(8, 1000, 10).exhaustive);
+}
+
+TEST_F(ReachabilityTest, IncludeDramsExtendsPairSet) {
+  const ReachabilityAnalyzer cores_only(ctx_, Algorithm::rc, 2, false);
+  const ReachabilityAnalyzer with_drams(ctx_, Algorithm::rc, 2, true);
+  EXPECT_EQ(cores_only.total_pairs(), 64u * 63u);
+  EXPECT_EQ(with_drams.total_pairs(), 68u * 67u);
+}
+
+}  // namespace
+}  // namespace deft

@@ -1,0 +1,360 @@
+// DeFT routing tests: Algorithm 1's VN assignment, rules 1-3 along real
+// routes, minimal multi-segment paths, the three VL-selection strategies,
+// and fault behaviour (Theorems III.3/III.4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.hpp"
+
+namespace deft {
+namespace {
+
+/// Follows route() decisions hop by hop, emulating the VC allocator with a
+/// given VC-pick policy, and checks the VN rules at every transition.
+struct Walk {
+  std::vector<NodeId> nodes;
+  int hops = 0;
+  int final_vn = -1;
+  bool delivered = false;
+};
+
+Walk walk_packet(const Topology& topo, RoutingAlgorithm& alg,
+                 const PacketRoute& route, int start_vc,
+                 bool prefer_high_vc = false) {
+  Walk w;
+  NodeId node = route.src;
+  Port in_port = Port::local;
+  int vc = start_vc;
+  const RouterView view{};
+  const int max_hops = 4 * (topo.spec().interposer_width +
+                            topo.spec().interposer_height) +
+                       16;
+  w.nodes.push_back(node);
+  auto* deft = dynamic_cast<DeftRouting*>(&alg);
+  while (w.hops <= max_hops) {
+    const RouteDecision d = alg.route(node, in_port, vc, route, view);
+    EXPECT_NE(d.vcs, 0) << "empty admissible VC mask";
+    if (d.out_port == Port::local) {
+      w.delivered = true;
+      w.final_vn = deft != nullptr ? deft->vn_of(vc) : 0;
+      return w;
+    }
+    // Pick an admissible VC like the allocator would.
+    int next_vc = -1;
+    for (int k = 0; k < alg.num_vcs(); ++k) {
+      const int cand = prefer_high_vc ? alg.num_vcs() - 1 - k : k;
+      if (d.vcs & vc_bit(cand)) {
+        next_vc = cand;
+        break;
+      }
+    }
+    if (next_vc < 0) {
+      ADD_FAILURE() << "no admissible VC could be picked";
+      return w;
+    }
+    if (deft != nullptr) {
+      // Rule 1: the VN never decreases across hops.
+      EXPECT_GE(deft->vn_of(next_vc), deft->vn_of(vc));
+      // Rule 2: a packet continuing horizontally after an Up hop must do
+      // so in VN.1 (it may have traversed the vertical link in VN.0).
+      if (in_port == Port::up && is_horizontal(d.out_port)) {
+        EXPECT_EQ(deft->vn_of(next_vc), 1);
+      }
+      // Rule 3: no horizontal-to-down hop while in VN.1.
+      if (is_horizontal(in_port) && d.out_port == Port::down) {
+        EXPECT_EQ(deft->vn_of(vc), 0) << "H->Down while in VN.1";
+      }
+    }
+    const ChannelId ch = topo.out_channel(node, d.out_port);
+    if (ch == kInvalidChannel) {
+      ADD_FAILURE() << "routed into missing port " << port_name(d.out_port);
+      return w;
+    }
+    node = topo.channel(ch).dst;
+    in_port = topo.channel(ch).dst_port;
+    vc = next_vc;
+    ++w.hops;
+    w.nodes.push_back(node);
+  }
+  ADD_FAILURE() << "packet did not arrive within " << max_hops << " hops";
+  return w;
+}
+
+class DeftRoutingTest : public ::testing::Test {
+ protected:
+  DeftRoutingTest() : ctx_(ExperimentContext::reference(4)) {}
+
+  std::unique_ptr<RoutingAlgorithm> make(VlFaultSet faults = {},
+                                         VlStrategy s = VlStrategy::table) {
+    return ctx_.make_algorithm(Algorithm::deft, faults, 2, s);
+  }
+
+  ExperimentContext ctx_;
+};
+
+TEST_F(DeftRoutingTest, IntraChipletPacketsMayUseBothVns) {
+  auto alg = make();
+  PacketRoute r;
+  r.src = ctx_.topo().chiplet_node_at(0, 0, 0);
+  r.dst = ctx_.topo().chiplet_node_at(0, 3, 3);
+  ASSERT_TRUE(alg->prepare_packet(r));
+  EXPECT_EQ(r.initial_vcs, 0b11);  // Theorem III.1
+  EXPECT_EQ(r.down_node, kInvalidNode);
+}
+
+TEST_F(DeftRoutingTest, InterChipletPacketsStartInVnZero) {
+  auto alg = make();
+  PacketRoute r;
+  r.src = ctx_.topo().chiplet_node_at(0, 1, 1);  // not a boundary router
+  r.dst = ctx_.topo().chiplet_node_at(3, 2, 2);
+  ASSERT_TRUE(alg->prepare_packet(r));
+  EXPECT_EQ(r.initial_vcs, 0b01);
+  EXPECT_NE(r.down_node, kInvalidNode);
+  EXPECT_NE(r.up_exit, kInvalidNode);
+}
+
+TEST_F(DeftRoutingTest, InterposerSourcesRoundRobinBothVns) {
+  auto alg = make();
+  PacketRoute r;
+  r.src = ctx_.topo().dram_endpoints().front();
+  r.dst = ctx_.topo().chiplet_node_at(1, 0, 0);
+  ASSERT_TRUE(alg->prepare_packet(r));
+  EXPECT_EQ(r.initial_vcs, 0b11);  // Algorithm 1, interposer source
+  EXPECT_EQ(r.down_node, kInvalidNode);
+}
+
+TEST_F(DeftRoutingTest, BoundarySourceDescendingAtItselfUsesBothVns) {
+  auto alg = make();
+  // Find a boundary router whose table selection (fault-free) is itself.
+  const Topology& topo = ctx_.topo();
+  for (const VerticalLink& vl : topo.vls()) {
+    PacketRoute r;
+    r.src = vl.chiplet_node;
+    r.dst = topo.chiplet_node_at((vl.chiplet + 1) % 4, 1, 1);
+    ASSERT_TRUE(alg->prepare_packet(r));
+    if (r.down_node == r.src) {
+      EXPECT_EQ(r.initial_vcs, 0b11);
+      return;
+    }
+    EXPECT_EQ(r.initial_vcs, 0b01);  // must cross the chiplet in VN.0
+  }
+}
+
+TEST_F(DeftRoutingTest, RoutesAreMinimalPerSegment) {
+  auto alg = make();
+  const Topology& topo = ctx_.topo();
+  const NodeId src = topo.chiplet_node_at(0, 2, 1);
+  const NodeId dst = topo.chiplet_node_at(3, 1, 2);
+  PacketRoute r;
+  r.src = src;
+  r.dst = dst;
+  ASSERT_TRUE(alg->prepare_packet(r));
+  const Walk w = walk_packet(topo, *alg, r, 0);
+  ASSERT_TRUE(w.delivered);
+  const NodeId up_node = topo.vl(topo.node(r.up_exit).vl).chiplet_node;
+  const int expected = topo.mesh_distance(src, r.down_node) + 1 +
+                       topo.mesh_distance(
+                           topo.vl(topo.node(r.down_node).vl).interposer_node,
+                           r.up_exit) +
+                       1 + topo.mesh_distance(up_node, dst);
+  EXPECT_EQ(w.hops, expected);  // livelock-freedom: minimal segments
+}
+
+TEST_F(DeftRoutingTest, DeliveredInVnOneAfterAscent) {
+  auto alg = make();
+  const Topology& topo = ctx_.topo();
+  PacketRoute r;
+  r.src = topo.chiplet_node_at(1, 1, 2);
+  r.dst = topo.chiplet_node_at(2, 3, 0);
+  ASSERT_TRUE(alg->prepare_packet(r));
+  for (bool high : {false, true}) {
+    const Walk w = walk_packet(topo, *alg, r, 0, high);
+    ASSERT_TRUE(w.delivered);
+    EXPECT_EQ(w.final_vn, 1);  // Up hop forces VN.1 (Algorithm 1)
+  }
+}
+
+TEST_F(DeftRoutingTest, AllCorePairsDeliverFaultFree) {
+  auto alg = make();
+  const Topology& topo = ctx_.topo();
+  // Sampled all-pairs walk check (every 3rd pair keeps the test fast).
+  const auto& cores = topo.core_endpoints();
+  int checked = 0;
+  for (std::size_t i = 0; i < cores.size(); i += 3) {
+    for (std::size_t j = 0; j < cores.size(); j += 3) {
+      if (i == j) {
+        continue;
+      }
+      PacketRoute r;
+      r.src = cores[i];
+      r.dst = cores[j];
+      ASSERT_TRUE(alg->prepare_packet(r));
+      const int vc0 = (r.initial_vcs & 1) != 0 ? 0 : 1;
+      const Walk w = walk_packet(topo, *alg, r, vc0);
+      EXPECT_TRUE(w.delivered);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 400);
+}
+
+TEST_F(DeftRoutingTest, DramTrafficRoutesBothDirections) {
+  auto alg = make();
+  const Topology& topo = ctx_.topo();
+  for (NodeId dram : topo.dram_endpoints()) {
+    PacketRoute to_dram;
+    to_dram.src = topo.chiplet_node_at(2, 1, 1);
+    to_dram.dst = dram;
+    ASSERT_TRUE(alg->prepare_packet(to_dram));
+    EXPECT_TRUE(walk_packet(topo, *alg, to_dram, 0).delivered);
+    PacketRoute from_dram;
+    from_dram.src = dram;
+    from_dram.dst = topo.chiplet_node_at(1, 2, 2);
+    ASSERT_TRUE(alg->prepare_packet(from_dram));
+    EXPECT_TRUE(walk_packet(topo, *alg, from_dram, 0).delivered);
+  }
+}
+
+TEST_F(DeftRoutingTest, ReroutesAroundFaultedVl) {
+  const Topology& topo = ctx_.topo();
+  // Fault the down channel that the fault-free table picks for this source.
+  auto fault_free = make();
+  PacketRoute probe;
+  probe.src = topo.chiplet_node_at(0, 1, 1);
+  probe.dst = topo.chiplet_node_at(3, 2, 2);
+  ASSERT_TRUE(fault_free->prepare_packet(probe));
+  const VlId used = topo.node(probe.down_node).vl;
+  VlFaultSet faults;
+  faults.set_faulty(topo.vl(used).down_vl_channel());
+
+  auto alg = make(faults);
+  PacketRoute r;
+  r.src = probe.src;
+  r.dst = probe.dst;
+  ASSERT_TRUE(alg->prepare_packet(r));
+  EXPECT_NE(topo.node(r.down_node).vl, used) << "selected a faulty VL";
+  EXPECT_TRUE(walk_packet(topo, *alg, r, 0).delivered);
+}
+
+TEST_F(DeftRoutingTest, ToleratesMaximalNonDisconnectingFaults) {
+  // 3 of 4 down channels faulty on every chiplet and 3 of 4 up channels:
+  // DeFT must still deliver everything (100% reachability, Fig. 7).
+  const Topology& topo = ctx_.topo();
+  VlFaultSet faults;
+  for (int c = 0; c < topo.num_chiplets(); ++c) {
+    const auto& vls = topo.chiplet_vls(c);
+    for (std::size_t i = 0; i < 3; ++i) {
+      faults.set_faulty(topo.vl(vls[i]).down_vl_channel());
+      faults.set_faulty(topo.vl(vls[i + 1]).up_vl_channel());
+    }
+  }
+  ASSERT_FALSE(faults.disconnects_any_chiplet(topo));
+  auto alg = make(faults);
+  const auto& cores = topo.core_endpoints();
+  for (std::size_t i = 0; i < cores.size(); i += 5) {
+    for (std::size_t j = 0; j < cores.size(); j += 5) {
+      if (i == j) {
+        continue;
+      }
+      PacketRoute r;
+      r.src = cores[i];
+      r.dst = cores[j];
+      ASSERT_TRUE(alg->prepare_packet(r)) << "pair dropped under faults";
+      const int vc0 = (r.initial_vcs & 1) != 0 ? 0 : 1;
+      EXPECT_TRUE(walk_packet(topo, *alg, r, vc0).delivered);
+      EXPECT_TRUE(alg->pair_reachable(cores[i], cores[j]));
+    }
+  }
+}
+
+TEST_F(DeftRoutingTest, UnroutableWhenChipletFullyCutOff) {
+  const Topology& topo = ctx_.topo();
+  VlFaultSet faults;
+  for (VlId v : topo.chiplet_vls(0)) {
+    faults.set_faulty(topo.vl(v).down_vl_channel());
+  }
+  auto alg = make(faults);
+  PacketRoute r;
+  r.src = topo.chiplet_node_at(0, 1, 1);
+  r.dst = topo.chiplet_node_at(1, 1, 1);
+  EXPECT_FALSE(alg->prepare_packet(r));
+  EXPECT_FALSE(alg->pair_reachable(r.src, r.dst));
+  // The reverse direction still works (up channels of chiplet 0 are fine).
+  PacketRoute rev;
+  rev.src = topo.chiplet_node_at(1, 1, 1);
+  rev.dst = topo.chiplet_node_at(0, 1, 1);
+  EXPECT_TRUE(alg->prepare_packet(rev));
+  // Intra-chiplet traffic on the cut-off chiplet is unaffected.
+  PacketRoute intra;
+  intra.src = topo.chiplet_node_at(0, 0, 0);
+  intra.dst = topo.chiplet_node_at(0, 3, 3);
+  EXPECT_TRUE(alg->prepare_packet(intra));
+}
+
+TEST_F(DeftRoutingTest, DistanceStrategyPicksClosestAliveVl) {
+  const Topology& topo = ctx_.topo();
+  auto alg = make({}, VlStrategy::distance);
+  // Source at the north VL position of chiplet 0 -> its own VL.
+  const VerticalLink& north = topo.vl(topo.chiplet_vls(0)[0]);
+  PacketRoute r;
+  r.src = north.chiplet_node;
+  r.dst = topo.chiplet_node_at(3, 0, 0);
+  ASSERT_TRUE(alg->prepare_packet(r));
+  EXPECT_EQ(r.down_node, north.chiplet_node);
+  // Fault that VL: the next-closest alive VL takes over.
+  VlFaultSet faults;
+  faults.set_faulty(north.down_vl_channel());
+  auto faulted = make(faults, VlStrategy::distance);
+  ASSERT_TRUE(faulted->prepare_packet(r));
+  EXPECT_NE(r.down_node, north.chiplet_node);
+  int best = 1000;
+  for (VlId v : topo.chiplet_vls(0)) {
+    if (v != north.id) {
+      best = std::min(best,
+                      topo.mesh_distance(north.chiplet_node,
+                                         topo.vl(v).chiplet_node));
+    }
+  }
+  EXPECT_EQ(topo.mesh_distance(north.chiplet_node, r.down_node), best);
+}
+
+TEST_F(DeftRoutingTest, RandomStrategyCoversAllAliveVls) {
+  const Topology& topo = ctx_.topo();
+  auto alg = make({}, VlStrategy::random);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 200; ++i) {
+    PacketRoute r;
+    r.src = topo.chiplet_node_at(0, 1, 1);
+    r.dst = topo.chiplet_node_at(3, 2, 2);
+    ASSERT_TRUE(alg->prepare_packet(r));
+    seen.insert(r.down_node);
+    EXPECT_TRUE(walk_packet(topo, *alg, r, 0).delivered);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // uniform over the four alive VLs
+}
+
+TEST_F(DeftRoutingTest, PairComboMaskIsFullProduct) {
+  auto alg = make();
+  const Topology& topo = ctx_.topo();
+  const NodeId a = topo.chiplet_node_at(0, 1, 1);
+  const NodeId b = topo.chiplet_node_at(2, 2, 2);
+  std::uint64_t expected = 0;
+  for (int dn = 0; dn < 4; ++dn) {
+    for (int up = 0; up < 4; ++up) {
+      expected |= std::uint64_t{1} << (8 * dn + up);
+    }
+  }
+  EXPECT_EQ(alg->pair_combo_mask(a, b), expected);
+  EXPECT_EQ(alg->pair_combo_mask(a, topo.chiplet_node_at(0, 0, 0)),
+            RoutingAlgorithm::kAlwaysReachable);
+  EXPECT_EQ(alg->pair_combo_mask(a, topo.dram_endpoints()[0]), 0b1111u);
+}
+
+TEST_F(DeftRoutingTest, RejectsOddVcConfigurations) {
+  EXPECT_THROW(ctx_.make_algorithm(Algorithm::deft, {}, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deft

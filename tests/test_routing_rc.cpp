@@ -1,0 +1,180 @@
+// RC baseline tests: fixed VL selection, absorb-at-destination routing,
+// permission metadata, and zero fault tolerance on its fixed channels.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+
+namespace deft {
+namespace {
+
+class RcTest : public ::testing::Test {
+ protected:
+  RcTest() : ctx_(ExperimentContext::reference(4)) {}
+  ExperimentContext ctx_;
+};
+
+TEST_F(RcTest, FixedUpVlIsNearestToDestination) {
+  const RcRouting alg(ctx_.topo(), {}, 2);
+  const Topology& topo = ctx_.topo();
+  for (NodeId dst : topo.core_endpoints()) {
+    const VlId picked = alg.fixed_up_vl(dst);
+    const int chiplet = topo.node(dst).chiplet;
+    for (VlId v : topo.chiplet_vls(chiplet)) {
+      EXPECT_LE(topo.mesh_distance(topo.vl(picked).chiplet_node, dst),
+                topo.mesh_distance(topo.vl(v).chiplet_node, dst));
+    }
+  }
+}
+
+TEST_F(RcTest, InterChipletPacketsCarryRcMetadata) {
+  auto alg = ctx_.make_algorithm(Algorithm::rc);
+  const Topology& topo = ctx_.topo();
+  PacketRoute r;
+  r.src = topo.chiplet_node_at(0, 1, 1);
+  r.dst = topo.chiplet_node_at(3, 2, 2);
+  ASSERT_TRUE(alg->prepare_packet(r));
+  EXPECT_TRUE(r.rc_absorb);
+  ASSERT_NE(r.rc_unit, kInvalidNode);
+  // The RC unit guards the ascent: it is the boundary router above up_exit.
+  EXPECT_EQ(r.rc_unit, topo.vl(topo.node(r.up_exit).vl).chiplet_node);
+  EXPECT_TRUE(topo.node(r.rc_unit).is_boundary);
+}
+
+TEST_F(RcTest, IntraChipletAndInterposerDestSkipRc) {
+  auto alg = ctx_.make_algorithm(Algorithm::rc);
+  const Topology& topo = ctx_.topo();
+  PacketRoute intra;
+  intra.src = topo.chiplet_node_at(1, 0, 0);
+  intra.dst = topo.chiplet_node_at(1, 3, 3);
+  ASSERT_TRUE(alg->prepare_packet(intra));
+  EXPECT_FALSE(intra.rc_absorb);
+  PacketRoute to_dram;
+  to_dram.src = topo.chiplet_node_at(1, 0, 0);
+  to_dram.dst = topo.dram_endpoints()[0];
+  ASSERT_TRUE(alg->prepare_packet(to_dram));
+  EXPECT_FALSE(to_dram.rc_absorb);
+  EXPECT_EQ(to_dram.rc_unit, kInvalidNode);
+}
+
+TEST_F(RcTest, RouteAbsorbsAtDestinationBoundary) {
+  auto alg = ctx_.make_algorithm(Algorithm::rc);
+  const Topology& topo = ctx_.topo();
+  PacketRoute r;
+  r.src = topo.chiplet_node_at(0, 1, 1);
+  r.dst = topo.chiplet_node_at(2, 2, 1);
+  ASSERT_TRUE(alg->prepare_packet(r));
+  const RouterView view{};
+  // At the boundary router, arriving via Up, the packet goes to the RC
+  // unit (Port::rc), then re-enters via Port::rc toward its destination.
+  const RouteDecision absorb = alg->route(r.rc_unit, Port::up, 0, r, view);
+  EXPECT_EQ(absorb.out_port, Port::rc);
+  const RouteDecision reinject = alg->route(r.rc_unit, Port::rc, 0, r, view);
+  EXPECT_TRUE(is_horizontal(reinject.out_port) ||
+              reinject.out_port == Port::local);
+}
+
+TEST_F(RcTest, WalksDeliverAllPairsFaultFree) {
+  auto alg = ctx_.make_algorithm(Algorithm::rc);
+  const Topology& topo = ctx_.topo();
+  const RouterView view{};
+  const auto& eps = topo.endpoints();
+  for (std::size_t i = 0; i < eps.size(); i += 3) {
+    for (std::size_t j = 1; j < eps.size(); j += 3) {
+      if (eps[i] == eps[j]) {
+        continue;
+      }
+      PacketRoute r;
+      r.src = eps[i];
+      r.dst = eps[j];
+      ASSERT_TRUE(alg->prepare_packet(r));
+      NodeId node = r.src;
+      Port in_port = Port::local;
+      int hops = 0;
+      while (hops < 100) {
+        const RouteDecision d = alg->route(node, in_port, 0, r, view);
+        if (d.out_port == Port::local) {
+          break;
+        }
+        if (d.out_port == Port::rc) {
+          in_port = Port::rc;  // absorbed and re-injected at this router
+          ++hops;
+          continue;
+        }
+        const ChannelId ch = topo.out_channel(node, d.out_port);
+        if (ch == kInvalidChannel) {
+          ADD_FAILURE() << "missing port " << port_name(d.out_port);
+          return;
+        }
+        node = topo.channel(ch).dst;
+        in_port = topo.channel(ch).dst_port;
+        ++hops;
+      }
+      EXPECT_EQ(node, r.dst) << "walk did not reach the destination";
+    }
+  }
+}
+
+TEST_F(RcTest, SingleFaultOnFixedChannelKillsPairs) {
+  const Topology& topo = ctx_.topo();
+  const RcRouting fault_free(topo, {}, 2);
+  const NodeId dst = topo.chiplet_node_at(2, 1, 1);
+  const VerticalLink& up = topo.vl(fault_free.fixed_up_vl(dst));
+  VlFaultSet faults;
+  faults.set_faulty(up.up_vl_channel());
+  const RcRouting alg(topo, faults, 2);
+  const NodeId src = topo.chiplet_node_at(0, 1, 1);
+  EXPECT_FALSE(alg.pair_reachable(src, dst));
+  PacketRoute r;
+  r.src = src;
+  r.dst = dst;
+  EXPECT_FALSE(const_cast<RcRouting&>(alg).prepare_packet(r));
+  // Every single-channel fault kills at least one pair ("RC cannot
+  // tolerate any faults").
+  for (VlChannelId c = 0; c < topo.num_vl_channels(); ++c) {
+    VlFaultSet f;
+    f.set_faulty(c);
+    const RcRouting a(topo, f, 2);
+    bool lost = false;
+    for (NodeId s : topo.endpoints()) {
+      for (NodeId d : topo.endpoints()) {
+        if (s != d && !a.pair_reachable(s, d)) {
+          lost = true;
+          break;
+        }
+      }
+      if (lost) {
+        break;
+      }
+    }
+    EXPECT_TRUE(lost) << "channel " << c << " tolerated";
+  }
+}
+
+TEST_F(RcTest, ComboMaskIsSingleCombination) {
+  auto alg = ctx_.make_algorithm(Algorithm::rc);
+  const Topology& topo = ctx_.topo();
+  const NodeId src = topo.chiplet_node_at(0, 1, 1);
+  const NodeId dst = topo.chiplet_node_at(3, 2, 2);
+  const std::uint64_t mask = alg->pair_combo_mask(src, dst);
+  EXPECT_EQ(__builtin_popcountll(mask), 1);
+}
+
+TEST_F(RcTest, DownVlMinimizesTotalPathToAscent) {
+  const RcRouting alg(ctx_.topo(), {}, 2);
+  const Topology& topo = ctx_.topo();
+  const NodeId src = topo.chiplet_node_at(0, 3, 3);
+  const NodeId dst = topo.chiplet_node_at(3, 0, 0);
+  const VlId down = alg.fixed_down_vl(src, dst);
+  const NodeId target = topo.vl(alg.fixed_up_vl(dst)).interposer_node;
+  const auto cost = [&](VlId v) {
+    return topo.mesh_distance(src, topo.vl(v).chiplet_node) +
+           manhattan(topo.node(topo.vl(v).interposer_node).global,
+                     topo.node(target).global);
+  };
+  for (VlId v : topo.chiplet_vls(0)) {
+    EXPECT_LE(cost(down), cost(v));
+  }
+}
+
+}  // namespace
+}  // namespace deft

@@ -1,0 +1,103 @@
+// Statistics tests: latency summaries, percentiles, utilization and
+// throughput accounting, plus the experiment-driver helpers.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "stats/stats.hpp"
+
+namespace deft {
+namespace {
+
+TEST(LatencySummary, EmptySampleIsAllZero) {
+  std::vector<std::uint32_t> samples;
+  const LatencySummary s = LatencySummary::from_samples(samples);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+}
+
+TEST(LatencySummary, SingleSample) {
+  std::vector<std::uint32_t> samples = {42};
+  const LatencySummary s = LatencySummary::from_samples(samples);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+}
+
+TEST(LatencySummary, KnownDistribution) {
+  // 1..100: mean 50.5, p50 interpolates to 50.5, p95 to 95.05.
+  std::vector<std::uint32_t> samples;
+  for (std::uint32_t v = 100; v >= 1; --v) {
+    samples.push_back(v);  // reversed: from_samples must sort
+  }
+  const LatencySummary s = LatencySummary::from_samples(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(SimResultsStats, UtilizationAndThroughputAccounting) {
+  SimResults r;
+  r.region_vc_flits.assign(2, {});
+  r.region_vc_flits[0][0] = 30;
+  r.region_vc_flits[0][1] = 70;
+  EXPECT_DOUBLE_EQ(r.vc_utilization(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(r.vc_utilization(0, 1), 0.7);
+  EXPECT_DOUBLE_EQ(r.vc_utilization(1, 0), 0.0);  // no traffic recorded
+  r.measure_cycles = 1000;
+  r.flits_ejected_in_window = 6800;
+  EXPECT_DOUBLE_EQ(r.throughput(68), 0.1);
+  EXPECT_DOUBLE_EQ(r.throughput(0), 0.0);
+  r.packets_created_measured = 200;
+  r.packets_delivered_measured = 150;
+  EXPECT_DOUBLE_EQ(r.delivery_ratio(), 0.75);
+}
+
+TEST(ExperimentHelpers, RateStepsAreEvenlySpaced) {
+  const std::vector<double> rates = rate_steps(0.002, 0.010, 5);
+  ASSERT_EQ(rates.size(), 5u);
+  EXPECT_DOUBLE_EQ(rates.front(), 0.002);
+  EXPECT_DOUBLE_EQ(rates.back(), 0.010);
+  EXPECT_NEAR(rates[1] - rates[0], 0.002, 1e-12);
+  EXPECT_THROW(rate_steps(0.01, 0.002, 5), std::invalid_argument);
+  EXPECT_THROW(rate_steps(0.002, 0.01, 1), std::invalid_argument);
+}
+
+TEST(ExperimentHelpers, LatencyCellMarksSaturation) {
+  SimResults r;
+  EXPECT_EQ(latency_cell(r), "-");
+  r.network_latency.count = 10;
+  r.network_latency.mean = 33.25;
+  r.drained = true;
+  EXPECT_EQ(latency_cell(r), "33.2");
+  r.drained = false;
+  EXPECT_EQ(latency_cell(r), "33.2*");
+}
+
+TEST(ExperimentHelpers, LatencySweepRunsEveryRate) {
+  ExperimentContext ctx = ExperimentContext::reference(4);
+  SimKnobs knobs;
+  knobs.warmup = 200;
+  knobs.measure = 800;
+  knobs.drain_max = 8000;
+  const auto points = latency_sweep(
+      ctx, Algorithm::deft,
+      [&](double rate) {
+        return std::make_unique<UniformTraffic>(ctx.topo(), rate);
+      },
+      {0.002, 0.006}, knobs);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].rate, 0.002);
+  EXPECT_GT(points[1].results.packets_delivered_measured,
+            points[0].results.packets_delivered_measured);
+}
+
+}  // namespace
+}  // namespace deft
