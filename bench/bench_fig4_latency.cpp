@@ -15,21 +15,20 @@ namespace {
 void run_subplot(const ExperimentContext& ctx, const std::string& pattern,
                  const std::vector<double>& rates, const std::string& title) {
   bench::print_section(title);
+  ExperimentGrid grid;
+  grid.algorithms = {Algorithm::deft, Algorithm::mtr, Algorithm::rc};
+  grid.traffic_patterns = {pattern};
+  grid.injection_rates = rates;
+  const auto results = bench::runner().run(ctx, grid, bench::bench_knobs());
+  // Grid expansion order: algorithm outermost, rate innermost, so
+  // algorithm `a` at rate index `r` is results[a * rates.size() + r].
   TextTable table({"inj.rate (pkt/cyc/node)", "DeFT", "MTR", "RC"});
-  std::vector<std::vector<std::string>> columns;
-  for (Algorithm alg : {Algorithm::deft, Algorithm::mtr, Algorithm::rc}) {
-    std::vector<std::string> column;
-    for (double rate : rates) {
-      const auto traffic = bench::make_pattern(ctx.topo(), pattern, rate);
-      const SimResults r =
-          run_sim(ctx, alg, *traffic, bench::bench_knobs());
-      column.push_back(bench::total_latency_cell(r));
-    }
-    columns.push_back(std::move(column));
-  }
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    table.add_row({TextTable::num(rates[i], 3), columns[0][i], columns[1][i],
-                   columns[2][i]});
+    table.add_row({TextTable::num(rates[i], 3),
+                   bench::total_latency_cell(results[i].results),
+                   bench::total_latency_cell(results[rates.size() + i].results),
+                   bench::total_latency_cell(
+                       results[2 * rates.size() + i].results)});
   }
   std::fputs(table.to_string().c_str(), stdout);
   std::fflush(stdout);

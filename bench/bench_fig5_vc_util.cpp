@@ -6,24 +6,24 @@
 // Algorithm 1 (Theorems III.1/III.2); under Hotspot traffic the deviation
 // grows but stays below ~8% because incoming packets on the destination
 // chiplet are confined to VN.1.
+#include <iterator>
+#include <utility>
+
 #include "bench_util.hpp"
 
 namespace deft {
 namespace {
 
-void run_case(const ExperimentContext& ctx, const std::string& pattern,
-              double rate) {
+void print_case(const ExperimentContext& ctx, const std::string& pattern,
+                const SimResults& r, int num_vcs) {
   bench::print_section("Fig. 5: VC utilization, " + pattern + " traffic");
-  const auto traffic = bench::make_pattern(ctx.topo(), pattern, rate);
-  SimKnobs knobs = bench::bench_knobs();
-  const SimResults r = run_sim(ctx, Algorithm::deft, *traffic, knobs);
   std::vector<std::string> header = {"VC"};
   for (int c = 0; c < ctx.topo().num_chiplets(); ++c) {
     header.push_back("Chip-" + std::to_string(c + 1));
   }
   header.push_back("Intrpsr.");
   TextTable table(header);
-  for (int vc = 0; vc < knobs.num_vcs; ++vc) {
+  for (int vc = 0; vc < num_vcs; ++vc) {
     std::vector<std::string> row = {"VC" + std::to_string(vc + 1)};
     for (int c = 0; c < ctx.topo().num_chiplets(); ++c) {
       row.push_back(TextTable::num(100.0 * r.vc_utilization(c, vc), 1) + "%");
@@ -45,8 +45,18 @@ int main() {
   using namespace deft;
   std::puts("Figure 5: VC utilization in DeFT under synthetic traffic");
   const ExperimentContext ctx = ExperimentContext::reference(4);
-  run_case(ctx, "uniform", 0.012);
-  run_case(ctx, "localized", 0.012);
-  run_case(ctx, "hotspot", 0.008);
+  const SimKnobs knobs = bench::bench_knobs();
+  const std::pair<std::string, double> cases[] = {
+      {"uniform", 0.012}, {"localized", 0.012}, {"hotspot", 0.008}};
+  ctx.prewarm(/*deft_tables=*/true, /*mtr=*/false);
+  const auto results = bench::runner().parallel_map<SimResults>(
+      std::size(cases), [&](std::size_t i) {
+        const auto traffic =
+            make_traffic(ctx.topo(), cases[i].first, cases[i].second);
+        return run_sim(ctx, Algorithm::deft, *traffic, knobs);
+      });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    print_case(ctx, cases[i].first, results[i], knobs.num_vcs);
+  }
   return 0;
 }

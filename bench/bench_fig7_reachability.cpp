@@ -22,24 +22,31 @@ void run_system(int chiplets, int max_faults) {
       "Fig. 7(" + std::string(chiplets == 4 ? "a" : "b") + "): " +
       std::to_string(chiplets) + " chiplets (total VL channels = " +
       std::to_string(ctx.topo().num_vl_channels()) + ")");
+  ctx.prewarm();
   const ReachabilityAnalyzer deft(ctx, Algorithm::deft);
   const ReachabilityAnalyzer mtr(ctx, Algorithm::mtr);
   const ReachabilityAnalyzer rc(ctx, Algorithm::rc);
+  const ReachabilityAnalyzer* analyzers[] = {&deft, &mtr, &rc};
   TextTable table({"faulty VLs", "DeFT", "MTR-Avg.", "MTR-Wrst.", "RC-Avg.",
                    "RC-Wrst.", "patterns"});
   const std::uint64_t enum_limit = 40'000;
   const std::uint64_t samples = 2'500;
+  // One sweep-runner job per (algorithm, k); job i covers algorithm i%3 at
+  // k = i/3 + 1.
+  const auto points = bench::runner().parallel_map<ReachabilitySweepPoint>(
+      static_cast<std::size_t>(max_faults) * 3, [&](std::size_t i) {
+        return analyzers[i % 3]->sweep(static_cast<int>(i / 3) + 1,
+                                       enum_limit, samples);
+      });
   for (int k = 1; k <= max_faults; ++k) {
-    const auto pd = deft.sweep(k, enum_limit, samples);
-    const auto pm = mtr.sweep(k, enum_limit, samples);
-    const auto pr = rc.sweep(k, enum_limit, samples);
+    const auto& pd = points[static_cast<std::size_t>(k - 1) * 3];
+    const auto& pm = points[static_cast<std::size_t>(k - 1) * 3 + 1];
+    const auto& pr = points[static_cast<std::size_t>(k - 1) * 3 + 2];
     const auto pct = [](double v) { return TextTable::num(100.0 * v, 1); };
     table.add_row({std::to_string(k), pct(pd.average), pct(pm.average),
                    pct(pm.worst), pct(pr.average), pct(pr.worst),
                    std::to_string(pd.patterns) +
                        (pd.exhaustive ? "" : " (MC)")});
-    std::printf("  k=%d done\n", k);
-    std::fflush(stdout);
   }
   std::fputs(table.to_string().c_str(), stdout);
   std::puts("(DeFT-Wrst. equals DeFT-Avg.: both are 100%)");

@@ -11,43 +11,41 @@
 // degrades most at 25%; random selection balances load statistically but
 // pays extra distance, hurting mostly at the milder 12.5% rate.
 #include "bench_util.hpp"
-#include "fault/scenario.hpp"
 
 namespace deft {
 namespace {
 
 void run_subplot(const ExperimentContext& ctx, int faulty, char label) {
-  // One representative non-disconnecting pattern per fault rate, fixed by
-  // seed so every strategy sees identical faults.
-  Rng rng(1000 + static_cast<std::uint64_t>(faulty));
-  const auto faults = sample_fault_scenario(ctx.topo(), faulty, rng);
-  require(faults.has_value(), "bench_fig8: could not sample a fault pattern");
+  const std::vector<double> rates = {0.004, 0.008, 0.012, 0.016, 0.020,
+                                     0.024};
+  // The sweep runner samples one representative non-disconnecting pattern
+  // per fault count from the context seed, so every strategy (and every
+  // injection rate) sees identical faults.
+  ExperimentGrid grid;
+  grid.algorithms = {Algorithm::deft};
+  grid.vl_strategies = {VlStrategy::table, VlStrategy::distance,
+                        VlStrategy::random};
+  grid.fault_counts = {faulty};
+  grid.injection_rates = rates;
+  const auto results = bench::runner().run(ctx, grid, bench::bench_knobs());
   bench::print_section(
       std::string("Fig. 8(") + label + "): " + std::to_string(faulty) +
       " faulty VL channels (" +
       TextTable::num(100.0 * faulty / ctx.topo().num_vl_channels(), 1) +
-      "% fault rate), pattern " + faults->to_string());
-  const std::vector<double> rates = {0.004, 0.008, 0.012, 0.016, 0.020,
-                                     0.024};
+      "% fault rate), pattern " + results.front().point.faults.to_string());
+  for (const SweepResult& r : results) {
+    require(r.results.packets_dropped_unroutable == 0,
+            "bench_fig8: DeFT dropped packets under a valid pattern");
+  }
   TextTable table(
       {"inj.rate (pkt/cyc/node)", "DeFT", "DeFT-Dis.", "DeFT-Ran."});
-  std::vector<std::vector<std::string>> columns;
-  for (VlStrategy strategy :
-       {VlStrategy::table, VlStrategy::distance, VlStrategy::random}) {
-    std::vector<std::string> column;
-    for (double rate : rates) {
-      UniformTraffic traffic(ctx.topo(), rate);
-      const SimResults r = run_sim(ctx, Algorithm::deft, traffic,
-                                   bench::bench_knobs(), *faults, strategy);
-      require(r.packets_dropped_unroutable == 0,
-              "bench_fig8: DeFT dropped packets under a valid pattern");
-      column.push_back(bench::total_latency_cell(r));
-    }
-    columns.push_back(std::move(column));
-  }
+  // Grid expansion order: strategy outermost, rate innermost.
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    table.add_row({TextTable::num(rates[i], 3), columns[0][i], columns[1][i],
-                   columns[2][i]});
+    table.add_row({TextTable::num(rates[i], 3),
+                   bench::total_latency_cell(results[i].results),
+                   bench::total_latency_cell(results[rates.size() + i].results),
+                   bench::total_latency_cell(
+                       results[2 * rates.size() + i].results)});
   }
   std::fputs(table.to_string().c_str(), stdout);
   std::fflush(stdout);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -22,20 +23,17 @@ inline SimKnobs bench_knobs() {
   return knobs;
 }
 
-inline std::unique_ptr<TrafficGenerator> make_pattern(const Topology& topo,
-                                                      const std::string& name,
-                                                      double rate) {
-  if (name == "uniform") {
-    return std::make_unique<UniformTraffic>(topo, rate);
-  }
-  if (name == "localized") {
-    return std::make_unique<LocalizedTraffic>(topo, rate);
-  }
-  if (name == "hotspot") {
-    return std::make_unique<HotspotTraffic>(topo, rate);
-  }
-  require(false, "make_pattern: unknown pattern " + name);
-  return nullptr;
+/// The process-wide sweep runner every bench shares; sized to the host.
+/// Override the pool width with DEFT_BENCH_THREADS.
+inline const SweepRunner& runner() {
+  static const SweepRunner r = [] {
+    int threads = 0;
+    if (const char* env = std::getenv("DEFT_BENCH_THREADS")) {
+      threads = std::atoi(env);
+    }
+    return SweepRunner(threads);
+  }();
+  return r;
 }
 
 /// The figure series plot the packet's end-to-end latency (creation to

@@ -1,5 +1,10 @@
 #include "core/runner.hpp"
 
+#include <algorithm>
+
+#include "fault/scenario.hpp"
+#include "traffic/patterns.hpp"
+
 namespace deft {
 
 ExperimentContext::ExperimentContext(SystemSpec spec, std::uint64_t seed)
@@ -10,7 +15,18 @@ ExperimentContext ExperimentContext::reference(int num_chiplets,
   return ExperimentContext(make_reference_spec(num_chiplets), seed);
 }
 
+namespace {
+// Guards all contexts' lazy artifact construction. A process-wide mutex
+// (rather than a member) keeps ExperimentContext copyable; contention is
+// irrelevant next to the cost of a build or a simulation.
+std::mutex& lazy_init_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
 std::shared_ptr<const SystemVlTables> ExperimentContext::vl_tables() const {
+  const std::lock_guard<std::mutex> lock(lazy_init_mutex());
   if (!vl_tables_) {
     Rng rng(seed_);
     vl_tables_ =
@@ -20,10 +36,20 @@ std::shared_ptr<const SystemVlTables> ExperimentContext::vl_tables() const {
 }
 
 std::shared_ptr<const MtrPlan> ExperimentContext::mtr_plan() const {
+  const std::lock_guard<std::mutex> lock(lazy_init_mutex());
   if (!mtr_plan_) {
     mtr_plan_ = std::make_shared<const MtrPlan>(topo_);
   }
   return mtr_plan_;
+}
+
+void ExperimentContext::prewarm(bool deft_tables, bool mtr) const {
+  if (deft_tables) {
+    vl_tables();
+  }
+  if (mtr) {
+    mtr_plan();
+  }
 }
 
 std::unique_ptr<RoutingAlgorithm> ExperimentContext::make_algorithm(
@@ -50,6 +76,144 @@ SimResults run_sim(const ExperimentContext& ctx, Algorithm algorithm,
                                       strategy);
   Simulator sim(ctx.topo(), *alg, traffic, knobs, faults);
   return sim.run();
+}
+
+std::unique_ptr<TrafficGenerator> make_traffic(const Topology& topo,
+                                               const std::string& pattern,
+                                               double rate) {
+  if (pattern == "uniform") {
+    return std::make_unique<UniformTraffic>(topo, rate);
+  }
+  if (pattern == "localized") {
+    return std::make_unique<LocalizedTraffic>(topo, rate);
+  }
+  if (pattern == "hotspot") {
+    return std::make_unique<HotspotTraffic>(topo, rate);
+  }
+  if (pattern == "transpose") {
+    return std::make_unique<TransposeTraffic>(topo, rate);
+  }
+  if (pattern == "bit-complement") {
+    return std::make_unique<BitComplementTraffic>(topo, rate);
+  }
+  require(false, "make_traffic: unknown pattern " + pattern);
+  return nullptr;
+}
+
+std::size_t ExperimentGrid::size() const {
+  return algorithms.size() * vl_strategies.size() * traffic_patterns.size() *
+         fault_counts.size() * injection_rates.size();
+}
+
+VlFaultSet grid_fault_pattern(const ExperimentContext& ctx, int fault_count) {
+  if (fault_count <= 0) {
+    return {};
+  }
+  // One stream per fault count, forked from the context seed: every point
+  // in a grid that shares a fault count (and every re-expansion of the
+  // same grid) sees the identical pattern.
+  Rng rng = Rng(ctx.seed()).fork(0xFA17ULL + static_cast<std::uint64_t>(
+                                                 fault_count));
+  const auto faults = sample_fault_scenario(ctx.topo(), fault_count, rng);
+  require(faults.has_value(),
+          "grid_fault_pattern: no non-disconnecting pattern with " +
+              std::to_string(fault_count) + " faults");
+  return *faults;
+}
+
+std::vector<ExperimentPoint> expand_grid(const ExperimentContext& ctx,
+                                         const ExperimentGrid& grid) {
+  require(!grid.algorithms.empty() && !grid.vl_strategies.empty() &&
+              !grid.traffic_patterns.empty() && !grid.fault_counts.empty() &&
+              !grid.injection_rates.empty(),
+          "expand_grid: every grid axis must be non-empty");
+
+  // Fault patterns are sampled once per distinct fault count, up front and
+  // on the calling thread, so expansion cost does not depend on grid size
+  // and sampling order does not depend on scheduling.
+  std::vector<std::pair<int, VlFaultSet>> patterns;
+  patterns.reserve(grid.fault_counts.size());
+  for (int k : grid.fault_counts) {
+    patterns.emplace_back(k, grid_fault_pattern(ctx, k));
+  }
+  const auto pattern_for = [&patterns](int k) -> const VlFaultSet& {
+    for (const auto& [count, faults] : patterns) {
+      if (count == k) {
+        return faults;
+      }
+    }
+    require(false, "expand_grid: unsampled fault count");
+    return patterns.front().second;
+  };
+
+  std::vector<ExperimentPoint> points;
+  points.reserve(grid.size());
+  for (Algorithm algorithm : grid.algorithms) {
+    for (VlStrategy strategy : grid.vl_strategies) {
+      for (const std::string& pattern : grid.traffic_patterns) {
+        for (int fault_count : grid.fault_counts) {
+          for (double rate : grid.injection_rates) {
+            ExperimentPoint point;
+            point.index = points.size();
+            point.algorithm = algorithm;
+            point.vl_strategy = strategy;
+            point.traffic_pattern = pattern;
+            point.fault_count = fault_count;
+            point.injection_rate = rate;
+            point.faults = pattern_for(fault_count);
+            // Per-point simulation seed via SplitMix64 (common/rng): a
+            // pure function of (context seed, grid index), never of the
+            // worker that happens to execute the point.
+            std::uint64_t state =
+                ctx.seed() ^ (0x9e3779b97f4a7c15ULL * (point.index + 1));
+            point.sim_seed = split_mix64(state);
+            points.push_back(std::move(point));
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+SweepRunner::SweepRunner(int num_threads) : num_threads_(num_threads) {
+  if (num_threads_ <= 0) {
+    num_threads_ =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+}
+
+std::vector<SweepResult> SweepRunner::run(const ExperimentContext& ctx,
+                                          const ExperimentGrid& grid,
+                                          const SimKnobs& knobs) const {
+  const std::vector<ExperimentPoint> points = expand_grid(ctx, grid);
+
+  bool wants_tables = false;
+  bool wants_mtr = false;
+  for (const ExperimentPoint& point : points) {
+    wants_tables |= point.algorithm == Algorithm::deft &&
+                    point.vl_strategy == VlStrategy::table;
+    wants_mtr |= point.algorithm == Algorithm::mtr;
+  }
+  ctx.prewarm(wants_tables, wants_mtr);
+
+  std::vector<SimResults> results = parallel_map<SimResults>(
+      points.size(), [&](std::size_t i) {
+        const ExperimentPoint& point = points[i];
+        const auto traffic = make_traffic(ctx.topo(), point.traffic_pattern,
+                                          point.injection_rate);
+        SimKnobs point_knobs = knobs;
+        point_knobs.seed = point.sim_seed;
+        return run_sim(ctx, point.algorithm, *traffic, point_knobs,
+                       point.faults, point.vl_strategy);
+      });
+
+  std::vector<SweepResult> sweep;
+  sweep.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sweep.push_back(SweepResult{points[i], std::move(results[i])});
+  }
+  return sweep;
 }
 
 }  // namespace deft

@@ -454,6 +454,64 @@ MtrRouting::MtrRouting(std::shared_ptr<const MtrPlan> plan, VlFaultSet faults,
     alive_up_.push_back(static_cast<std::uint8_t>(
         ~faults_.chiplet_up_mask(topo, c) & ((1u << n) - 1u)));
   }
+
+  if (!faults_.empty()) {
+    // Reverse BFS over the allowed-turn line graph with faulty vertical
+    // channels removed: the design-time dist_ tables would otherwise steer
+    // minimal routes into dead channels.
+    const LineGraph& graph = plan_->line_graph();
+    const int n = graph.size();
+    const auto node_faulty = [&](int l) {
+      if (!graph.is_channel(l)) {
+        return false;
+      }
+      const VlChannelId vc = topo.channel(static_cast<ChannelId>(l)).vl_channel;
+      return vc >= 0 && faults_.is_faulty(vc);
+    };
+    std::vector<std::vector<int>> pred(static_cast<std::size_t>(n));
+    for (int l = 0; l < n; ++l) {
+      if (node_faulty(l)) {
+        continue;
+      }
+      for (int s : graph.successors(l)) {
+        if (!node_faulty(s)) {
+          pred[static_cast<std::size_t>(s)].push_back(l);
+        }
+      }
+    }
+    fault_dist_.assign(topo.endpoints().size(),
+                       std::vector<std::uint16_t>(static_cast<std::size_t>(n),
+                                                  MtrPlan::kUnreachable));
+    std::deque<int> queue;
+    for (std::size_t d = 0; d < topo.endpoints().size(); ++d) {
+      auto& dist = fault_dist_[d];
+      const int target = graph.ejection_node(topo.endpoints()[d]);
+      dist[static_cast<std::size_t>(target)] = 0;
+      queue.clear();
+      queue.push_back(target);
+      while (!queue.empty()) {
+        const int cur = queue.front();
+        queue.pop_front();
+        for (int p : pred[static_cast<std::size_t>(cur)]) {
+          if (dist[static_cast<std::size_t>(p)] == MtrPlan::kUnreachable) {
+            dist[static_cast<std::size_t>(p)] = static_cast<std::uint16_t>(
+                dist[static_cast<std::size_t>(cur)] + 1);
+            queue.push_back(p);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::uint16_t MtrRouting::dist(int line_node, NodeId dst) const {
+  if (fault_dist_.empty()) {
+    return plan_->distance(line_node, dst);
+  }
+  const int d = plan_->endpoint_index(dst);
+  require(d >= 0, "MtrRouting::dist: dst is not an endpoint");
+  return fault_dist_[static_cast<std::size_t>(d)]
+                    [static_cast<std::size_t>(line_node)];
 }
 
 bool MtrRouting::prepare_packet(PacketRoute& route) {
@@ -463,7 +521,13 @@ bool MtrRouting::prepare_packet(PacketRoute& route) {
   route.up_exit = kInvalidNode;
   route.rc_absorb = false;
   route.initial_vcs = all_vcs_mask(num_vcs_);
-  return pair_reachable(route.src, route.dst);
+  if (!pair_reachable(route.src, route.dst)) {
+    return false;
+  }
+  // Belt and braces: the combo masks and the fault-aware line-graph BFS
+  // must agree, but only the latter is what route() follows.
+  return dist(plan_->line_graph().injection_node(route.src), route.dst) !=
+         MtrPlan::kUnreachable;
 }
 
 RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
@@ -480,7 +544,7 @@ RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
     check(in != kInvalidChannel, "MtrRouting: no channel on input port");
     line_node = graph.channel_node(in);
   }
-  const std::uint16_t here = plan_->distance(line_node, rt.dst);
+  const std::uint16_t here = dist(line_node, rt.dst);
   check(here != MtrPlan::kUnreachable && here > 0,
         "MtrRouting: routing from an unreachable line node");
 
@@ -490,7 +554,7 @@ RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
   decision.vcs = all_vcs_mask(num_vcs_);
   int best_credits = -1;
   for (int s : graph.successors(line_node)) {
-    if (plan_->distance(s, rt.dst) != here - 1) {
+    if (dist(s, rt.dst) != here - 1) {
       continue;
     }
     if (!graph.is_channel(s)) {

@@ -114,12 +114,24 @@ class MtrRouting final : public RoutingAlgorithm {
   const MtrPlan& plan() const { return *plan_; }
 
  private:
+  /// Minimal allowed-path distance from `line_node` to `dst`'s ejection,
+  /// excluding faulty vertical channels (falls back to the design-time
+  /// tables when the fault set is empty).
+  std::uint16_t dist(int line_node, NodeId dst) const;
+
   std::shared_ptr<const MtrPlan> plan_;
   VlFaultSet faults_;
   int num_vcs_;
   /// Per chiplet: alive down/up VL-index bitmasks under faults_.
   std::vector<std::uint8_t> alive_down_;
   std::vector<std::uint8_t> alive_up_;
+  /// Fault-aware distance tables (same layout as MtrPlan's); empty when
+  /// faults_ is empty. MTR never re-selects VLs at design time, but a hop
+  /// must still not be steered into a dead vertical channel at run time:
+  /// these tables make route() follow minimal allowed paths through alive
+  /// channels only, while pair_reachable still reports the pairs whose
+  /// every allowed combination died.
+  std::vector<std::vector<std::uint16_t>> fault_dist_;
 };
 
 }  // namespace deft

@@ -41,6 +41,7 @@ class Network {
   void inject_local(NodeId node, int vc, const Flit& flit);
 
   // --- RC-unit side -------------------------------------------------------
+  /// Free slots on the boundary router's RC input port (RC re-injection).
   int rc_in_free(NodeId node, int vc) const {
     return rc_in_credit_[index(node, vc)];
   }
@@ -59,7 +60,10 @@ class Network {
   std::function<void(ChannelId, int)> on_traverse;
 
   // --- Introspection --------------------------------------------------------
+  /// Flits currently held in router buffers (the deadlock watchdog's
+  /// progress signal, together with moves_last_cycle()).
   std::uint64_t flits_buffered() const { return flits_buffered_; }
+  /// Flit movements committed by the last apply().
   std::uint64_t moves_last_cycle() const { return moves_last_cycle_; }
   int num_vcs() const { return num_vcs_; }
   int buffer_depth() const { return buffer_depth_; }

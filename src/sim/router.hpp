@@ -18,7 +18,9 @@ namespace deft {
 /// Maximum supported buffer depth in flits (configured depth may be less).
 inline constexpr int kMaxBufferDepth = 8;
 
-/// Fixed-capacity flit FIFO (ring buffer).
+/// Fixed-capacity flit FIFO (ring buffer). Capacity checks are the
+/// caller's job: the flow-control credits guarantee a `push` never
+/// overflows the configured buffer depth.
 class FlitFifo {
  public:
   bool empty() const { return count_ == 0; }
@@ -44,6 +46,9 @@ class FlitFifo {
   int count_ = 0;
 };
 
+/// One input virtual channel: its flit buffer plus the head-of-line
+/// packet's routing state (wormhole: the route and downstream VC are
+/// held until the tail flit leaves).
 struct InputVc {
   FlitFifo fifo;
   bool route_ready = false;  ///< head-of-line route has been computed
@@ -51,12 +56,17 @@ struct InputVc {
   std::int8_t out_vc = -1;  ///< allocated downstream VC, -1 = none
 };
 
+/// One output virtual channel: which input (port, vc) currently owns it
+/// (wormhole allocation, released at the tail flit) and the credit count
+/// mirroring the downstream input buffer.
 struct OutputVc {
   std::int8_t owner_port = -1;  ///< input (port, vc) holding this output VC
   std::int8_t owner_vc = -1;
   std::int16_t credits = 0;  ///< free downstream buffer slots
 };
 
+/// The complete per-router microarchitectural state, advanced one cycle
+/// at a time by Network::step()/apply().
 struct RouterState {
   std::array<std::array<InputVc, kMaxVcs>, kNumPorts> in;
   std::array<std::array<OutputVc, kMaxVcs>, kNumPorts> out;

@@ -1,0 +1,140 @@
+// Smoke tests for the multi-threaded sweep runner: grid expansion is
+// deterministic, and a parallel run produces SimResults bit-identical to a
+// serial run of the same grid for a fixed context seed.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/runner.hpp"
+
+namespace deft {
+namespace {
+
+ExperimentGrid small_grid() {
+  ExperimentGrid grid;
+  grid.algorithms = {Algorithm::deft, Algorithm::mtr, Algorithm::rc};
+  grid.traffic_patterns = {"uniform"};
+  grid.fault_counts = {0, 2};
+  grid.injection_rates = {0.006};
+  return grid;
+}
+
+SimKnobs fast_knobs() {
+  SimKnobs knobs;
+  knobs.warmup = 200;
+  knobs.measure = 400;
+  knobs.drain_max = 1'000;
+  return knobs;
+}
+
+void expect_identical(const LatencySummary& a, const LatencySummary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+void expect_identical(const SimResults& a, const SimResults& b) {
+  expect_identical(a.network_latency, b.network_latency);
+  expect_identical(a.total_latency, b.total_latency);
+  EXPECT_EQ(a.packets_created, b.packets_created);
+  EXPECT_EQ(a.packets_created_measured, b.packets_created_measured);
+  EXPECT_EQ(a.packets_delivered_measured, b.packets_delivered_measured);
+  EXPECT_EQ(a.packets_dropped_unroutable, b.packets_dropped_unroutable);
+  EXPECT_EQ(a.flits_ejected_in_window, b.flits_ejected_in_window);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_EQ(a.measure_cycles, b.measure_cycles);
+  EXPECT_EQ(a.deadlock_detected, b.deadlock_detected);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.region_vc_flits, b.region_vc_flits);
+  EXPECT_EQ(a.vl_channel_flits, b.vl_channel_flits);
+}
+
+TEST(ExperimentGrid, SizeAndExpansionOrder) {
+  ExperimentGrid grid;
+  grid.algorithms = {Algorithm::deft, Algorithm::rc};
+  grid.vl_strategies = {VlStrategy::table};
+  grid.traffic_patterns = {"uniform", "hotspot"};
+  grid.fault_counts = {0};
+  grid.injection_rates = {0.004, 0.008, 0.012};
+  EXPECT_EQ(grid.size(), 12u);
+
+  const ExperimentContext ctx = ExperimentContext::reference(4);
+  const auto points = expand_grid(ctx, grid);
+  ASSERT_EQ(points.size(), 12u);
+  // Rate is the innermost axis, algorithm the outermost.
+  EXPECT_EQ(points[0].algorithm, Algorithm::deft);
+  EXPECT_EQ(points[0].traffic_pattern, "uniform");
+  EXPECT_EQ(points[0].injection_rate, 0.004);
+  EXPECT_EQ(points[1].injection_rate, 0.008);
+  EXPECT_EQ(points[3].traffic_pattern, "hotspot");
+  EXPECT_EQ(points[6].algorithm, Algorithm::rc);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+  }
+}
+
+TEST(ExperimentGrid, ExpansionIsDeterministicAndSeedsAreDistinct) {
+  const ExperimentContext ctx = ExperimentContext::reference(4);
+  const auto a = expand_grid(ctx, small_grid());
+  const auto b = expand_grid(ctx, small_grid());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sim_seed, b[i].sim_seed);
+    EXPECT_EQ(a[i].faults, b[i].faults);
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      EXPECT_NE(a[i].sim_seed, a[j].sim_seed);
+    }
+  }
+  // Points sharing a fault count share the sampled pattern; fault-free
+  // points carry the empty set.
+  for (const auto& p : a) {
+    EXPECT_EQ(p.faults, grid_fault_pattern(ctx, p.fault_count));
+    if (p.fault_count == 0) {
+      EXPECT_TRUE(p.faults.empty());
+    }
+  }
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitExactly) {
+  const ExperimentContext ctx = ExperimentContext::reference(4);
+  const ExperimentGrid grid = small_grid();
+  const SimKnobs knobs = fast_knobs();
+
+  const auto serial = SweepRunner(1).run(ctx, grid, knobs);
+  const auto parallel = SweepRunner(4).run(ctx, grid, knobs);
+
+  ASSERT_EQ(serial.size(), grid.size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].point.index, parallel[i].point.index);
+    EXPECT_EQ(serial[i].point.algorithm, parallel[i].point.algorithm);
+    EXPECT_EQ(serial[i].point.sim_seed, parallel[i].point.sim_seed);
+    EXPECT_EQ(serial[i].point.faults, parallel[i].point.faults);
+    expect_identical(serial[i].results, parallel[i].results);
+  }
+}
+
+TEST(SweepRunner, ParallelMapOrdersResultsAndPropagatesExceptions) {
+  const SweepRunner runner(4);
+  const auto values = runner.parallel_map<std::size_t>(
+      100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(values.size(), 100u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], i * i);
+  }
+  EXPECT_THROW(runner.parallel_map<int>(8,
+                                        [](std::size_t i) -> int {
+                                          if (i == 5) {
+                                            throw std::runtime_error("boom");
+                                          }
+                                          return static_cast<int>(i);
+                                        }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace deft

@@ -33,28 +33,10 @@ std::string case_name(const ::testing::TestParamInfo<StressCase>& info) {
 
 class DeadlockStressTest : public ::testing::TestWithParam<StressCase> {};
 
-std::unique_ptr<TrafficGenerator> make_pattern(const Topology& topo,
-                                               const std::string& name,
-                                               double rate) {
-  if (name == "uniform") {
-    return std::make_unique<UniformTraffic>(topo, rate);
-  }
-  if (name == "localized") {
-    return std::make_unique<LocalizedTraffic>(topo, rate);
-  }
-  if (name == "hotspot") {
-    return std::make_unique<HotspotTraffic>(topo, rate);
-  }
-  if (name == "transpose") {
-    return std::make_unique<TransposeTraffic>(topo, rate);
-  }
-  return std::make_unique<BitComplementTraffic>(topo, rate);
-}
-
 TEST_P(DeadlockStressTest, NoDeadlockPastSaturation) {
   const StressCase& c = GetParam();
   ExperimentContext ctx = ExperimentContext::reference(4);
-  const auto traffic = make_pattern(ctx.topo(), c.pattern, c.rate);
+  const auto traffic = make_traffic(ctx.topo(), c.pattern, c.rate);
   SimKnobs knobs;
   knobs.warmup = 0;
   knobs.measure = 4000;
