@@ -23,6 +23,7 @@
 
 #include "common/rng.hpp"
 #include "routing/routing.hpp"
+#include "routing/xy_table.hpp"
 #include "vlsel/table.hpp"
 
 namespace deft {
@@ -53,6 +54,9 @@ class DeftRouting final : public RoutingAlgorithm {
                       const RouterView& view) const override;
   bool pair_reachable(NodeId src, NodeId dst) const override;
   std::uint64_t pair_combo_mask(NodeId src, NodeId dst) const override;
+  /// DeFT's per-hop decision is oblivious: a pure function of the packet
+  /// route and the VN carried by the input VC.
+  bool uses_router_view() const override { return false; }
 
   const VlFaultSet& faults() const { return faults_; }
   VlStrategy strategy() const { return strategy_; }
@@ -71,6 +75,7 @@ class DeftRouting final : public RoutingAlgorithm {
 
   const Topology* topo_;
   std::shared_ptr<const SystemVlTables> tables_;
+  XyRouteTable xy_;  ///< memoized XY next hops for every same-mesh pair
   VlFaultSet faults_;
   int num_vcs_;
   VlStrategy strategy_;

@@ -443,10 +443,17 @@ std::uint64_t MtrPlan::pair_combos(NodeId src, NodeId dst) const {
 
 MtrRouting::MtrRouting(std::shared_ptr<const MtrPlan> plan, VlFaultSet faults,
                        int num_vcs)
-    : plan_(std::move(plan)), faults_(faults), num_vcs_(num_vcs) {
+    : plan_(std::move(plan)), num_vcs_(num_vcs) {
   require(plan_ != nullptr, "MtrRouting: plan required");
   require(num_vcs_ >= 1 && num_vcs_ <= kMaxVcs, "MtrRouting: bad VC count");
+  set_faults(faults);
+}
+
+void MtrRouting::set_faults(VlFaultSet faults) {
+  faults_ = faults;
   const Topology& topo = plan_->topo();
+  alive_down_.clear();
+  alive_up_.clear();
   for (int c = 0; c < topo.num_chiplets(); ++c) {
     const auto n = topo.chiplet_vls(c).size();
     alive_down_.push_back(static_cast<std::uint8_t>(
@@ -454,7 +461,13 @@ MtrRouting::MtrRouting(std::shared_ptr<const MtrPlan> plan, VlFaultSet faults,
     alive_up_.push_back(static_cast<std::uint8_t>(
         ~faults_.chiplet_up_mask(topo, c) & ((1u << n) - 1u)));
   }
+  rebuild_fault_tables();
+  rebuild_route_cache();
+}
 
+void MtrRouting::rebuild_fault_tables() {
+  fault_dist_.clear();
+  const Topology& topo = plan_->topo();
   if (!faults_.empty()) {
     // Reverse BFS over the allowed-turn line graph with faulty vertical
     // channels removed: the design-time dist_ tables would otherwise steer
@@ -530,45 +543,82 @@ bool MtrRouting::prepare_packet(PacketRoute& route) {
          MtrPlan::kUnreachable;
 }
 
+void MtrRouting::rebuild_route_cache() {
+  // Flatten the per-hop successor scan into one table lookup: for every
+  // (line node, destination endpoint) record the minimal continuations in
+  // allowed-turn successor order. route() then only runs the credit
+  // tie-break over the recorded candidates, visiting them in the order the
+  // uncached scan did - the adaptive choices stay bit-identical. Rebuilt
+  // whenever set_faults() swaps the fault scenario (the distances the
+  // cache derives from change with the scenario).
+  const Topology& topo = plan_->topo();
+  const LineGraph& graph = plan_->line_graph();
+  const std::size_t n = static_cast<std::size_t>(graph.size());
+  const auto& endpoints = topo.endpoints();
+  route_cache_.assign(endpoints.size() * n, RouteEntry{});
+  for (std::size_t d = 0; d < endpoints.size(); ++d) {
+    const NodeId dst = endpoints[d];
+    for (std::size_t l = 0; l < n; ++l) {
+      const std::uint16_t here = dist(static_cast<int>(l), dst);
+      if (here == MtrPlan::kUnreachable || here == 0) {
+        continue;  // entry stays count == 0: unreachable from this hop
+      }
+      RouteEntry& entry = route_cache_[d * n + l];
+      for (int s : graph.successors(static_cast<int>(l))) {
+        if (dist(s, dst) != here - 1) {
+          continue;
+        }
+        if (!graph.is_channel(s)) {
+          // Ejection wins immediately; later candidates are never visited.
+          entry.eject = true;
+          break;
+        }
+        check(entry.count < entry.ports.size(),
+              "MtrRouting: more minimal continuations than RouteEntry holds");
+        entry.ports[entry.count++] = static_cast<std::uint8_t>(
+            port_index(topo.channel(static_cast<ChannelId>(s)).src_port));
+      }
+    }
+  }
+}
+
 RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
                                 const PacketRoute& rt,
                                 const RouterView& view) const {
   (void)in_vc;
   const LineGraph& graph = plan_->line_graph();
-  const Topology& topo = plan_->topo();
   int line_node;
   if (in_port == Port::local) {
     line_node = graph.injection_node(node);
   } else {
-    const ChannelId in = topo.in_channel(node, in_port);
+    const ChannelId in = plan_->topo().in_channel(node, in_port);
     check(in != kInvalidChannel, "MtrRouting: no channel on input port");
     line_node = graph.channel_node(in);
   }
-  const std::uint16_t here = dist(line_node, rt.dst);
-  check(here != MtrPlan::kUnreachable && here > 0,
-        "MtrRouting: routing from an unreachable line node");
+  const int d = plan_->endpoint_index(rt.dst);
+  check(d >= 0, "MtrRouting: dst is not an endpoint");
+  const RouteEntry& entry =
+      route_cache_[static_cast<std::size_t>(d) *
+                       static_cast<std::size_t>(graph.size()) +
+                   static_cast<std::size_t>(line_node)];
 
-  // Adaptive among minimal continuations: prefer the port with the most
-  // free downstream credits; ejection wins immediately.
+  // Adaptive among the memoized minimal continuations: prefer the port
+  // with the most free downstream credits; ejection wins immediately.
   RouteDecision decision;
   decision.vcs = all_vcs_mask(num_vcs_);
+  if (entry.eject) {
+    decision.out_port = Port::local;  // ejection node of rt.dst
+    return decision;
+  }
+  check(entry.count > 0, "MtrRouting: routing from an unreachable line node");
   int best_credits = -1;
-  for (int s : graph.successors(line_node)) {
-    if (dist(s, rt.dst) != here - 1) {
-      continue;
-    }
-    if (!graph.is_channel(s)) {
-      decision.out_port = Port::local;  // ejection node of rt.dst
-      return decision;
-    }
-    const Port port = topo.channel(s).src_port;
-    const int credits = view.free_credits[port_index(port)];
+  for (int i = 0; i < entry.count; ++i) {
+    const int credits = view.free_credits[entry.ports[i]];
     if (credits > best_credits) {
       best_credits = credits;
-      decision.out_port = port;
+      decision.out_port = static_cast<Port>(entry.ports[i]);
     }
   }
-  check(best_credits >= 0, "MtrRouting: no minimal continuation found");
   return decision;
 }
 

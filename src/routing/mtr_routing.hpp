@@ -113,11 +113,31 @@ class MtrRouting final : public RoutingAlgorithm {
 
   const MtrPlan& plan() const { return *plan_; }
 
+  /// Re-targets this instance at a different fault scenario, rebuilding
+  /// the fault-aware distance tables and invalidating + rebuilding the
+  /// memoized route-candidate cache. Equivalent to constructing a fresh
+  /// instance with the same plan (asserted by the routing tests); lets
+  /// sweep drivers reuse one instance across scenarios.
+  void set_faults(VlFaultSet faults);
+
  private:
+  /// Memoized route decision for one (line node, destination endpoint):
+  /// the minimal continuations in allowed-turn successor order, so the
+  /// runtime credit tie-break visits candidates exactly as the uncached
+  /// successor scan did (bit-identical adaptive choices).
+  struct RouteEntry {
+    std::uint8_t count = 0;  ///< 0 = unreachable from this line node
+    bool eject = false;      ///< a minimal continuation is dst's ejection
+    std::array<std::uint8_t, 6> ports{};  ///< Port values, successor order
+  };
+
   /// Minimal allowed-path distance from `line_node` to `dst`'s ejection,
   /// excluding faulty vertical channels (falls back to the design-time
   /// tables when the fault set is empty).
   std::uint16_t dist(int line_node, NodeId dst) const;
+
+  void rebuild_fault_tables();
+  void rebuild_route_cache();
 
   std::shared_ptr<const MtrPlan> plan_;
   VlFaultSet faults_;
@@ -132,6 +152,8 @@ class MtrRouting final : public RoutingAlgorithm {
   /// channels only, while pair_reachable still reports the pairs whose
   /// every allowed combination died.
   std::vector<std::vector<std::uint16_t>> fault_dist_;
+  /// route_cache_[dst_endpoint_index * line_graph.size() + line_node].
+  std::vector<RouteEntry> route_cache_;
 };
 
 }  // namespace deft

@@ -23,6 +23,7 @@
 #pragma once
 
 #include "routing/routing.hpp"
+#include "routing/xy_table.hpp"
 
 namespace deft {
 
@@ -38,6 +39,8 @@ class RcRouting final : public RoutingAlgorithm {
                       const RouterView& view) const override;
   bool pair_reachable(NodeId src, NodeId dst) const override;
   std::uint64_t pair_combo_mask(NodeId src, NodeId dst) const override;
+  /// RC's per-hop decision is oblivious (fixed VLs, minimal XY legs).
+  bool uses_router_view() const override { return false; }
 
   /// The fixed ascending VL for packets destined to `dst` (design-time,
   /// fault-oblivious): the VL closest to `dst` on its chiplet.
@@ -49,6 +52,7 @@ class RcRouting final : public RoutingAlgorithm {
 
  private:
   const Topology* topo_;
+  XyRouteTable xy_;  ///< memoized XY next hops for every same-mesh pair
   VlFaultSet faults_;
   int num_vcs_;
   /// nearest_vl_[node] = VL closest to this chiplet node (kInvalidVl for

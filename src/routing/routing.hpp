@@ -80,6 +80,12 @@ class RoutingAlgorithm {
                               const PacketRoute& route,
                               const RouterView& view) const = 0;
 
+  /// True when route() reads the RouterView (adaptive, congestion-aware
+  /// choices). The network only aggregates per-port credit views for
+  /// algorithms that need them; oblivious algorithms receive a
+  /// zero-initialized view. Conservative default: true.
+  virtual bool uses_router_view() const { return true; }
+
   /// True when the algorithm can deliver src -> dst under the fault set it
   /// was constructed with (used by the reachability analyzer).
   virtual bool pair_reachable(NodeId src, NodeId dst) const = 0;

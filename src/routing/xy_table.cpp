@@ -1,0 +1,21 @@
+#include "routing/xy_table.hpp"
+
+namespace deft {
+
+XyRouteTable::XyRouteTable(const Topology& topo) : n_(topo.num_nodes()) {
+  table_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+                kCrossMesh);
+  for (NodeId cur = 0; cur < n_; ++cur) {
+    const int mesh = topo.node(cur).chiplet;
+    for (NodeId target = 0; target < n_; ++target) {
+      if (topo.node(target).chiplet != mesh) {
+        continue;
+      }
+      table_[static_cast<std::size_t>(cur) * static_cast<std::size_t>(n_) +
+             static_cast<std::size_t>(target)] =
+          static_cast<std::uint8_t>(xy_step(topo, cur, target));
+    }
+  }
+}
+
+}  // namespace deft

@@ -1,0 +1,41 @@
+// Memoized dimension-order routing: a flat per-router next-hop table.
+//
+// xy_step() recomputes the port from node records and coordinate compares
+// on every call; on the simulation hot path that query is answered once
+// per packet per hop, for every XY leg of DeFT and RC. This table folds
+// the whole computation into one load from a node x node array. Mesh
+// channels cannot fail in the fault model (only vertical channels do), so
+// the table is fault-independent and never needs per-scenario rebuilds -
+// unlike MtrRouting's minimal-continuation cache.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace deft {
+
+class XyRouteTable {
+ public:
+  explicit XyRouteTable(const Topology& topo);
+
+  /// The XY next-hop port from `cur` toward `target`. Both nodes must be
+  /// on the same mesh (the precondition xy_step() enforces; violations are
+  /// caught at lookup time in debug builds via the stored sentinel).
+  Port step(NodeId cur, NodeId target) const {
+    const std::uint8_t port =
+        table_[static_cast<std::size_t>(cur) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(target)];
+    assert(port != kCrossMesh && "XyRouteTable: nodes on different meshes");
+    return static_cast<Port>(port);
+  }
+
+ private:
+  static constexpr std::uint8_t kCrossMesh = 0xff;
+
+  int n_ = 0;
+  std::vector<std::uint8_t> table_;  ///< kCrossMesh for cross-mesh pairs
+};
+
+}  // namespace deft

@@ -4,13 +4,15 @@ namespace deft {
 
 Network::Network(const Topology& topo, RoutingAlgorithm& algorithm,
                  PacketTable& packets, int num_vcs, int buffer_depth,
-                 VlFaultSet faults, int vl_serialization)
+                 VlFaultSet faults, int vl_serialization, SimCore core)
     : topo_(&topo),
       algorithm_(&algorithm),
       packets_(&packets),
       num_vcs_(num_vcs),
       buffer_depth_(buffer_depth),
-      vl_serialization_(vl_serialization) {
+      vl_serialization_(vl_serialization),
+      core_(core),
+      algorithm_uses_view_(algorithm.uses_router_view()) {
   require(num_vcs_ >= 1 && num_vcs_ <= kMaxVcs, "Network: bad VC count");
   require(buffer_depth_ >= 1 && buffer_depth_ <= kMaxBufferDepth,
           "Network: bad buffer depth");
@@ -20,6 +22,7 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algorithm,
           "Network: algorithm configured for a different VC count");
 
   routers_.assign(static_cast<std::size_t>(topo.num_nodes()), RouterState{});
+  active_.assign((static_cast<std::size_t>(topo.num_nodes()) + 63) / 64, 0);
   channel_faulty_.assign(static_cast<std::size_t>(topo.num_channels()), 0);
   for (VlChannelId vc = 0; vc < topo.num_vl_channels(); ++vc) {
     if (faults.is_faulty(vc)) {
@@ -71,7 +74,7 @@ void Network::add_rc_out_credits(NodeId node, int credits) {
   staged_rc_out_credits_.push_back({node, credits});
 }
 
-RouterView Network::make_view(const RouterState& r, NodeId /*node*/) const {
+RouterView Network::make_view(const RouterState& r) const {
   RouterView view;
   for (int p = 0; p < kNumPorts; ++p) {
     int credits = 0;
@@ -81,213 +84,6 @@ RouterView Network::make_view(const RouterState& r, NodeId /*node*/) const {
     view.free_credits[static_cast<std::size_t>(p)] = credits;
   }
   return view;
-}
-
-void Network::step(Cycle now) {
-  moves_last_cycle_ = 0;
-  for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
-    if (routers_[static_cast<std::size_t>(n)].occupancy != 0) {
-      process_router(n, now);
-    }
-  }
-}
-
-void Network::process_router(NodeId node, Cycle now) {
-  RouterState& r = routers_[static_cast<std::size_t>(node)];
-
-  // --- Route computation + VC allocation ---------------------------------
-  // Every occupied input VC whose head-of-line flit is a packet head first
-  // computes its route, then tries to acquire an output VC. The output-VC
-  // round-robin pointer arbitrates both fairness and DeFT's round-robin VN
-  // assignment when the admissible mask spans both VNs.
-  const RouterView view = make_view(r, node);
-  for (int p = 0; p < kNumPorts; ++p) {
-    for (int v = 0; v < num_vcs_; ++v) {
-      if ((r.occupancy & (std::uint64_t{1} << RouterState::occ_bit(p, v))) == 0) {
-        continue;
-      }
-      InputVc& ivc = r.in[p][static_cast<std::size_t>(v)];
-      if (ivc.fifo.empty()) {
-        continue;
-      }
-      const Flit& head = ivc.fifo.front();
-      if (!ivc.route_ready) {
-        if (!head.is_head()) {
-          continue;  // waiting for a lagging head? cannot happen, see below
-        }
-        const PacketState& pkt = packets_->get(head.packet);
-        ivc.decision = algorithm_->route(node, static_cast<Port>(p), v,
-                                         pkt.route, view);
-        ivc.route_ready = true;
-        ivc.out_vc = -1;
-      }
-      if (ivc.out_vc >= 0) {
-        continue;  // already holds an output VC
-      }
-      const int o = port_index(ivc.decision.out_port);
-      auto& ovc_ptr = r.ovc_ptr[static_cast<std::size_t>(o)];
-      for (int k = 0; k < num_vcs_; ++k) {
-        const int cand = (ovc_ptr + k) % num_vcs_;
-        if ((ivc.decision.vcs & vc_bit(cand)) == 0) {
-          continue;
-        }
-        OutputVc& out = r.out[o][static_cast<std::size_t>(cand)];
-        if (out.owner_port >= 0) {
-          continue;
-        }
-        out.owner_port = static_cast<std::int8_t>(p);
-        out.owner_vc = static_cast<std::int8_t>(v);
-        ivc.out_vc = static_cast<std::int8_t>(cand);
-        ovc_ptr = static_cast<std::uint8_t>((cand + 1) % num_vcs_);
-        break;
-      }
-    }
-  }
-
-  // --- Switch allocation + traversal --------------------------------------
-  // One flit per output port and one per input port per cycle.
-  bool used_in[kNumPorts] = {};
-  for (int o = 0; o < kNumPorts; ++o) {
-    const int slots = kNumPorts * num_vcs_;
-    auto& sa = r.sa_ptr[static_cast<std::size_t>(o)];
-    for (int k = 0; k < slots; ++k) {
-      const int slot = (sa + k) % slots;
-      const int p = slot / num_vcs_;
-      const int v = slot % num_vcs_;
-      if (used_in[p]) {
-        continue;
-      }
-      InputVc& ivc = r.in[p][static_cast<std::size_t>(v)];
-      if (ivc.out_vc < 0 || ivc.fifo.empty() ||
-          port_index(ivc.decision.out_port) != o) {
-        continue;
-      }
-      OutputVc& out = r.out[o][static_cast<std::size_t>(ivc.out_vc)];
-      const Port out_port = static_cast<Port>(o);
-      if (out_port != Port::local && out.credits <= 0) {
-        continue;
-      }
-      // Serialized vertical links accept one flit every S cycles.
-      if (vl_serialization_ > 1 &&
-          (out_port == Port::up || out_port == Port::down)) {
-        const ChannelId vch = topo_->out_channel(node, out_port);
-        if (vch != kInvalidChannel &&
-            vl_next_free_[static_cast<std::size_t>(vch)] > now) {
-          continue;
-        }
-      }
-
-      // Grant: move the flit.
-      const Flit flit = ivc.fifo.pop();
-      --flits_buffered_;
-      ++moves_last_cycle_;
-      used_in[p] = true;
-      sa = static_cast<std::uint8_t>((slot + 1) % slots);
-      if (ivc.fifo.empty()) {
-        r.occupancy &= ~(std::uint64_t{1} << RouterState::occ_bit(p, v));
-      }
-
-      // Return a credit upstream for the freed input slot.
-      if (static_cast<Port>(p) == Port::local) {
-        staged_credits_.push_back({node, static_cast<std::uint8_t>(Port::local),
-                                   static_cast<std::uint8_t>(v)});
-      } else if (static_cast<Port>(p) == Port::rc) {
-        staged_credits_.push_back({node, static_cast<std::uint8_t>(Port::rc),
-                                   static_cast<std::uint8_t>(v)});
-      } else {
-        const ChannelId in_ch = topo_->in_channel(node, static_cast<Port>(p));
-        check(in_ch != kInvalidChannel, "Network: input port without channel");
-        const Channel& ch = topo_->channel(in_ch);
-        staged_credits_.push_back({ch.src,
-                                   static_cast<std::uint8_t>(ch.src_port),
-                                   static_cast<std::uint8_t>(v)});
-      }
-
-      const bool is_tail = packets_->is_tail(flit);
-      if (out_port == Port::local) {
-        staged_departures_.push_back({node, flit, /*to_rc=*/false});
-      } else if (out_port == Port::rc) {
-        --out.credits;
-        staged_departures_.push_back({node, flit, /*to_rc=*/true});
-      } else {
-        const ChannelId out_ch = topo_->out_channel(node, out_port);
-        check(out_ch != kInvalidChannel, "Network: route into missing port");
-        check(!channel_faulty_[static_cast<std::size_t>(out_ch)],
-              "Network: routing algorithm crossed a faulty channel");
-        if (vl_serialization_ > 1 &&
-            topo_->channel(out_ch).vl_channel >= 0) {
-          vl_next_free_[static_cast<std::size_t>(out_ch)] =
-              now + vl_serialization_;
-        }
-        --out.credits;
-        const Channel& ch = topo_->channel(out_ch);
-        staged_arrivals_.push_back({ch.dst,
-                                    static_cast<std::uint8_t>(ch.dst_port),
-                                    static_cast<std::uint8_t>(ivc.out_vc),
-                                    flit});
-        if (on_traverse) {
-          on_traverse(out_ch, ivc.out_vc);
-        }
-      }
-
-      if (is_tail) {
-        out.owner_port = -1;
-        out.owner_vc = -1;
-        ivc.route_ready = false;
-        ivc.out_vc = -1;
-      }
-      break;  // this output port is done for the cycle
-    }
-  }
-}
-
-void Network::apply(Cycle now) {
-  for (const Arrival& a : staged_arrivals_) {
-    RouterState& r = routers_[static_cast<std::size_t>(a.node)];
-    InputVc& ivc = r.in[a.port][a.vc];
-    check(ivc.fifo.size() < buffer_depth_, "Network: buffer overflow");
-    ivc.fifo.push(a.flit);
-    ++flits_buffered_;
-    r.occupancy |= std::uint64_t{1} << RouterState::occ_bit(a.port, a.vc);
-  }
-  staged_arrivals_.clear();
-
-  for (const CreditReturn& c : staged_credits_) {
-    if (static_cast<Port>(c.port) == Port::local) {
-      ++local_credit_[index(c.node, c.vc)];
-    } else if (static_cast<Port>(c.port) == Port::rc) {
-      ++rc_in_credit_[index(c.node, c.vc)];
-    } else {
-      ++routers_[static_cast<std::size_t>(c.node)]
-            .out[c.port][c.vc]
-            .credits;
-    }
-  }
-  staged_credits_.clear();
-
-  for (const auto& [node, credits] : staged_rc_out_credits_) {
-    for (int v = 0; v < num_vcs_; ++v) {
-      // The RC output port is modelled with a single shared credit pool on
-      // VC 0 (the RC unit ignores VCs).
-      if (v == 0) {
-        routers_[static_cast<std::size_t>(node)]
-            .out[port_index(Port::rc)][static_cast<std::size_t>(v)]
-            .credits += static_cast<std::int16_t>(credits);
-      }
-    }
-  }
-  staged_rc_out_credits_.clear();
-
-  for (const Departure& d : staged_departures_) {
-    if (d.to_rc) {
-      if (on_rc_absorb) {
-        on_rc_absorb(d.node, d.flit, now);
-      }
-    } else if (on_eject) {
-      on_eject(d.node, d.flit, now);
-    }
-  }
-  staged_departures_.clear();
 }
 
 }  // namespace deft

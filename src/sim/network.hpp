@@ -7,14 +7,50 @@
 // most one hop per cycle (router + link folded into one stage, the model
 // Noxim uses), and credits become visible one cycle after the buffer slot
 // frees.
+//
+// Two hot-path mechanisms keep the cost per simulated cycle proportional
+// to traffic, not to system size:
+//
+//  * Active-router worklist (SimCore::active_set, the default): a bitmask
+//    with one bit per router, set when the router buffers any flit.
+//    step() scans only set bits (in router-id order, so arbitration is
+//    bit-identical to the full scan); apply() sets the bit on every
+//    committed arrival, step() clears it when the last buffered flit
+//    leaves. Blocked-but-occupied routers stay on the worklist - the
+//    upstream credit return that unblocks them commits through apply(),
+//    which cannot race the wakeup. SimCore::full_scan keeps the
+//    walk-all-routers loop as the semantic reference for the equivalence
+//    tests and the perf baseline.
+//
+//  * Compile-time stats sinks: step()/apply() are templated on a StatsSink
+//    (see NullStatsSink for the concept) instead of indirect std::function
+//    hooks, so per-flit instrumentation inlines into the traversal loop
+//    and the no-stats phases (warmup, drain, deadlock probes) pay nothing.
 #pragma once
 
-#include <functional>
+#include <bit>
 
 #include "fault/fault_set.hpp"
 #include "sim/router.hpp"
 
 namespace deft {
+
+/// Which simulation core drives step(): the incremental active-router
+/// worklist or the reference full scan (kept for equivalence testing and
+/// as the perf baseline).
+enum class SimCore : std::uint8_t { active_set, full_scan };
+
+/// The no-op statistics sink; also documents the StatsSink concept that
+/// Network::step()/apply() expect. All three methods must be callable;
+/// empty bodies compile away entirely.
+struct NullStatsSink {
+  /// Flit traversing a physical channel on a VC (for VC/VL statistics).
+  void traverse(ChannelId, int) {}
+  /// Tail-inclusive flit ejection at a node's local port.
+  void eject(NodeId, const Flit&, Cycle) {}
+  /// Flit handed to the RC unit of a boundary router.
+  void rc_absorb(NodeId, const Flit&, Cycle) {}
+};
 
 class Network {
  public:
@@ -24,13 +60,26 @@ class Network {
   /// (1 = full-width VLs, the paper's baseline).
   Network(const Topology& topo, RoutingAlgorithm& algorithm,
           PacketTable& packets, int num_vcs, int buffer_depth,
-          VlFaultSet faults, int vl_serialization = 1);
+          VlFaultSet faults, int vl_serialization = 1,
+          SimCore core = SimCore::active_set);
 
   /// Compute one cycle of router activity (stages moves, does not commit).
-  void step(Cycle now);
+  /// `sink` receives the per-flit traversal events.
+  template <class Sink>
+  void step(Cycle now, Sink& sink);
+  void step(Cycle now) {
+    NullStatsSink sink;
+    step(now, sink);
+  }
 
-  /// Commit staged arrivals, credits, ejections and absorptions.
-  void apply(Cycle now);
+  /// Commit staged arrivals, credits, ejections and absorptions. `sink`
+  /// receives the ejection and RC-absorption events.
+  template <class Sink>
+  void apply(Cycle now, Sink& sink);
+  void apply(Cycle now) {
+    NullStatsSink sink;
+    apply(now, sink);
+  }
 
   // --- Network-interface side -------------------------------------------
   /// Free slots the NI may still inject into (node's local input VC).
@@ -51,14 +100,6 @@ class Network {
   /// output (called by the RC unit as its packet buffer frees).
   void add_rc_out_credits(NodeId node, int credits);
 
-  // --- Hooks ---------------------------------------------------------------
-  /// Tail-inclusive flit ejection at a node's local port.
-  std::function<void(NodeId, const Flit&, Cycle)> on_eject;
-  /// Flit handed to the RC unit of a boundary router.
-  std::function<void(NodeId, const Flit&, Cycle)> on_rc_absorb;
-  /// Flit traversing a physical channel on a VC (for VC/VL statistics).
-  std::function<void(ChannelId, int)> on_traverse;
-
   // --- Introspection --------------------------------------------------------
   /// Flits currently held in router buffers (the deadlock watchdog's
   /// progress signal, together with moves_last_cycle()).
@@ -67,6 +108,7 @@ class Network {
   std::uint64_t moves_last_cycle() const { return moves_last_cycle_; }
   int num_vcs() const { return num_vcs_; }
   int buffer_depth() const { return buffer_depth_; }
+  SimCore core() const { return core_; }
   const RouterState& router(NodeId node) const {
     return routers_[static_cast<std::size_t>(node)];
   }
@@ -94,8 +136,9 @@ class Network {
            static_cast<std::size_t>(vc);
   }
 
-  void process_router(NodeId node, Cycle now);
-  RouterView make_view(const RouterState& r, NodeId node) const;
+  template <class Sink>
+  void process_router(NodeId node, Cycle now, Sink& sink);
+  RouterView make_view(const RouterState& r) const;
 
   const Topology* topo_;
   RoutingAlgorithm* algorithm_;
@@ -103,6 +146,10 @@ class Network {
   int num_vcs_;
   int buffer_depth_;
   int vl_serialization_;
+  SimCore core_;
+  /// Whether algorithm_ reads the RouterView; oblivious algorithms skip
+  /// the per-route credit aggregation entirely.
+  bool algorithm_uses_view_;
 
   std::vector<RouterState> routers_;
   std::vector<char> channel_faulty_;
@@ -110,6 +157,9 @@ class Network {
   std::vector<Cycle> vl_next_free_;
   std::vector<int> local_credit_;  ///< NI-visible credits per (node, vc)
   std::vector<int> rc_in_credit_;  ///< RC-unit-visible credits per (node, vc)
+
+  /// Active-router worklist: bit n set iff routers_[n].occupancy != 0.
+  std::vector<std::uint64_t> active_;
 
   std::vector<Arrival> staged_arrivals_;
   std::vector<CreditReturn> staged_credits_;
@@ -119,5 +169,258 @@ class Network {
   std::uint64_t flits_buffered_ = 0;
   std::uint64_t moves_last_cycle_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Hot-path template bodies. These live in the header so the StatsSink calls
+// inline into the traversal loop (the whole point of replacing the
+// std::function hooks).
+
+template <class Sink>
+void Network::step(Cycle now, Sink& sink) {
+  moves_last_cycle_ = 0;
+  if (core_ == SimCore::full_scan) {
+    for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
+      if (routers_[static_cast<std::size_t>(n)].occupancy != 0) {
+        process_router(n, now, sink);
+      }
+    }
+    return;
+  }
+  for (std::size_t w = 0; w < active_.size(); ++w) {
+    std::uint64_t word = active_[w];
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      word &= word - 1;
+      const NodeId n = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      process_router(n, now, sink);
+      if (routers_[static_cast<std::size_t>(n)].occupancy == 0) {
+        active_[w] &= ~(std::uint64_t{1} << b);
+      }
+    }
+  }
+}
+
+template <class Sink>
+void Network::process_router(NodeId node, Cycle now, Sink& sink) {
+  RouterState& r = routers_[static_cast<std::size_t>(node)];
+
+  // --- Route computation + VC allocation ---------------------------------
+  // Every occupied input VC whose head-of-line flit is a packet head first
+  // computes its route, then tries to acquire an output VC. The output-VC
+  // round-robin pointer arbitrates both fairness and DeFT's round-robin VN
+  // assignment when the admissible mask spans both VNs. The credit view is
+  // built lazily: only adaptive algorithms read it, and only when a route
+  // actually needs computing (its contents cannot change inside this stage,
+  // so computing it at first use is equivalent to computing it up front).
+  RouterView view{};
+  bool view_ready = !algorithm_uses_view_;
+  for (std::uint64_t occ = r.occupancy; occ != 0; occ &= occ - 1) {
+    const int bit = std::countr_zero(occ);
+    const int p = bit / kMaxVcs;
+    const int v = bit % kMaxVcs;
+    InputVc& ivc = r.in[p][static_cast<std::size_t>(v)];
+    if (!ivc.route_ready) {
+      const Flit& head = ivc.fifo.front();  // occupancy bit => non-empty
+      if (!head.is_head()) {
+        continue;  // waiting for a lagging head? cannot happen, see below
+      }
+      if (!view_ready) {
+        view = make_view(r);
+        view_ready = true;
+      }
+      const PacketState& pkt = packets_->get(head.packet);
+      ivc.decision = algorithm_->route(node, static_cast<Port>(p), v,
+                                       pkt.route, view);
+      ivc.route_ready = true;
+      ivc.out_vc = -1;
+    }
+    if (ivc.out_vc >= 0) {
+      continue;  // already holds an output VC
+    }
+    const int o = port_index(ivc.decision.out_port);
+    auto& ovc_ptr = r.ovc_ptr[static_cast<std::size_t>(o)];
+    for (int k = 0; k < num_vcs_; ++k) {
+      const int cand = (ovc_ptr + k) % num_vcs_;
+      if ((ivc.decision.vcs & vc_bit(cand)) == 0) {
+        continue;
+      }
+      OutputVc& out = r.out[o][static_cast<std::size_t>(cand)];
+      if (out.owner_port >= 0) {
+        continue;
+      }
+      out.owner_port = static_cast<std::int8_t>(p);
+      out.owner_vc = static_cast<std::int8_t>(v);
+      ivc.out_vc = static_cast<std::int8_t>(cand);
+      ovc_ptr = static_cast<std::uint8_t>((cand + 1) % num_vcs_);
+      break;
+    }
+  }
+
+  // --- Switch allocation + traversal --------------------------------------
+  // One flit per output port and one per input port per cycle. The slot
+  // scan of the round-robin arbiter is folded onto the output-VC owner
+  // fields: an input VC competes for output port o iff it holds one of o's
+  // output VCs, so visiting the owners in cyclic slot order starting at
+  // the round-robin pointer grants exactly the slot the full scan would.
+  bool used_in[kNumPorts] = {};
+  const int slots = kNumPorts * num_vcs_;
+  for (int o = 0; o < kNumPorts; ++o) {
+    auto& sa = r.sa_ptr[static_cast<std::size_t>(o)];
+    struct Candidate {
+      int distance;  ///< cyclic slot distance from the round-robin pointer
+      std::int16_t slot;
+      std::int8_t port;
+      std::int8_t vc;
+      std::int8_t out_vc;
+    };
+    Candidate cands[kMaxVcs];
+    int num_cands = 0;
+    for (int vc = 0; vc < num_vcs_; ++vc) {
+      const OutputVc& out = r.out[o][static_cast<std::size_t>(vc)];
+      if (out.owner_port < 0) {
+        continue;
+      }
+      const int slot = out.owner_port * num_vcs_ + out.owner_vc;
+      Candidate c{(slot - sa + slots) % slots, static_cast<std::int16_t>(slot),
+                  out.owner_port, out.owner_vc, static_cast<std::int8_t>(vc)};
+      int i = num_cands++;
+      for (; i > 0 && cands[i - 1].distance > c.distance; --i) {
+        cands[i] = cands[i - 1];
+      }
+      cands[i] = c;
+    }
+    for (int i = 0; i < num_cands; ++i) {
+      const Candidate& c = cands[i];
+      const int p = c.port;
+      if (used_in[p]) {
+        continue;
+      }
+      InputVc& ivc = r.in[p][static_cast<std::size_t>(c.vc)];
+      if (ivc.fifo.empty()) {
+        continue;  // owner waiting for body flits (wormhole)
+      }
+      OutputVc& out = r.out[o][static_cast<std::size_t>(c.out_vc)];
+      const Port out_port = static_cast<Port>(o);
+      if (out_port != Port::local && out.credits <= 0) {
+        continue;
+      }
+      // Serialized vertical links accept one flit every S cycles.
+      if (vl_serialization_ > 1 &&
+          (out_port == Port::up || out_port == Port::down)) {
+        const ChannelId vch = topo_->out_channel(node, out_port);
+        if (vch != kInvalidChannel &&
+            vl_next_free_[static_cast<std::size_t>(vch)] > now) {
+          continue;
+        }
+      }
+
+      // Grant: move the flit.
+      const Flit flit = ivc.fifo.pop();
+      --flits_buffered_;
+      ++moves_last_cycle_;
+      used_in[p] = true;
+      sa = static_cast<std::uint8_t>((c.slot + 1) % slots);
+      if (ivc.fifo.empty()) {
+        r.occupancy &=
+            ~(std::uint64_t{1} << RouterState::occ_bit(p, c.vc));
+      }
+
+      // Return a credit upstream for the freed input slot.
+      if (static_cast<Port>(p) == Port::local) {
+        staged_credits_.push_back({node, static_cast<std::uint8_t>(Port::local),
+                                   static_cast<std::uint8_t>(c.vc)});
+      } else if (static_cast<Port>(p) == Port::rc) {
+        staged_credits_.push_back({node, static_cast<std::uint8_t>(Port::rc),
+                                   static_cast<std::uint8_t>(c.vc)});
+      } else {
+        const ChannelId in_ch = topo_->in_channel(node, static_cast<Port>(p));
+        check(in_ch != kInvalidChannel, "Network: input port without channel");
+        const Channel& ch = topo_->channel(in_ch);
+        staged_credits_.push_back({ch.src,
+                                   static_cast<std::uint8_t>(ch.src_port),
+                                   static_cast<std::uint8_t>(c.vc)});
+      }
+
+      const bool is_tail = packets_->is_tail(flit);
+      if (out_port == Port::local) {
+        staged_departures_.push_back({node, flit, /*to_rc=*/false});
+      } else if (out_port == Port::rc) {
+        --out.credits;
+        staged_departures_.push_back({node, flit, /*to_rc=*/true});
+      } else {
+        const ChannelId out_ch = topo_->out_channel(node, out_port);
+        check(out_ch != kInvalidChannel, "Network: route into missing port");
+        check(!channel_faulty_[static_cast<std::size_t>(out_ch)],
+              "Network: routing algorithm crossed a faulty channel");
+        if (vl_serialization_ > 1 &&
+            topo_->channel(out_ch).vl_channel >= 0) {
+          vl_next_free_[static_cast<std::size_t>(out_ch)] =
+              now + vl_serialization_;
+        }
+        --out.credits;
+        const Channel& ch = topo_->channel(out_ch);
+        staged_arrivals_.push_back({ch.dst,
+                                    static_cast<std::uint8_t>(ch.dst_port),
+                                    static_cast<std::uint8_t>(c.out_vc),
+                                    flit});
+        sink.traverse(out_ch, c.out_vc);
+      }
+
+      if (is_tail) {
+        out.owner_port = -1;
+        out.owner_vc = -1;
+        ivc.route_ready = false;
+        ivc.out_vc = -1;
+      }
+      break;  // this output port is done for the cycle
+    }
+  }
+}
+
+template <class Sink>
+void Network::apply(Cycle now, Sink& sink) {
+  for (const Arrival& a : staged_arrivals_) {
+    RouterState& r = routers_[static_cast<std::size_t>(a.node)];
+    InputVc& ivc = r.in[a.port][a.vc];
+    check(ivc.fifo.size() < buffer_depth_, "Network: buffer overflow");
+    ivc.fifo.push(a.flit);
+    ++flits_buffered_;
+    r.occupancy |= std::uint64_t{1} << RouterState::occ_bit(a.port, a.vc);
+    active_[static_cast<std::size_t>(a.node) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(a.node) % 64);
+  }
+  staged_arrivals_.clear();
+
+  for (const CreditReturn& c : staged_credits_) {
+    if (static_cast<Port>(c.port) == Port::local) {
+      ++local_credit_[index(c.node, c.vc)];
+    } else if (static_cast<Port>(c.port) == Port::rc) {
+      ++rc_in_credit_[index(c.node, c.vc)];
+    } else {
+      ++routers_[static_cast<std::size_t>(c.node)]
+            .out[c.port][c.vc]
+            .credits;
+    }
+  }
+  staged_credits_.clear();
+
+  for (const auto& [node, credits] : staged_rc_out_credits_) {
+    // The RC output port is modelled with a single shared credit pool on
+    // VC 0 (the RC unit ignores VCs).
+    routers_[static_cast<std::size_t>(node)]
+        .out[port_index(Port::rc)][0]
+        .credits += static_cast<std::int16_t>(credits);
+  }
+  staged_rc_out_credits_.clear();
+
+  for (const Departure& d : staged_departures_) {
+    if (d.to_rc) {
+      sink.rc_absorb(d.node, d.flit, now);
+    } else {
+      sink.eject(d.node, d.flit, now);
+    }
+  }
+  staged_departures_.clear();
+}
 
 }  // namespace deft

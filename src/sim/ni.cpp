@@ -9,7 +9,31 @@ void NetworkInterface::generate(Cycle now, TrafficGenerator& traffic,
                                 NiCounters& counters) {
   scratch_.clear();
   traffic.tick(node_, now, rng_, scratch_);
-  for (const PacketRequest& req : scratch_) {
+  materialize(now, scratch_, algorithm, packets, packet_size,
+              in_measure_window, counters);
+}
+
+Cycle NetworkInterface::schedule_next(TrafficGenerator& traffic, Cycle from,
+                                      Cycle limit) {
+  scratch_.clear();
+  return traffic.next_injection(node_, from, limit, rng_, scratch_);
+}
+
+void NetworkInterface::commit_scheduled(Cycle now, RoutingAlgorithm& algorithm,
+                                        PacketTable& packets, int packet_size,
+                                        bool in_measure_window,
+                                        NiCounters& counters) {
+  materialize(now, scratch_, algorithm, packets, packet_size,
+              in_measure_window, counters);
+}
+
+void NetworkInterface::materialize(Cycle now,
+                                   const std::vector<PacketRequest>& requests,
+                                   RoutingAlgorithm& algorithm,
+                                   PacketTable& packets, int packet_size,
+                                   bool in_measure_window,
+                                   NiCounters& counters) {
+  for (const PacketRequest& req : requests) {
     PacketRoute route;
     route.src = node_;
     route.dst = req.dst;

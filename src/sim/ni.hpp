@@ -27,9 +27,26 @@ class NetworkInterface {
 
   /// Asks the traffic generator for this cycle's packets, prepares their
   /// routes and enqueues them (unroutable ones are dropped and counted).
+  /// Per-cycle polling path; the scheduled path below replaces it when the
+  /// generator supports lookahead.
   void generate(Cycle now, TrafficGenerator& traffic,
                 RoutingAlgorithm& algorithm, PacketTable& packets,
                 int packet_size, bool in_measure_window, NiCounters& counters);
+
+  // --- Scheduled generation (lookahead-capable generators) ---------------
+  /// Pre-draws this NI's next injection event in [from, limit): the
+  /// requests are buffered internally (the RNG stream is consumed exactly
+  /// as per-cycle generate() calls would) and the event cycle is returned,
+  /// or `limit` when the source stays silent. The simulator re-enters via
+  /// commit_scheduled() when the returned cycle arrives.
+  Cycle schedule_next(TrafficGenerator& traffic, Cycle from, Cycle limit);
+
+  /// Materializes the requests pre-drawn by schedule_next() as packets
+  /// created at cycle `now` - identical packet state and counters to a
+  /// generate() call at `now`.
+  void commit_scheduled(Cycle now, RoutingAlgorithm& algorithm,
+                        PacketTable& packets, int packet_size,
+                        bool in_measure_window, NiCounters& counters);
 
   /// Pushes at most one flit of the active packet into the router; handles
   /// RC permission acquisition for the head-of-queue packet.
@@ -42,6 +59,13 @@ class NetworkInterface {
   NodeId node() const { return node_; }
 
  private:
+  /// Shared tail of generate()/commit_scheduled(): route preparation,
+  /// packet creation and counter updates for one batch of requests.
+  void materialize(Cycle now, const std::vector<PacketRequest>& requests,
+                   RoutingAlgorithm& algorithm, PacketTable& packets,
+                   int packet_size, bool in_measure_window,
+                   NiCounters& counters);
+
   NodeId node_;
   Rng rng_;
   std::deque<PacketId> queue_;

@@ -36,7 +36,11 @@ const RcUnitManager::Unit& RcUnitManager::unit_at(NodeId node) const {
 
 void RcUnitManager::request(NodeId unit_node, NodeId requester,
                             PacketId packet, Cycle now) {
-  unit_at(unit_node).queue.push_back(
+  Unit& unit = unit_at(unit_node);
+  if (at_rest(unit)) {
+    ++busy_units_;
+  }
+  unit.queue.push_back(
       {requester, packet, now + permission_latency(requester, unit_node)});
 }
 
@@ -55,6 +59,7 @@ void RcUnitManager::absorb(NodeId unit_node, const Flit& flit, Cycle now,
   check(static_cast<int>(unit.buffer.size()) < packet_size_,
         "RcUnitManager: RC buffer overflow");
   unit.buffer.push_back(flit);
+  ++flits_held_;
   if (packets.is_tail(flit)) {
     unit.absorbing_done = true;
   }
@@ -70,12 +75,16 @@ void RcUnitManager::publish_initial_credits(Network& net) const {
 void RcUnitManager::tick(Cycle now, Network& net,
                          const PacketTable& packets) {
   (void)packets;
+  if (busy_units_ == 0) {
+    return;  // nothing queued, reserved or buffered anywhere
+  }
   for (Unit& unit : units_) {
     // Re-inject absorbed flits into the chiplet through the RC input port.
     if (unit.absorbing_done && !unit.buffer.empty()) {
       if (net.rc_in_free(unit.node, unit.reinject_vc) > 0) {
         net.inject_rc(unit.node, unit.reinject_vc, unit.buffer.front());
         unit.buffer.pop_front();
+        --flits_held_;
         ++progress_;
         if (unit.buffer.empty()) {
           // Packet fully re-injected: free the buffer, release the
@@ -86,6 +95,9 @@ void RcUnitManager::tick(Cycle now, Network& net,
           unit.granted_packet = -1;
           unit.reinject_vc = (unit.reinject_vc + 1) % net.num_vcs();
           net.add_rc_out_credits(unit.node, packet_size_);
+          if (unit.queue.empty()) {
+            --busy_units_;  // back at rest
+          }
         }
       }
     }
@@ -101,14 +113,6 @@ void RcUnitManager::tick(Cycle now, Network& net,
       ++progress_;
     }
   }
-}
-
-std::uint64_t RcUnitManager::flits_held() const {
-  std::uint64_t held = 0;
-  for (const Unit& unit : units_) {
-    held += unit.buffer.size();
-  }
-  return held;
 }
 
 }  // namespace deft

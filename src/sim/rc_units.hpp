@@ -36,6 +36,8 @@ class RcUnitManager {
               const PacketTable& packets);
 
   /// Advance grants and re-inject buffered flits (<= 1 flit/cycle/unit).
+  /// O(1) when every unit is at rest (no queued requests, reservation or
+  /// buffered flits) - the permanent state under non-RC algorithms.
   void tick(Cycle now, Network& net, const PacketTable& packets);
 
   /// Registers each unit's initial buffer capacity as RC output credits.
@@ -49,8 +51,9 @@ class RcUnitManager {
     return p;
   }
 
-  /// Flits currently buffered across all units (in-flight work).
-  std::uint64_t flits_held() const;
+  /// Flits currently buffered across all units (in-flight work). Queried
+  /// by the deadlock watchdog every cycle, so kept as a running counter.
+  std::uint64_t flits_held() const { return flits_held_; }
 
   bool has_unit(NodeId node) const {
     return static_cast<std::size_t>(node) < unit_of_node_.size() &&
@@ -75,6 +78,10 @@ class RcUnitManager {
     int reinject_vc = 0;
   };
 
+  static bool at_rest(const Unit& unit) {
+    return !unit.reserved && unit.queue.empty() && unit.buffer.empty();
+  }
+
   int permission_latency(NodeId a, NodeId b) const;
   Unit& unit_at(NodeId node);
   const Unit& unit_at(NodeId node) const;
@@ -84,6 +91,9 @@ class RcUnitManager {
   std::vector<int> unit_of_node_;
   std::vector<Unit> units_;
   std::uint64_t progress_ = 0;
+  std::uint64_t flits_held_ = 0;
+  /// Units not at rest; tick() returns immediately when zero.
+  int busy_units_ = 0;
 };
 
 }  // namespace deft

@@ -17,33 +17,39 @@ namespace deft {
 
 /// Maximum supported buffer depth in flits (configured depth may be less).
 inline constexpr int kMaxBufferDepth = 8;
+static_assert((kMaxBufferDepth & (kMaxBufferDepth - 1)) == 0,
+              "FlitFifo indexing relies on power-of-two masking");
 
-/// Fixed-capacity flit FIFO (ring buffer). Capacity checks are the
-/// caller's job: the flow-control credits guarantee a `push` never
+/// Fixed-capacity flit FIFO (power-of-two ring buffer; indices wrap with a
+/// mask, keeping division out of the per-flit path). Capacity checks are
+/// the caller's job: the flow-control credits guarantee a `push` never
 /// overflows the configured buffer depth.
 class FlitFifo {
  public:
   bool empty() const { return count_ == 0; }
-  int size() const { return count_; }
+  int size() const { return static_cast<int>(count_); }
 
   void push(const Flit& flit) {
-    slots_[static_cast<std::size_t>((head_ + count_) % kMaxBufferDepth)] = flit;
+    slots_[(head_ + count_) & kMask] = flit;
     ++count_;
   }
 
-  const Flit& front() const { return slots_[static_cast<std::size_t>(head_)]; }
+  const Flit& front() const { return slots_[head_]; }
 
   Flit pop() {
-    const Flit flit = slots_[static_cast<std::size_t>(head_)];
-    head_ = (head_ + 1) % kMaxBufferDepth;
+    const Flit flit = slots_[head_];
+    head_ = (head_ + 1) & kMask;
     --count_;
     return flit;
   }
 
  private:
+  static constexpr std::uint32_t kMask =
+      static_cast<std::uint32_t>(kMaxBufferDepth - 1);
+
   std::array<Flit, kMaxBufferDepth> slots_{};
-  int head_ = 0;
-  int count_ = 0;
+  std::uint32_t head_ = 0;
+  std::uint32_t count_ = 0;
 };
 
 /// One input virtual channel: its flit buffer plus the head-of-line
@@ -77,8 +83,11 @@ struct RouterState {
   std::array<std::uint8_t, kNumPorts> ovc_ptr{};
   std::array<std::uint8_t, kNumPorts> sa_ptr{};
   /// Occupancy bitmask: bit (port * kMaxVcs + vc) set when the input VC
-  /// FIFO is non-empty; lets idle routers cost almost nothing.
+  /// FIFO is non-empty. The active-router worklist in Network keys off
+  /// this word: a router is scanned only while some bit is set.
   std::uint64_t occupancy = 0;
+  static_assert(kNumPorts * kMaxVcs <= 64,
+                "RouterState::occupancy packs one bit per (port, vc)");
 
   static int occ_bit(int port, int vc) { return port * kMaxVcs + vc; }
 };

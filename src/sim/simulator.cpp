@@ -1,6 +1,243 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <queue>
+
 namespace deft {
+
+namespace {
+
+/// Run-wide accumulation shared by the phase sinks and the cycle loops.
+struct RunAccum {
+  const Topology* topo;
+  PacketTable* packets;
+  RcUnitManager* rc_units;
+  SimResults* results;
+  std::vector<std::uint32_t> net_latencies;
+  std::vector<std::uint32_t> total_latencies;
+  std::uint64_t delivered_measured = 0;
+};
+
+/// Compile-time StatsSink for one phase. With InWindow false (warmup and
+/// drain) the traversal statistics and the in-window ejection counter
+/// compile away; the functional parts - RC absorption, delivery
+/// bookkeeping, latency capture for measured packets draining after the
+/// window - run in every phase.
+template <bool InWindow>
+struct PhaseSink {
+  RunAccum* a;
+
+  void traverse(ChannelId c, int vc) {
+    if constexpr (InWindow) {
+      const Channel& ch = a->topo->channel(c);
+      const int chiplet = a->topo->node(ch.src).chiplet;
+      const int region =
+          chiplet == kInterposer ? a->topo->num_chiplets() : chiplet;
+      ++a->results->region_vc_flits[static_cast<std::size_t>(region)]
+                                   [static_cast<std::size_t>(vc)];
+      if (ch.vl_channel >= 0) {
+        ++a->results->vl_channel_flits[static_cast<std::size_t>(ch.vl_channel)];
+      }
+    } else {
+      (void)c;
+      (void)vc;
+    }
+  }
+
+  void rc_absorb(NodeId node, const Flit& flit, Cycle now) {
+    a->rc_units->absorb(node, flit, now, *a->packets);
+  }
+
+  void eject(NodeId node, const Flit& flit, Cycle now) {
+    PacketState& pkt = a->packets->get(flit.packet);
+    check(node == pkt.route.dst, "Simulator: flit ejected at a wrong node");
+    if constexpr (InWindow) {
+      ++a->results->flits_ejected_in_window;
+    }
+    if (a->packets->is_tail(flit)) {
+      pkt.ejected = now;
+      if (pkt.measured) {
+        ++a->delivered_measured;
+        a->net_latencies.push_back(
+            static_cast<std::uint32_t>(now - pkt.net_injected));
+        a->total_latencies.push_back(
+            static_cast<std::uint32_t>(now - pkt.created));
+      }
+    }
+  }
+};
+
+/// Everything one simulation loop needs, independent of the phase.
+struct LoopCtx {
+  const SimKnobs* knobs;
+  TrafficGenerator* traffic;
+  RoutingAlgorithm* algorithm;
+  PacketTable* packets;
+  Network* net;
+  RcUnitManager* rc_units;
+  std::vector<NetworkInterface>* nis;
+  RunAccum* acc;
+  NiCounters counters;
+
+  Cycle measure_end = 0;
+  Cycle hard_end = 0;
+  Cycle now = 0;
+  Cycle idle_cycles = 0;
+  bool deadlock = false;
+  bool drained = false;
+
+  // Pending-NI worklist (active-set core). `busy` mirrors
+  // NetworkInterface::busy(); `wake` marks NIs whose scheduled injection
+  // fires this cycle; `events` orders the pre-drawn injections by
+  // (cycle, NI index) so same-cycle wakeups run in NI order - the order
+  // the full scan visits them.
+  bool lookahead = false;
+  std::vector<std::uint64_t> busy;
+  std::vector<std::uint64_t> wake;
+  std::priority_queue<std::pair<Cycle, std::size_t>,
+                      std::vector<std::pair<Cycle, std::size_t>>,
+                      std::greater<>>
+      events;
+
+  void schedule(std::size_t i, Cycle from) {
+    const Cycle c = (*nis)[i].schedule_next(*traffic, from, hard_end);
+    if (c < hard_end) {
+      events.push({c, i});
+    }
+  }
+};
+
+/// Runs cycles [ctx.now, phase_end) of the active-set core. Returns false
+/// when the run ended early (deadlock, or - with DrainCheck - all measured
+/// packets delivered).
+template <bool InWindow, bool DrainCheck>
+bool run_phase(LoopCtx& ctx) {
+  const Cycle phase_end = DrainCheck
+                              ? (InWindow ? ctx.measure_end : ctx.hard_end)
+                              : (InWindow ? ctx.measure_end - 1
+                                          : ctx.knobs->warmup);
+  PhaseSink<InWindow> sink{ctx.acc};
+  for (; ctx.now < phase_end; ++ctx.now) {
+    const Cycle now = ctx.now;
+
+    if (!ctx.lookahead) {
+      for (NetworkInterface& ni : *ctx.nis) {
+        ni.generate(now, *ctx.traffic, *ctx.algorithm, *ctx.packets,
+                    ctx.knobs->packet_size, InWindow, ctx.counters);
+        if (ni.busy()) {
+          ni.try_inject(now, *ctx.net, *ctx.packets, *ctx.rc_units);
+        }
+      }
+    } else {
+      while (!ctx.events.empty() && ctx.events.top().first == now) {
+        const std::size_t i = ctx.events.top().second;
+        ctx.events.pop();
+        ctx.wake[i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+      for (std::size_t w = 0; w < ctx.busy.size(); ++w) {
+        const std::uint64_t wake_word = ctx.wake[w];
+        ctx.wake[w] = 0;
+        std::uint64_t word = ctx.busy[w] | wake_word;
+        while (word != 0) {
+          const int b = std::countr_zero(word);
+          word &= word - 1;
+          const std::size_t i = w * 64 + static_cast<std::size_t>(b);
+          NetworkInterface& ni = (*ctx.nis)[i];
+          if ((wake_word >> b) & 1) {
+            ni.commit_scheduled(now, *ctx.algorithm, *ctx.packets,
+                                ctx.knobs->packet_size, InWindow,
+                                ctx.counters);
+            ctx.schedule(i, now + 1);
+          }
+          if (ni.busy()) {
+            ni.try_inject(now, *ctx.net, *ctx.packets, *ctx.rc_units);
+          }
+          if (ni.busy()) {
+            ctx.busy[w] |= std::uint64_t{1} << b;
+          } else {
+            ctx.busy[w] &= ~(std::uint64_t{1} << b);
+          }
+        }
+      }
+    }
+
+    ctx.rc_units->tick(now, *ctx.net, *ctx.packets);
+    ctx.net->step(now, sink);
+    ctx.net->apply(now, sink);
+    ctx.acc->results->flit_hops += ctx.net->moves_last_cycle();
+
+    // Deadlock watchdog: pending work with no forward progress.
+    const std::uint64_t progress =
+        ctx.net->moves_last_cycle() + ctx.rc_units->take_progress();
+    if (progress > 0) {
+      ctx.idle_cycles = 0;
+    } else if (ctx.net->flits_buffered() + ctx.rc_units->flits_held() > 0) {
+      if (++ctx.idle_cycles >= ctx.knobs->watchdog_cycles) {
+        ctx.deadlock = true;
+        return false;
+      }
+    }
+
+    if constexpr (DrainCheck) {
+      if (now + 1 >= ctx.measure_end &&
+          ctx.acc->delivered_measured == ctx.counters.created_measured) {
+        ctx.drained = true;
+        ++ctx.now;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// The reference core: the original single loop that polls every NI and
+/// recomputes the window flag every cycle, driving the network's full
+/// router scan. Kept as the executable specification the equivalence
+/// tests (and the perf harness baseline) compare the active-set core to.
+void run_reference(LoopCtx& ctx) {
+  for (; ctx.now < ctx.hard_end; ++ctx.now) {
+    const Cycle now = ctx.now;
+    const bool in_window =
+        now >= ctx.knobs->warmup && now < ctx.measure_end;
+
+    for (NetworkInterface& ni : *ctx.nis) {
+      ni.generate(now, *ctx.traffic, *ctx.algorithm, *ctx.packets,
+                  ctx.knobs->packet_size, in_window, ctx.counters);
+      ni.try_inject(now, *ctx.net, *ctx.packets, *ctx.rc_units);
+    }
+    ctx.rc_units->tick(now, *ctx.net, *ctx.packets);
+    if (in_window) {
+      PhaseSink<true> sink{ctx.acc};
+      ctx.net->step(now, sink);
+      ctx.net->apply(now, sink);
+    } else {
+      PhaseSink<false> sink{ctx.acc};
+      ctx.net->step(now, sink);
+      ctx.net->apply(now, sink);
+    }
+    ctx.acc->results->flit_hops += ctx.net->moves_last_cycle();
+
+    const std::uint64_t progress =
+        ctx.net->moves_last_cycle() + ctx.rc_units->take_progress();
+    if (progress > 0) {
+      ctx.idle_cycles = 0;
+    } else if (ctx.net->flits_buffered() + ctx.rc_units->flits_held() > 0) {
+      if (++ctx.idle_cycles >= ctx.knobs->watchdog_cycles) {
+        ctx.deadlock = true;
+        break;
+      }
+    }
+
+    if (now + 1 >= ctx.measure_end &&
+        ctx.acc->delivered_measured == ctx.counters.created_measured) {
+      ctx.drained = true;
+      ++ctx.now;
+      break;
+    }
+  }
+}
+
+}  // namespace
 
 Simulator::Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
                      TrafficGenerator& traffic, SimKnobs knobs,
@@ -21,7 +258,8 @@ SimResults Simulator::run() {
 
   PacketTable packets;
   Network net(*topo_, *algorithm_, packets, knobs_.num_vcs,
-              knobs_.buffer_depth, faults_, knobs_.vl_serialization);
+              knobs_.buffer_depth, faults_, knobs_.vl_serialization,
+              knobs_.core);
   RcUnitManager rc_units(*topo_, knobs_.packet_size);
   rc_units.publish_initial_credits(net);
 
@@ -39,89 +277,50 @@ SimResults Simulator::run() {
   results.vl_channel_flits.assign(
       static_cast<std::size_t>(topo_->num_vl_channels()), 0);
 
-  NiCounters counters;
-  std::vector<std::uint32_t> net_latencies;
-  std::vector<std::uint32_t> total_latencies;
-  std::uint64_t delivered_measured = 0;
-  bool in_window = false;
+  RunAccum acc{topo_, &packets, &rc_units, &results, {}, {}, 0};
+  LoopCtx ctx;
+  ctx.knobs = &knobs_;
+  ctx.traffic = traffic_;
+  ctx.algorithm = algorithm_;
+  ctx.packets = &packets;
+  ctx.net = &net;
+  ctx.rc_units = &rc_units;
+  ctx.nis = &nis;
+  ctx.acc = &acc;
+  ctx.measure_end = knobs_.warmup + knobs_.measure;
+  ctx.hard_end = ctx.measure_end + knobs_.drain_max;
 
-  net.on_traverse = [&](ChannelId c, int vc) {
-    if (!in_window) {
-      return;
-    }
-    const Channel& ch = topo_->channel(c);
-    const int chiplet = topo_->node(ch.src).chiplet;
-    const int region = chiplet == kInterposer ? topo_->num_chiplets() : chiplet;
-    ++results.region_vc_flits[static_cast<std::size_t>(region)]
-                             [static_cast<std::size_t>(vc)];
-    if (ch.vl_channel >= 0) {
-      ++results.vl_channel_flits[static_cast<std::size_t>(ch.vl_channel)];
-    }
-  };
-  net.on_rc_absorb = [&](NodeId node, const Flit& flit, Cycle now) {
-    rc_units.absorb(node, flit, now, packets);
-  };
-  net.on_eject = [&](NodeId node, const Flit& flit, Cycle now) {
-    PacketState& pkt = packets.get(flit.packet);
-    check(node == pkt.route.dst, "Simulator: flit ejected at a wrong node");
-    if (in_window) {
-      ++results.flits_ejected_in_window;
-    }
-    if (packets.is_tail(flit)) {
-      pkt.ejected = now;
-      if (pkt.measured) {
-        ++delivered_measured;
-        net_latencies.push_back(
-            static_cast<std::uint32_t>(now - pkt.net_injected));
-        total_latencies.push_back(
-            static_cast<std::uint32_t>(now - pkt.created));
+  if (knobs_.core == SimCore::full_scan) {
+    run_reference(ctx);
+  } else {
+    ctx.lookahead = traffic_->supports_lookahead();
+    if (ctx.lookahead) {
+      const std::size_t words = (nis.size() + 63) / 64;
+      ctx.busy.assign(words, 0);
+      ctx.wake.assign(words, 0);
+      for (std::size_t i = 0; i < nis.size(); ++i) {
+        ctx.schedule(i, 0);
       }
     }
-  };
-
-  const Cycle measure_end = knobs_.warmup + knobs_.measure;
-  const Cycle hard_end = measure_end + knobs_.drain_max;
-  Cycle idle_cycles = 0;
-  Cycle now = 0;
-  for (; now < hard_end; ++now) {
-    in_window = now >= knobs_.warmup && now < measure_end;
-
-    for (NetworkInterface& ni : nis) {
-      ni.generate(now, *traffic_, *algorithm_, packets, knobs_.packet_size,
-                  in_window, counters);
-      ni.try_inject(now, net, packets, rc_units);
-    }
-    rc_units.tick(now, net, packets);
-    net.step(now);
-    net.apply(now);
-
-    // Deadlock watchdog: pending work with no forward progress.
-    const std::uint64_t progress =
-        net.moves_last_cycle() + rc_units.take_progress();
-    if (progress > 0) {
-      idle_cycles = 0;
-    } else if (net.flits_buffered() + rc_units.flits_held() > 0) {
-      if (++idle_cycles >= knobs_.watchdog_cycles) {
-        results.deadlock_detected = true;
-        break;
-      }
-    }
-
-    if (now + 1 >= measure_end &&
-        delivered_measured == counters.created_measured) {
-      results.drained = true;
-      ++now;
-      break;
+    // Phase-segmented loops: the window flag and the drain check are
+    // compile-time constants inside each phase; only the final measure
+    // cycle can complete the drain (now + 1 == measure_end), so it runs
+    // in its own one-cycle phase.
+    if (run_phase<false, false>(ctx) && run_phase<true, false>(ctx) &&
+        run_phase<true, true>(ctx)) {
+      run_phase<false, true>(ctx);
     }
   }
 
-  results.cycles_run = now;
-  results.packets_created = counters.created;
-  results.packets_created_measured = counters.created_measured;
-  results.packets_delivered_measured = delivered_measured;
-  results.packets_dropped_unroutable = counters.dropped_unroutable;
-  results.network_latency = LatencySummary::from_samples(net_latencies);
-  results.total_latency = LatencySummary::from_samples(total_latencies);
+  results.cycles_run = ctx.now;
+  results.deadlock_detected = ctx.deadlock;
+  results.drained = ctx.drained;
+  results.packets_created = ctx.counters.created;
+  results.packets_created_measured = ctx.counters.created_measured;
+  results.packets_delivered_measured = acc.delivered_measured;
+  results.packets_dropped_unroutable = ctx.counters.dropped_unroutable;
+  results.network_latency = LatencySummary::from_samples(acc.net_latencies);
+  results.total_latency = LatencySummary::from_samples(acc.total_latencies);
   return results;
 }
 

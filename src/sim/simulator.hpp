@@ -6,6 +6,18 @@
 // is exhausted (reported as drained=false, which near/past saturation is
 // the expected outcome). Traffic generation continues during the drain so
 // the network stays loaded, as in standard open-loop methodology.
+//
+// The run is phase-segmented: warmup, measurement and drain execute as
+// separate loops instantiated with compile-time StatsSinks, so the
+// measure-window branch and all per-flit statistics vanish from the
+// warmup/drain cycle path. On top of the network's active-router worklist
+// the driver keeps its own pending-NI worklist: endpoints are visited only
+// when they hold undelivered packets or when their pre-drawn next
+// injection (TrafficGenerator::next_injection) comes due, so idle
+// endpoints cost zero per cycle. SimCore::full_scan disables both
+// worklists and runs the original walk-everything loop - the semantic
+// reference that the equivalence tests compare against; both cores are
+// bit-identical for a fixed seed.
 #pragma once
 
 #include <memory>
@@ -28,6 +40,9 @@ struct SimKnobs {
   Cycle drain_max = 100'000;
   Cycle watchdog_cycles = 20'000;  ///< no-progress cycles before deadlock
   std::uint64_t seed = 1;
+  /// Simulation core: the active-set worklists (default) or the reference
+  /// full scan. Results are bit-identical; only wall clock differs.
+  SimCore core = SimCore::active_set;
 };
 
 class Simulator {

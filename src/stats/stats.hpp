@@ -36,6 +36,9 @@ struct SimResults {
   std::uint64_t packets_delivered_measured = 0;
   std::uint64_t packets_dropped_unroutable = 0;
   std::uint64_t flits_ejected_in_window = 0;
+  /// Committed flit movements over the whole run (all phases); the perf
+  /// harness divides by wall clock for flit-hops/second.
+  std::uint64_t flit_hops = 0;
 
   Cycle cycles_run = 0;
   Cycle measure_cycles = 0;

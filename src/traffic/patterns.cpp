@@ -22,6 +22,19 @@ NodeId random_other_core(const Topology& topo, NodeId src, Rng& rng) {
 
 }  // namespace
 
+Cycle TrafficGenerator::next_injection(NodeId src, Cycle from, Cycle limit,
+                                       Rng& rng,
+                                       std::vector<PacketRequest>& out) {
+  // Exact fallback: one tick() per cycle. `out` must be empty on entry.
+  for (Cycle c = from; c < limit; ++c) {
+    tick(src, c, rng, out);
+    if (!out.empty()) {
+      return c;
+    }
+  }
+  return limit;
+}
+
 NodeId node_at_global(const Topology& topo, Coord global) {
   for (int c = 0; c < topo.num_chiplets(); ++c) {
     const ChipletSpec& ch = topo.spec().chiplets[static_cast<std::size_t>(c)];
@@ -47,6 +60,21 @@ void UniformTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
   out.push_back({random_other_core(*topo_, src, rng), 0});
 }
 
+Cycle UniformTraffic::next_injection(NodeId src, Cycle from, Cycle limit,
+                                     Rng& rng,
+                                     std::vector<PacketRequest>& out) {
+  if (!is_core(*topo_, src)) {
+    return limit;  // non-cores never draw, matching tick()
+  }
+  for (Cycle c = from; c < limit; ++c) {
+    if (rng.bernoulli(rate_)) {
+      out.push_back({random_other_core(*topo_, src, rng), 0});
+      return c;
+    }
+  }
+  return limit;
+}
+
 LocalizedTraffic::LocalizedTraffic(const Topology& topo, double rate,
                                    double intra_fraction)
     : topo_(&topo), rate_(rate), intra_fraction_(intra_fraction) {
@@ -62,6 +90,26 @@ void LocalizedTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
   if (!is_core(*topo_, src) || !rng.bernoulli(rate_)) {
     return;
   }
+  emit_destination(src, rng, out);
+}
+
+Cycle LocalizedTraffic::next_injection(NodeId src, Cycle from, Cycle limit,
+                                       Rng& rng,
+                                       std::vector<PacketRequest>& out) {
+  if (!is_core(*topo_, src)) {
+    return limit;
+  }
+  for (Cycle c = from; c < limit; ++c) {
+    if (rng.bernoulli(rate_)) {
+      emit_destination(src, rng, out);
+      return c;
+    }
+  }
+  return limit;
+}
+
+void LocalizedTraffic::emit_destination(NodeId src, Rng& rng,
+                                        std::vector<PacketRequest>& out) {
   const int chiplet = topo_->node(src).chiplet;
   if (rng.bernoulli(intra_fraction_)) {
     const auto& local = topo_->chiplet_nodes(chiplet);
@@ -109,6 +157,26 @@ void HotspotTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
   if (!is_core(*topo_, src) || !rng.bernoulli(rate_)) {
     return;
   }
+  emit_destination(src, rng, out);
+}
+
+Cycle HotspotTraffic::next_injection(NodeId src, Cycle from, Cycle limit,
+                                     Rng& rng,
+                                     std::vector<PacketRequest>& out) {
+  if (!is_core(*topo_, src)) {
+    return limit;
+  }
+  for (Cycle c = from; c < limit; ++c) {
+    if (rng.bernoulli(rate_)) {
+      emit_destination(src, rng, out);
+      return c;
+    }
+  }
+  return limit;
+}
+
+void HotspotTraffic::emit_destination(NodeId src, Rng& rng,
+                                      std::vector<PacketRequest>& out) {
   const double roll = rng.uniform_real();
   const double hotspot_total =
       per_hotspot_fraction_ * static_cast<double>(hotspots_.size());
@@ -146,6 +214,22 @@ void TransposeTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
   }
 }
 
+Cycle TransposeTraffic::next_injection(NodeId src, Cycle from, Cycle limit,
+                                       Rng& rng,
+                                       std::vector<PacketRequest>& out) {
+  const NodeId dst = partner_[static_cast<std::size_t>(src)];
+  if (dst == kInvalidNode) {
+    return limit;  // silent sources never draw, matching tick()
+  }
+  for (Cycle c = from; c < limit; ++c) {
+    if (rng.bernoulli(rate_)) {
+      out.push_back({dst, 0});
+      return c;
+    }
+  }
+  return limit;
+}
+
 BitComplementTraffic::BitComplementTraffic(const Topology& topo, double rate)
     : topo_(&topo), rate_(rate) {
   partner_.assign(static_cast<std::size_t>(topo.num_nodes()), kInvalidNode);
@@ -166,6 +250,22 @@ void BitComplementTraffic::tick(NodeId src, Cycle /*cycle*/, Rng& rng,
   if (dst != kInvalidNode && rng.bernoulli(rate_)) {
     out.push_back({dst, 0});
   }
+}
+
+Cycle BitComplementTraffic::next_injection(NodeId src, Cycle from, Cycle limit,
+                                           Rng& rng,
+                                           std::vector<PacketRequest>& out) {
+  const NodeId dst = partner_[static_cast<std::size_t>(src)];
+  if (dst == kInvalidNode) {
+    return limit;
+  }
+  for (Cycle c = from; c < limit; ++c) {
+    if (rng.bernoulli(rate_)) {
+      out.push_back({dst, 0});
+      return c;
+    }
+  }
+  return limit;
 }
 
 }  // namespace deft

@@ -29,6 +29,24 @@ class TrafficGenerator {
   /// Appends this cycle's requests for endpoint `src` to `out`.
   virtual void tick(NodeId src, Cycle cycle, Rng& rng,
                     std::vector<PacketRequest>& out) = 0;
+
+  /// True when next_injection() may replace per-cycle tick() polling.
+  /// Requires cycle-stationary, per-source-independent generation: tick()
+  /// ignores `cycle`, and the draws of one source never influence another
+  /// source's output (which rules out request/reply generators). The
+  /// simulator then asks each idle source for its next injection event in
+  /// one batched call instead of polling every endpoint every cycle.
+  virtual bool supports_lookahead() const { return false; }
+
+  /// Batched lookahead (only meaningful when supports_lookahead()).
+  /// Consumes `rng` exactly as successive tick() calls for the cycles
+  /// `from`, `from + 1`, ... would - so scheduled and per-cycle execution
+  /// see bit-identical request streams - and returns the first cycle
+  /// < `limit` whose tick() produces requests, appending them to `out`.
+  /// Returns `limit` (with `out` untouched) when no injection happens in
+  /// [from, limit).
+  virtual Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
+                               std::vector<PacketRequest>& out);
 };
 
 /// Uniform random: every core sends to a uniformly random other core.
@@ -38,6 +56,9 @@ class UniformTraffic final : public TrafficGenerator {
   const char* name() const override { return "uniform"; }
   void tick(NodeId src, Cycle cycle, Rng& rng,
             std::vector<PacketRequest>& out) override;
+  bool supports_lookahead() const override { return true; }
+  Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
+                       std::vector<PacketRequest>& out) override;
 
  private:
   const Topology* topo_;
@@ -53,8 +74,13 @@ class LocalizedTraffic final : public TrafficGenerator {
   const char* name() const override { return "localized"; }
   void tick(NodeId src, Cycle cycle, Rng& rng,
             std::vector<PacketRequest>& out) override;
+  bool supports_lookahead() const override { return true; }
+  Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
+                       std::vector<PacketRequest>& out) override;
 
  private:
+  void emit_destination(NodeId src, Rng& rng, std::vector<PacketRequest>& out);
+
   const Topology* topo_;
   double rate_;
   double intra_fraction_;
@@ -71,9 +97,14 @@ class HotspotTraffic final : public TrafficGenerator {
   const char* name() const override { return "hotspot"; }
   void tick(NodeId src, Cycle cycle, Rng& rng,
             std::vector<PacketRequest>& out) override;
+  bool supports_lookahead() const override { return true; }
+  Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
+                       std::vector<PacketRequest>& out) override;
   const std::vector<NodeId>& hotspots() const { return hotspots_; }
 
  private:
+  void emit_destination(NodeId src, Rng& rng, std::vector<PacketRequest>& out);
+
   const Topology* topo_;
   double rate_;
   std::vector<NodeId> hotspots_;
@@ -87,6 +118,9 @@ class TransposeTraffic final : public TrafficGenerator {
   const char* name() const override { return "transpose"; }
   void tick(NodeId src, Cycle cycle, Rng& rng,
             std::vector<PacketRequest>& out) override;
+  bool supports_lookahead() const override { return true; }
+  Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
+                       std::vector<PacketRequest>& out) override;
 
  private:
   const Topology* topo_;
@@ -101,6 +135,9 @@ class BitComplementTraffic final : public TrafficGenerator {
   const char* name() const override { return "bit-complement"; }
   void tick(NodeId src, Cycle cycle, Rng& rng,
             std::vector<PacketRequest>& out) override;
+  bool supports_lookahead() const override { return true; }
+  Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
+                       std::vector<PacketRequest>& out) override;
 
  private:
   const Topology* topo_;

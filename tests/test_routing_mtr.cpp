@@ -262,6 +262,40 @@ TEST_P(MtrTest, SomePairLosesReachabilityUnderFewFaults) {
 
 INSTANTIATE_TEST_SUITE_P(ReferenceSystems, MtrTest, ::testing::Values(4, 6));
 
+TEST_P(MtrTest, SetFaultsMatchesFreshlyConstructedInstance) {
+  // The invalidation path of the memoized route-candidate cache: re-
+  // targeting an instance at a new fault scenario must give the same
+  // decisions (and reachability) as constructing it for that scenario.
+  ctx_.prewarm(/*deft_tables=*/false, /*mtr=*/true);
+  Rng rng(11);
+  const auto faults = sample_fault_scenario(ctx_.topo(), 4, rng);
+  ASSERT_TRUE(faults.has_value());
+
+  MtrRouting reused(ctx_.mtr_plan(), {}, 2);
+  reused.set_faults(*faults);  // was fault-free; rebuild in place
+  MtrRouting fresh(ctx_.mtr_plan(), *faults, 2);
+
+  const RouterView view{};
+  for (NodeId src : ctx_.topo().endpoints()) {
+    for (NodeId dst : ctx_.topo().endpoints()) {
+      if (src == dst) {
+        continue;
+      }
+      ASSERT_EQ(reused.pair_reachable(src, dst), fresh.pair_reachable(src, dst));
+      PacketRoute route;
+      route.src = src;
+      route.dst = dst;
+      if (!fresh.prepare_packet(route)) {
+        continue;
+      }
+      const RouteDecision a = reused.route(src, Port::local, 0, route, view);
+      const RouteDecision b = fresh.route(src, Port::local, 0, route, view);
+      EXPECT_EQ(a.out_port, b.out_port);
+      EXPECT_EQ(a.vcs, b.vcs);
+    }
+  }
+}
+
 TEST(MtrHetero, SynthesizesOnHeterogeneousSystem) {
   ExperimentContext ctx(make_two_chiplet_spec());
   const auto plan = ctx.mtr_plan();

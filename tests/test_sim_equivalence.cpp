@@ -1,0 +1,256 @@
+// Step-equivalence of the active-set simulation core.
+//
+// Two layers of protection for the hot-path rewrite:
+//
+//  1. Golden digests: the full-scan reference core must reproduce, bit for
+//     bit, the SimResults the pre-rewrite simulator produced (the digests
+//     below were captured from the original walk-everything core before
+//     the active-set rewrite landed). This pins the reference loop to the
+//     historical semantics.
+//
+//  2. Cross-core equality: for every algorithm / VL strategy / traffic
+//     pattern / fault / serialization configuration, SimCore::active_set
+//     (worklists, scheduled injection lookahead, phase-segmented loops,
+//     compile-time sinks) must produce field-identical SimResults to
+//     SimCore::full_scan for the same seed.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/runner.hpp"
+#include "traffic/app_profiles.hpp"
+
+namespace deft {
+namespace {
+
+/// FNV-1a over every SimResults field that existed before the rewrite
+/// (flit_hops is newer than the captured goldens, so it is asserted via
+/// the cross-core comparison only).
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void mix(double d) { mix(std::bit_cast<std::uint64_t>(d)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+std::uint64_t digest(const SimResults& r) {
+  Digest d;
+  for (const LatencySummary* l : {&r.network_latency, &r.total_latency}) {
+    d.mix(l->count);
+    d.mix(l->mean);
+    d.mix(l->min);
+    d.mix(l->max);
+    d.mix(l->p50);
+    d.mix(l->p95);
+    d.mix(l->p99);
+  }
+  d.mix(r.packets_created);
+  d.mix(r.packets_created_measured);
+  d.mix(r.packets_delivered_measured);
+  d.mix(r.packets_dropped_unroutable);
+  d.mix(r.flits_ejected_in_window);
+  d.mix(static_cast<std::uint64_t>(r.cycles_run));
+  d.mix(static_cast<std::uint64_t>(r.measure_cycles));
+  d.mix(r.deadlock_detected ? std::uint64_t{1} : 0);
+  d.mix(r.drained ? std::uint64_t{1} : 0);
+  for (const auto& region : r.region_vc_flits) {
+    for (std::uint64_t v : region) {
+      d.mix(v);
+    }
+  }
+  for (std::uint64_t v : r.vl_channel_flits) {
+    d.mix(v);
+  }
+  return d.value();
+}
+
+void expect_identical(const SimResults& a, const SimResults& b) {
+  for (int which = 0; which < 2; ++which) {
+    const LatencySummary& la =
+        which == 0 ? a.network_latency : a.total_latency;
+    const LatencySummary& lb =
+        which == 0 ? b.network_latency : b.total_latency;
+    EXPECT_EQ(la.count, lb.count);
+    EXPECT_EQ(la.mean, lb.mean);
+    EXPECT_EQ(la.min, lb.min);
+    EXPECT_EQ(la.max, lb.max);
+    EXPECT_EQ(la.p50, lb.p50);
+    EXPECT_EQ(la.p95, lb.p95);
+    EXPECT_EQ(la.p99, lb.p99);
+  }
+  EXPECT_EQ(a.packets_created, b.packets_created);
+  EXPECT_EQ(a.packets_created_measured, b.packets_created_measured);
+  EXPECT_EQ(a.packets_delivered_measured, b.packets_delivered_measured);
+  EXPECT_EQ(a.packets_dropped_unroutable, b.packets_dropped_unroutable);
+  EXPECT_EQ(a.flits_ejected_in_window, b.flits_ejected_in_window);
+  EXPECT_EQ(a.flit_hops, b.flit_hops);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_EQ(a.measure_cycles, b.measure_cycles);
+  EXPECT_EQ(a.deadlock_detected, b.deadlock_detected);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.region_vc_flits, b.region_vc_flits);
+  EXPECT_EQ(a.vl_channel_flits, b.vl_channel_flits);
+}
+
+SimKnobs golden_knobs(SimCore core) {
+  SimKnobs k;
+  k.warmup = 500;
+  k.measure = 1500;
+  k.drain_max = 3000;
+  k.seed = 7;
+  k.core = core;
+  return k;
+}
+
+const ExperimentContext& ctx4() {
+  static const ExperimentContext ctx = ExperimentContext::reference(4);
+  return ctx;
+}
+
+struct GoldenConfig {
+  const char* name;
+  Algorithm algorithm;
+  VlStrategy strategy;
+  int fault_count;
+  std::uint64_t expected_digest;  ///< captured from the pre-rewrite core
+};
+
+// Uniform traffic at 0.02 pkt/cycle/core, knobs above, seed 7. The five
+// algorithm configurations of the figure series (DeFT under all three VL
+// strategies, MTR, RC) plus DeFT under a 4-fault scenario.
+const GoldenConfig kGoldens[] = {
+    {"deft_table", Algorithm::deft, VlStrategy::table, 0,
+     0xaeb4ff9aedc7445eULL},
+    {"deft_distance", Algorithm::deft, VlStrategy::distance, 0,
+     0xaeb4ff9aedc7445eULL},
+    {"deft_random", Algorithm::deft, VlStrategy::random, 0,
+     0x0112fd2b81d6daf1ULL},
+    {"mtr", Algorithm::mtr, VlStrategy::table, 0, 0x336aabf23e3f7c66ULL},
+    {"rc", Algorithm::rc, VlStrategy::table, 0, 0x38e4d1328d56a047ULL},
+    {"deft_table_f4", Algorithm::deft, VlStrategy::table, 4,
+     0x9efd33fa70237ed8ULL},
+};
+
+SimResults run_config(const GoldenConfig& cfg, SimCore core) {
+  UniformTraffic traffic(ctx4().topo(), 0.02);
+  VlFaultSet faults;
+  if (cfg.fault_count > 0) {
+    faults = grid_fault_pattern(ctx4(), cfg.fault_count);
+  }
+  return run_sim(ctx4(), cfg.algorithm, traffic, golden_knobs(core), faults,
+                 cfg.strategy);
+}
+
+TEST(SimEquivalence, FullScanReproducesPreRewriteGoldens) {
+  for (const GoldenConfig& cfg : kGoldens) {
+    SCOPED_TRACE(cfg.name);
+    const SimResults r = run_config(cfg, SimCore::full_scan);
+    EXPECT_EQ(digest(r), cfg.expected_digest);
+  }
+}
+
+TEST(SimEquivalence, ActiveSetMatchesFullScanOnGoldenConfigs) {
+  for (const GoldenConfig& cfg : kGoldens) {
+    SCOPED_TRACE(cfg.name);
+    const SimResults full = run_config(cfg, SimCore::full_scan);
+    const SimResults active = run_config(cfg, SimCore::active_set);
+    expect_identical(full, active);
+    EXPECT_EQ(digest(active), cfg.expected_digest);
+  }
+}
+
+TEST(SimEquivalence, ActiveSetMatchesFullScanAcrossTrafficPatterns) {
+  // Exercises every lookahead implementation (localized, hotspot,
+  // transpose, bit-complement) plus a serialized-VL fault scenario.
+  struct PatternConfig {
+    const char* pattern;
+    int fault_count;
+    int vl_serialization;
+  };
+  const PatternConfig configs[] = {
+      {"localized", 0, 1},  {"hotspot", 0, 1},      {"transpose", 0, 1},
+      {"bit-complement", 0, 1}, {"uniform", 6, 2},
+  };
+  for (const PatternConfig& cfg : configs) {
+    SCOPED_TRACE(cfg.pattern);
+    VlFaultSet faults;
+    if (cfg.fault_count > 0) {
+      faults = grid_fault_pattern(ctx4(), cfg.fault_count);
+    }
+    SimResults results[2];
+    for (SimCore core : {SimCore::full_scan, SimCore::active_set}) {
+      const auto traffic = make_traffic(ctx4().topo(), cfg.pattern, 0.015);
+      SimKnobs knobs = golden_knobs(core);
+      knobs.vl_serialization = cfg.vl_serialization;
+      results[core == SimCore::active_set] =
+          run_sim(ctx4(), Algorithm::deft, *traffic, knobs, faults);
+    }
+    expect_identical(results[0], results[1]);
+  }
+}
+
+TEST(SimEquivalence, ActiveSetMatchesFullScanWithoutLookahead) {
+  // Application traffic couples sources through request/reply flows, so it
+  // declines lookahead; the active-set core must fall back to per-cycle
+  // polling and still match the reference bit for bit.
+  const AppProfile& app = profile_by_code("BL");
+  ASSERT_FALSE(AppTrafficGenerator(ctx4().topo(),
+                                   {{app, ctx4().topo().core_endpoints()}})
+                   .supports_lookahead());
+  SimResults results[2];
+  for (SimCore core : {SimCore::full_scan, SimCore::active_set}) {
+    AppTrafficGenerator traffic(ctx4().topo(),
+                                {{app, ctx4().topo().core_endpoints()}});
+    results[core == SimCore::active_set] =
+        run_sim(ctx4(), Algorithm::deft, traffic, golden_knobs(core));
+  }
+  expect_identical(results[0], results[1]);
+}
+
+TEST(SimEquivalence, LookaheadConsumesRngExactlyLikePolling) {
+  // The contract that makes scheduled injection bit-identical: for every
+  // stationary pattern, next_injection() must return the first emitting
+  // cycle and leave the RNG in the same state as per-cycle tick() calls.
+  const Topology& topo = ctx4().topo();
+  const char* patterns[] = {"uniform", "localized", "hotspot", "transpose",
+                            "bit-complement"};
+  for (const char* name : patterns) {
+    SCOPED_TRACE(name);
+    const auto gen = make_traffic(topo, name, 0.03);
+    ASSERT_TRUE(gen->supports_lookahead());
+    for (NodeId src : {topo.core_endpoints()[5], topo.dram_endpoints()[0]}) {
+      Rng polled(99);
+      Rng batched(99);
+      const Cycle limit = 2000;
+      std::vector<PacketRequest> expected;
+      Cycle expected_cycle = limit;
+      for (Cycle c = 0; c < limit && expected.empty(); ++c) {
+        gen->tick(src, c, polled, expected);
+        if (!expected.empty()) {
+          expected_cycle = c;
+        }
+      }
+      std::vector<PacketRequest> got;
+      const Cycle got_cycle = gen->next_injection(src, 0, limit, batched, got);
+      EXPECT_EQ(got_cycle, expected_cycle);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].dst, expected[i].dst);
+        EXPECT_EQ(got[i].app, expected[i].app);
+      }
+      // Identical stream consumption: the next draws must agree.
+      EXPECT_EQ(polled.next(), batched.next());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deft

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf-core run against the committed baseline.
+
+Usage: check_perf_regression.py BASELINE.json NEW.json [--tolerance 0.25]
+
+The gate tracks the machine-portable metrics: the active-set/full-scan
+speedup ratios, which are measured within one run on one machine and so
+cancel out host speed. A ratio that drops more than --tolerance below the
+committed baseline fails the check. Absolute cycles/sec values in the JSON
+are informational (they depend on the host) and are printed but not gated.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop in speedup ratios")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = []
+    for key, base_value in sorted(baseline["speedup"].items()):
+        new_value = fresh["speedup"].get(key)
+        if new_value is None:
+            failures.append(f"speedup[{key}]: missing from fresh run")
+            continue
+        floor = base_value * (1.0 - args.tolerance)
+        status = "OK " if new_value >= floor else "FAIL"
+        print(f"{status} speedup[{key}]: baseline {base_value:.3f} -> "
+              f"fresh {new_value:.3f} (floor {floor:.3f})")
+        if new_value < floor:
+            failures.append(
+                f"speedup[{key}] regressed: {new_value:.3f} < {floor:.3f} "
+                f"(baseline {base_value:.3f}, tolerance {args.tolerance:.0%})")
+
+    for point in fresh.get("points", []):
+        if point["core"] == "active_set":
+            print(f"info {point['algorithm']:>4} rate={point['rate']:.3f}: "
+                  f"{point['cycles_per_sec']:,.0f} cycles/s, "
+                  f"{point['flit_hops_per_sec']:,.0f} flit-hops/s")
+
+    if failures:
+        print("\nPerf regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nNo perf regression against the committed baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
