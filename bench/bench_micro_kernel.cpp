@@ -4,15 +4,17 @@
 // per-pattern reachability evaluation that Fig. 7 amortizes millions of
 // times.
 //
-// Invoked with --perf-json[=PATH] the binary instead runs the perf-core
-// harness: the Fig. 4(a) uniform-traffic configuration per algorithm,
-// timed under both simulation cores (the active-set worklist core and the
-// full-scan reference), and writes cycles/sec, flit-hops/sec and the
-// per-algorithm speedups as JSON (BENCH_PR2.json is the tracked baseline;
-// CI's perf-smoke job fails on regressions against it - see
+// Invoked with --perf-json[=PATH] the binary instead runs the perf-matrix
+// harness: a scenario matrix spanning the 4-chiplet reference and the
+// 6-chiplet system, uniform + hotspot + trace-replay traffic, and 0/2/4
+// faulty vertical channels, each timed under both simulation cores (the
+// active-set worklist core and the full-scan reference) and written as
+// JSON with per-scenario speedup ratios (BENCH_PR3.json is the tracked
+// baseline; CI's perf-smoke job fails on regressions against it - see
 // docs/performance.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -20,6 +22,7 @@
 
 #include "core/experiment.hpp"
 #include "routing/cdg.hpp"
+#include "traffic/trace.hpp"
 
 namespace deft {
 namespace {
@@ -153,156 +156,269 @@ void BM_MtrPlanSynthesis(benchmark::State& state) {
 BENCHMARK(BM_MtrPlanSynthesis)->Unit(benchmark::kMillisecond);
 
 // --------------------------------------------------------------------------
-// Perf-core harness (--perf-json): the tracked end-to-end number.
+// Perf-matrix harness (--perf-json): the tracked end-to-end numbers.
+
+/// One cell of the scenario matrix: system size x traffic x fault count x
+/// algorithm. The rate sits below each configuration's saturation knee so
+/// the active-set advantage (cost proportional to traffic, not system
+/// size) is what the ratio measures.
+struct Scenario {
+  const char* name;  ///< stable JSON key: "<sys>/<traffic>/f<n>/<alg>"
+  int chiplets;      ///< 4 = reference system, 6 = the paper's big system
+  const char* traffic;  ///< "uniform" | "hotspot" | "trace"
+  int faults;           ///< faulty vertical channels (grid_fault_pattern)
+  Algorithm algorithm;
+  double rate;  ///< packets/cycle/core (trace: rate of the recorded trace)
+};
+
+/// The matrix. DeFT and MTR run every cell (MTR is the table-driven
+/// routing whose credit-bucketed cache PR 3 added; its fault cells also
+/// exercise set_faults() invalidation). RC joins on the fault-free uniform
+/// cells to keep the PR 2 coverage.
+constexpr Scenario kScenarios[] = {
+    {"ref4/uniform/f0/DeFT", 4, "uniform", 0, Algorithm::deft, 0.010},
+    {"ref4/uniform/f0/MTR", 4, "uniform", 0, Algorithm::mtr, 0.010},
+    {"ref4/uniform/f0/RC", 4, "uniform", 0, Algorithm::rc, 0.010},
+    {"ref4/uniform/f2/DeFT", 4, "uniform", 2, Algorithm::deft, 0.010},
+    {"ref4/uniform/f2/MTR", 4, "uniform", 2, Algorithm::mtr, 0.010},
+    {"ref4/uniform/f4/DeFT", 4, "uniform", 4, Algorithm::deft, 0.010},
+    {"ref4/uniform/f4/MTR", 4, "uniform", 4, Algorithm::mtr, 0.010},
+    {"ref4/hotspot/f0/DeFT", 4, "hotspot", 0, Algorithm::deft, 0.008},
+    {"ref4/hotspot/f0/MTR", 4, "hotspot", 0, Algorithm::mtr, 0.008},
+    {"ref4/hotspot/f2/DeFT", 4, "hotspot", 2, Algorithm::deft, 0.008},
+    {"ref4/hotspot/f2/MTR", 4, "hotspot", 2, Algorithm::mtr, 0.008},
+    {"ref4/hotspot/f4/DeFT", 4, "hotspot", 4, Algorithm::deft, 0.008},
+    {"ref4/hotspot/f4/MTR", 4, "hotspot", 4, Algorithm::mtr, 0.008},
+    {"ref4/trace/f0/DeFT", 4, "trace", 0, Algorithm::deft, 0.015},
+    {"ref4/trace/f0/MTR", 4, "trace", 0, Algorithm::mtr, 0.015},
+    {"ref4/trace/f2/DeFT", 4, "trace", 2, Algorithm::deft, 0.015},
+    {"ref4/trace/f2/MTR", 4, "trace", 2, Algorithm::mtr, 0.015},
+    {"ref4/trace/f4/DeFT", 4, "trace", 4, Algorithm::deft, 0.015},
+    {"ref4/trace/f4/MTR", 4, "trace", 4, Algorithm::mtr, 0.015},
+    {"sys6/uniform/f0/DeFT", 6, "uniform", 0, Algorithm::deft, 0.008},
+    {"sys6/uniform/f0/MTR", 6, "uniform", 0, Algorithm::mtr, 0.008},
+    {"sys6/uniform/f0/RC", 6, "uniform", 0, Algorithm::rc, 0.008},
+    {"sys6/uniform/f2/DeFT", 6, "uniform", 2, Algorithm::deft, 0.008},
+    {"sys6/uniform/f2/MTR", 6, "uniform", 2, Algorithm::mtr, 0.008},
+    {"sys6/uniform/f4/DeFT", 6, "uniform", 4, Algorithm::deft, 0.008},
+    {"sys6/uniform/f4/MTR", 6, "uniform", 4, Algorithm::mtr, 0.008},
+    {"sys6/hotspot/f0/DeFT", 6, "hotspot", 0, Algorithm::deft, 0.006},
+    {"sys6/hotspot/f0/MTR", 6, "hotspot", 0, Algorithm::mtr, 0.006},
+    {"sys6/hotspot/f2/DeFT", 6, "hotspot", 2, Algorithm::deft, 0.006},
+    {"sys6/hotspot/f2/MTR", 6, "hotspot", 2, Algorithm::mtr, 0.006},
+    {"sys6/hotspot/f4/DeFT", 6, "hotspot", 4, Algorithm::deft, 0.006},
+    {"sys6/hotspot/f4/MTR", 6, "hotspot", 4, Algorithm::mtr, 0.006},
+    {"sys6/trace/f0/DeFT", 6, "trace", 0, Algorithm::deft, 0.010},
+    {"sys6/trace/f0/MTR", 6, "trace", 0, Algorithm::mtr, 0.010},
+    {"sys6/trace/f2/DeFT", 6, "trace", 2, Algorithm::deft, 0.010},
+    {"sys6/trace/f2/MTR", 6, "trace", 2, Algorithm::mtr, 0.010},
+    {"sys6/trace/f4/DeFT", 6, "trace", 4, Algorithm::deft, 0.010},
+    {"sys6/trace/f4/MTR", 6, "trace", 4, Algorithm::mtr, 0.010},
+};
+constexpr std::size_t kNumScenarios = std::size(kScenarios);
+
+/// The matrix simulation windows (shorter than the Fig. 4 windows: 38
+/// scenarios x 2 cores x kPerfRepeats runs have to fit a CI smoke job).
+constexpr Cycle kPerfWarmup = 1000;
+constexpr Cycle kPerfMeasure = 3000;
+constexpr Cycle kPerfDrainMax = 6000;
+/// Wall-clock repeats per point; the minimum is reported (standard
+/// benchmarking practice: the minimum estimates the noise-free cost).
+constexpr int kPerfRepeats = 3;
+
+/// Cycles/sec of the PR 2 active-set core (commit 9de0b1c, before the SoA
+/// flit storage, credit-bucketed MTR tables and trace-replay lookahead
+/// landed) on this same scenario matrix, measured on the reference 1-core
+/// container. A historical artifact like the golden digests:
+/// speedup_vs_pr2 is only meaningful on comparable hardware, while the
+/// full_scan/active_set ratios in "speedup" cancel machine speed and are
+/// what CI tracks. Order matches kScenarios.
+constexpr double kPr2CyclesPerSec[kNumScenarios] = {
+    155780,  // ref4/uniform/f0/DeFT
+    123273,  // ref4/uniform/f0/MTR
+    144704,  // ref4/uniform/f0/RC
+    152818,  // ref4/uniform/f2/DeFT
+    124751,  // ref4/uniform/f2/MTR
+    148719,  // ref4/uniform/f4/DeFT
+    122805,  // ref4/uniform/f4/MTR
+    193559,  // ref4/hotspot/f0/DeFT
+    161351,  // ref4/hotspot/f0/MTR
+    188910,  // ref4/hotspot/f2/DeFT
+    163233,  // ref4/hotspot/f2/MTR
+    185431,  // ref4/hotspot/f4/DeFT
+    160307,  // ref4/hotspot/f4/MTR
+    98135,   // ref4/trace/f0/DeFT
+    100025,  // ref4/trace/f0/MTR
+    94742,   // ref4/trace/f2/DeFT
+    129888,  // ref4/trace/f2/MTR
+    91572,   // ref4/trace/f4/DeFT
+    116131,  // ref4/trace/f4/MTR
+    111384,  // sys6/uniform/f0/DeFT
+    85445,   // sys6/uniform/f0/MTR
+    101434,  // sys6/uniform/f0/RC
+    109628,  // sys6/uniform/f2/DeFT
+    84098,   // sys6/uniform/f2/MTR
+    106366,  // sys6/uniform/f4/DeFT
+    81655,   // sys6/uniform/f4/MTR
+    146787,  // sys6/hotspot/f0/DeFT
+    111918,  // sys6/hotspot/f0/MTR
+    144860,  // sys6/hotspot/f2/DeFT
+    110443,  // sys6/hotspot/f2/MTR
+    141881,  // sys6/hotspot/f4/DeFT
+    108470,  // sys6/hotspot/f4/MTR
+    84639,   // sys6/trace/f0/DeFT
+    65428,   // sys6/trace/f0/MTR
+    83247,   // sys6/trace/f2/DeFT
+    66944,   // sys6/trace/f2/MTR
+    80631,   // sys6/trace/f4/DeFT
+    66048,   // sys6/trace/f4/MTR
+};
+
+const ExperimentContext& perf_ctx(int chiplets) {
+  static const ExperimentContext c4 = ExperimentContext::reference(4);
+  static const ExperimentContext c6 = ExperimentContext::reference(6);
+  return chiplets == 4 ? c4 : c6;
+}
 
 struct PerfPoint {
-  const char* algorithm;
-  double rate;
-  const char* core;
-  Cycle cycles;
-  std::uint64_t flit_hops;
-  double seconds;
+  Cycle cycles = 0;
+  std::uint64_t flit_hops = 0;
+  double seconds = 0.0;
 };
 
-/// Wall-clock of the pre-rewrite simulator (commit 75fc363, before the
-/// active-set core, memoized routing and compile-time sinks landed) on
-/// the same nine (algorithm, rate) points, measured on the reference
-/// 1-core container this baseline was recorded on. A historical artifact,
-/// like the golden digests in test_sim_equivalence: speedup_vs_pre_pr is
-/// only meaningful on comparable hardware, while the full_scan/active_set
-/// ratios in "speedup" cancel machine speed and are what CI tracks.
-/// (The full-scan reference inside this binary is a *semantic* baseline;
-/// it already benefits from the routing memoization and inlined sinks, so
-/// it runs far faster than the true pre-PR core did.)
-constexpr double kPrePrCyclesPerSec[3][3] = {
-    {57045, 21407, 12761},  // DeFT at rates 0.005 / 0.014 / 0.023
-    {55463, 16502, 15418},  // MTR
-    {53307, 32530, 32264},  // RC
-};
-
-PerfPoint measure_point(Algorithm algorithm, double rate, SimCore core) {
-  UniformTraffic traffic(ctx4().topo(), rate);
-  SimKnobs knobs;  // the Fig. 4 windows (bench_util.hpp's bench_knobs)
-  knobs.warmup = 2000;
-  knobs.measure = 6'000;
-  knobs.drain_max = 12'000;
+PerfPoint measure_point(const Scenario& s, SimCore core) {
+  const ExperimentContext& ctx = perf_ctx(s.chiplets);
+  VlFaultSet faults;
+  if (s.faults > 0) {
+    faults = grid_fault_pattern(ctx, s.faults);
+  }
+  SimKnobs knobs;
+  knobs.warmup = kPerfWarmup;
+  knobs.measure = kPerfMeasure;
+  knobs.drain_max = kPerfDrainMax;
   knobs.core = core;
-  const auto t0 = std::chrono::steady_clock::now();
-  const SimResults r = run_sim(ctx4(), algorithm, traffic, knobs);
-  const auto t1 = std::chrono::steady_clock::now();
-  return {algorithm_name(algorithm), rate,
-          core == SimCore::active_set ? "active_set" : "full_scan",
-          r.cycles_run, r.flit_hops,
-          std::chrono::duration<double>(t1 - t0).count()};
+  PerfPoint best;
+  for (int rep = 0; rep < kPerfRepeats; ++rep) {
+    // Traffic generators are consumed by a run (trace cursors advance, RNG
+    // draws are taken), so each repeat gets a fresh instance.
+    std::unique_ptr<TrafficGenerator> traffic;
+    if (std::string_view(s.traffic) == "trace") {
+      // Deterministic replay workload: a uniform run at `rate` recorded
+      // over the warmup + measurement window.
+      traffic = std::make_unique<TraceReplayGenerator>(record_uniform_trace(
+          ctx.topo(), s.rate, kPerfWarmup + kPerfMeasure));
+    } else {
+      traffic = make_traffic(ctx.topo(), s.traffic, s.rate);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResults r = run_sim(ctx, s.algorithm, *traffic, knobs, faults);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || seconds < best.seconds) {
+      best = {r.cycles_run, r.flit_hops, seconds};
+    }
+  }
+  return best;
 }
 
 int run_perf_core(const std::string& json_path) {
-  // Fig. 4(a): uniform traffic on the 4-chiplet reference system, one
-  // point below, near and past each algorithm's knee.
-  const double rates[] = {0.005, 0.014, 0.023};
-  const Algorithm algorithms[] = {Algorithm::deft, Algorithm::mtr,
-                                  Algorithm::rc};
-  ctx4().prewarm();
+  perf_ctx(4).prewarm();
+  perf_ctx(6).prewarm();
 
-  std::vector<PerfPoint> points;
-  for (Algorithm algorithm : algorithms) {
-    for (double rate : rates) {
-      for (SimCore core : {SimCore::full_scan, SimCore::active_set}) {
-        points.push_back(measure_point(algorithm, rate, core));
-        const PerfPoint& p = points.back();
-        std::printf("%-5s rate=%.3f %-10s %8lld cycles  %9.0f cycles/s  "
-                    "%10.0f flit-hops/s\n",
-                    p.algorithm, p.rate, p.core,
-                    static_cast<long long>(p.cycles),
-                    static_cast<double>(p.cycles) / p.seconds,
-                    static_cast<double>(p.flit_hops) / p.seconds);
-      }
-    }
+  PerfPoint full[kNumScenarios];
+  PerfPoint active[kNumScenarios];
+  for (std::size_t i = 0; i < kNumScenarios; ++i) {
+    const Scenario& s = kScenarios[i];
+    full[i] = measure_point(s, SimCore::full_scan);
+    active[i] = measure_point(s, SimCore::active_set);
+    std::printf("%-22s %7lld cycles  full %9.0f cyc/s  active %9.0f cyc/s "
+                " (%.2fx)\n",
+                s.name, static_cast<long long>(active[i].cycles),
+                static_cast<double>(full[i].cycles) / full[i].seconds,
+                static_cast<double>(active[i].cycles) / active[i].seconds,
+                full[i].seconds / active[i].seconds);
   }
 
-  // Per-algorithm speedup: total simulated cycles / total wall clock of
-  // each core, paired over identical (algorithm, rate) points.
   FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench\": \"deft-perf-core\",\n");
+  std::fprintf(out, "{\n  \"bench\": \"deft-perf-matrix\",\n");
   std::fprintf(out,
-               "  \"config\": {\"system\": \"reference-4\", \"traffic\": "
-               "\"uniform\", \"rates\": [0.005, 0.014, 0.023], \"warmup\": "
-               "2000, \"measure\": 6000, \"drain_max\": 12000},\n");
+               "  \"config\": {\"systems\": [\"reference-4\", "
+               "\"reference-6\"], \"traffics\": [\"uniform\", \"hotspot\", "
+               "\"trace\"], \"fault_counts\": [0, 2, 4], \"warmup\": %lld, "
+               "\"measure\": %lld, \"drain_max\": %lld, \"repeats\": %d},\n",
+               static_cast<long long>(kPerfWarmup),
+               static_cast<long long>(kPerfMeasure),
+               static_cast<long long>(kPerfDrainMax), kPerfRepeats);
   std::fprintf(out, "  \"points\": [\n");
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const PerfPoint& p = points[i];
-    std::fprintf(out,
-                 "    {\"algorithm\": \"%s\", \"rate\": %.3f, \"core\": "
-                 "\"%s\", \"cycles\": %lld, \"flit_hops\": %llu, "
-                 "\"seconds\": %.6f, \"cycles_per_sec\": %.0f, "
-                 "\"flit_hops_per_sec\": %.0f}%s\n",
-                 p.algorithm, p.rate, p.core,
-                 static_cast<long long>(p.cycles),
-                 static_cast<unsigned long long>(p.flit_hops), p.seconds,
-                 static_cast<double>(p.cycles) / p.seconds,
-                 static_cast<double>(p.flit_hops) / p.seconds,
-                 i + 1 < points.size() ? "," : "");
+  for (std::size_t i = 0; i < kNumScenarios; ++i) {
+    const Scenario& s = kScenarios[i];
+    for (const char* core : {"full_scan", "active_set"}) {
+      const PerfPoint& p =
+          std::string_view(core) == "full_scan" ? full[i] : active[i];
+      std::fprintf(
+          out,
+          "    {\"scenario\": \"%s\", \"system\": \"%s\", \"traffic\": "
+          "\"%s\", \"faults\": %d, \"algorithm\": \"%s\", \"rate\": %.3f, "
+          "\"core\": \"%s\", \"cycles\": %lld, \"flit_hops\": %llu, "
+          "\"seconds\": %.6f, \"cycles_per_sec\": %.0f, "
+          "\"flit_hops_per_sec\": %.0f}%s\n",
+          s.name, s.chiplets == 4 ? "reference-4" : "reference-6", s.traffic,
+          s.faults, algorithm_name(s.algorithm), s.rate, core,
+          static_cast<long long>(p.cycles),
+          static_cast<unsigned long long>(p.flit_hops), p.seconds,
+          static_cast<double>(p.cycles) / p.seconds,
+          static_cast<double>(p.flit_hops) / p.seconds,
+          i + 1 < kNumScenarios || std::string_view(core) == "full_scan"
+              ? ","
+              : "");
+    }
   }
-  std::fprintf(out, "  ],\n  \"speedup\": {");
+  // Per-scenario active-set/full-scan ratios: both cores run in the same
+  // process on the same host, so these are machine-portable and are what
+  // the CI perf gate tracks.
+  std::fprintf(out, "  ],\n  \"speedup\": {\n");
   double all_full = 0.0;
   double all_active = 0.0;
-  for (Algorithm algorithm : algorithms) {
-    double full = 0.0;
-    double active = 0.0;
-    for (const PerfPoint& p : points) {
-      if (std::string_view(p.algorithm) != algorithm_name(algorithm)) {
-        continue;
-      }
-      (std::string_view(p.core) == "full_scan" ? full : active) += p.seconds;
-    }
-    all_full += full;
-    all_active += active;
-    std::fprintf(out, "\"%s\": %.3f, ", algorithm_name(algorithm),
-                 full / active);
+  for (std::size_t i = 0; i < kNumScenarios; ++i) {
+    all_full += full[i].seconds;
+    all_active += active[i].seconds;
+    std::fprintf(out, "    \"%s\": %.3f,\n", kScenarios[i].name,
+                 full[i].seconds / active[i].seconds);
   }
-  std::fprintf(out, "\"overall\": %.3f},\n", all_full / all_active);
+  std::fprintf(out, "    \"overall\": %.3f\n  },\n", all_full / all_active);
 
-  // Speedup of this run's active-set core over the recorded pre-rewrite
-  // measurements (same config and seed; cycles_run matches exactly).
-  std::fprintf(out, "  \"pre_pr_baseline\": {\"machine\": "
-                    "\"reference 1-core container (commit 75fc363)\", "
-                    "\"cycles_per_sec\": {");
-  double pre_total_sec = 0.0;
+  // Speedup of this run's active-set core over the recorded PR 2 core on
+  // the same matrix (identical seeds: cycles_run matches exactly, so the
+  // cycles/sec ratio is the wall-clock ratio).
+  std::fprintf(out,
+               "  \"pr2_core_baseline\": {\"machine\": \"reference 1-core "
+               "container (commit 9de0b1c)\", \"cycles_per_sec\": {\n");
+  for (std::size_t i = 0; i < kNumScenarios; ++i) {
+    std::fprintf(out, "    \"%s\": %.0f%s\n", kScenarios[i].name,
+                 kPr2CyclesPerSec[i], i + 1 < kNumScenarios ? "," : "");
+  }
+  std::fprintf(out, "  }},\n  \"speedup_vs_pr2\": {\n");
+  double pr2_total_sec = 0.0;
   double active_total_sec = 0.0;
-  for (int a = 0; a < 3; ++a) {
-    std::fprintf(out, "\"%s\": [%.0f, %.0f, %.0f]%s",
-                 algorithm_name(algorithms[a]), kPrePrCyclesPerSec[a][0],
-                 kPrePrCyclesPerSec[a][1], kPrePrCyclesPerSec[a][2],
-                 a + 1 < 3 ? ", " : "");
+  for (std::size_t i = 0; i < kNumScenarios; ++i) {
+    const double active_cps =
+        static_cast<double>(active[i].cycles) / active[i].seconds;
+    pr2_total_sec +=
+        static_cast<double>(active[i].cycles) / kPr2CyclesPerSec[i];
+    active_total_sec += active[i].seconds;
+    std::fprintf(out, "    \"%s\": %.3f,\n", kScenarios[i].name,
+                 active_cps / kPr2CyclesPerSec[i]);
   }
-  std::fprintf(out, "}},\n  \"speedup_vs_pre_pr\": {");
-  for (int a = 0; a < 3; ++a) {
-    double pre_sec = 0.0;
-    double active_sec = 0.0;
-    int r = 0;
-    for (const PerfPoint& p : points) {
-      if (std::string_view(p.algorithm) != algorithm_name(algorithms[a]) ||
-          std::string_view(p.core) != "active_set") {
-        continue;
-      }
-      pre_sec += static_cast<double>(p.cycles) / kPrePrCyclesPerSec[a][r++];
-      active_sec += p.seconds;
-    }
-    pre_total_sec += pre_sec;
-    active_total_sec += active_sec;
-    std::fprintf(out, "\"%s\": %.3f, ", algorithm_name(algorithms[a]),
-                 pre_sec / active_sec);
-  }
-  std::fprintf(out, "\"overall\": %.3f}\n}\n",
-               pre_total_sec / active_total_sec);
+  std::fprintf(out, "    \"overall\": %.3f\n  }\n}\n",
+               pr2_total_sec / active_total_sec);
   std::fclose(out);
-  std::printf("active-set vs in-binary full scan: %.2fx; vs recorded "
-              "pre-PR core: %.2fx -> %s\n",
-              all_full / all_active, pre_total_sec / active_total_sec,
+  std::printf("active-set vs in-binary full scan: %.2fx; vs recorded PR 2 "
+              "core: %.2fx -> %s\n",
+              all_full / all_active, pr2_total_sec / active_total_sec,
               json_path.c_str());
   return 0;
 }
@@ -315,7 +431,7 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--perf-json" || arg.starts_with("--perf-json=")) {
       const std::string path =
-          arg == "--perf-json" ? "BENCH_PR2.json"
+          arg == "--perf-json" ? "BENCH_PR3.json"
                                : std::string(arg.substr(sizeof("--perf-json=") - 1));
       return deft::run_perf_core(path);
     }

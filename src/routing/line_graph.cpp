@@ -58,6 +58,16 @@ LineGraph::LineGraph(const Topology& topo, const TurnPredicate& allowed)
       }
     }
   }
+
+  // CSR mirror for the streaming traversals.
+  offsets_.assign(succ_.size() + 1, 0);
+  for (std::size_t l = 0; l < succ_.size(); ++l) {
+    offsets_[l + 1] = offsets_[l] + succ_[l].size();
+  }
+  flat_.reserve(offsets_.back());
+  for (const std::vector<int>& s : succ_) {
+    flat_.insert(flat_.end(), s.begin(), s.end());
+  }
 }
 
 LineReachability::LineReachability(const LineGraph& graph) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "topology/topology.hpp"
@@ -45,9 +46,21 @@ class LineGraph {
   }
   const std::vector<std::vector<int>>& adjacency() const { return succ_; }
 
+  /// CSR view of the same adjacency: one flat successor array indexed by
+  /// per-node offsets. The per-fault-scenario rebuild passes (MTR's
+  /// distance BFS and route-cache construction) stream this instead of
+  /// hopping across per-node heap vectors.
+  std::span<const int> successors_flat(int line_node) const {
+    const std::size_t l = static_cast<std::size_t>(line_node);
+    return {flat_.data() + offsets_[l], flat_.data() + offsets_[l + 1]};
+  }
+
  private:
   const Topology* topo_;
   std::vector<std::vector<int>> succ_;
+  /// CSR mirror of succ_ (offsets_ has size() + 1 entries).
+  std::vector<std::size_t> offsets_;
+  std::vector<int> flat_;
 };
 
 /// The baseline intra-mesh turn rule: dimension-order (XY). Straight moves

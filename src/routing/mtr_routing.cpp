@@ -27,7 +27,55 @@ bool initial_turn_allowed(const Channel& in, const Channel& out) {
 
 std::uint64_t turn_key(ChannelId in, ChannelId out) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(in)) << 32) |
-         static_cast<std::uint32_t>(out);
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(out));
+}
+
+/// Shared credit-class winner tables: kWinnerK[c0][c1](..) is the index
+/// of the first maximum among K candidate credit classes - the bucketed
+/// form of "prefer the port with the most free downstream credits,
+/// first-in-successor-order wins ties". One table per candidate count,
+/// shared by every (line node, dst) entry; entries with more than three
+/// candidates (rare: a mesh router offers at most a handful of minimal
+/// continuations) fall back to the scan.
+constexpr auto kWinner2 = [] {
+  std::array<std::uint8_t, kCreditClasses * kCreditClasses> t{};
+  for (int a = 0; a < kCreditClasses; ++a) {
+    for (int b = 0; b < kCreditClasses; ++b) {
+      t[static_cast<std::size_t>(a * kCreditClasses + b)] = b > a ? 1 : 0;
+    }
+  }
+  return t;
+}();
+
+constexpr auto kWinner3 = [] {
+  std::array<std::uint8_t, kCreditClasses * kCreditClasses * kCreditClasses>
+      t{};
+  for (int a = 0; a < kCreditClasses; ++a) {
+    for (int b = 0; b < kCreditClasses; ++b) {
+      for (int c = 0; c < kCreditClasses; ++c) {
+        int winner = 0;
+        int best = a;
+        if (b > best) {
+          winner = 1;
+          best = b;
+        }
+        if (c > best) {
+          winner = 2;
+        }
+        t[static_cast<std::size_t>((a * kCreditClasses + b) * kCreditClasses +
+                                   c)] = static_cast<std::uint8_t>(winner);
+      }
+    }
+  }
+  return t;
+}();
+
+/// Credit class of one candidate port under `view`: the clamp is a no-op
+/// for the mesh/vertical ports MTR tie-breaks over (kMaxPortCredits bounds
+/// them), so bucketing never merges two distinct credit values.
+int credit_class(const RouterView& view, std::uint8_t port) {
+  const int credits = view.free_credits[port];
+  return credits > kMaxPortCredits ? kMaxPortCredits : credits;
 }
 
 }  // namespace
@@ -471,45 +519,63 @@ void MtrRouting::rebuild_fault_tables() {
   if (!faults_.empty()) {
     // Reverse BFS over the allowed-turn line graph with faulty vertical
     // channels removed: the design-time dist_ tables would otherwise steer
-    // minimal routes into dead channels.
+    // minimal routes into dead channels. This runs once per fault
+    // scenario (set_faults is sweep drivers' per-point path), so the
+    // predecessor graph is built flat (CSR) and the per-endpoint BFS
+    // reuses one frontier buffer - no per-node heap vectors.
     const LineGraph& graph = plan_->line_graph();
-    const int n = graph.size();
-    const auto node_faulty = [&](int l) {
-      if (!graph.is_channel(l)) {
-        return false;
-      }
-      const VlChannelId vc = topo.channel(static_cast<ChannelId>(l)).vl_channel;
-      return vc >= 0 && faults_.is_faulty(vc);
-    };
-    std::vector<std::vector<int>> pred(static_cast<std::size_t>(n));
-    for (int l = 0; l < n; ++l) {
-      if (node_faulty(l)) {
+    const std::size_t n = static_cast<std::size_t>(graph.size());
+    std::vector<char> faulty(n, 0);
+    for (ChannelId c = 0; c < topo.num_channels(); ++c) {
+      const VlChannelId vc = topo.channel(c).vl_channel;
+      faulty[static_cast<std::size_t>(c)] =
+          vc >= 0 && faults_.is_faulty(vc) ? 1 : 0;
+    }
+    std::vector<std::size_t> pred_off(n + 1, 0);
+    for (std::size_t l = 0; l < n; ++l) {
+      if (faulty[l]) {
         continue;
       }
-      for (int s : graph.successors(l)) {
-        if (!node_faulty(s)) {
-          pred[static_cast<std::size_t>(s)].push_back(l);
+      for (int s : graph.successors_flat(static_cast<int>(l))) {
+        if (!faulty[static_cast<std::size_t>(s)]) {
+          ++pred_off[static_cast<std::size_t>(s) + 1];
         }
       }
     }
-    fault_dist_.assign(topo.endpoints().size(),
-                       std::vector<std::uint16_t>(static_cast<std::size_t>(n),
-                                                  MtrPlan::kUnreachable));
-    std::deque<int> queue;
+    for (std::size_t l = 0; l < n; ++l) {
+      pred_off[l + 1] += pred_off[l];
+    }
+    std::vector<int> pred(pred_off.back());
+    std::vector<std::size_t> fill = pred_off;
+    for (std::size_t l = 0; l < n; ++l) {
+      if (faulty[l]) {
+        continue;
+      }
+      for (int s : graph.successors_flat(static_cast<int>(l))) {
+        if (!faulty[static_cast<std::size_t>(s)]) {
+          pred[fill[static_cast<std::size_t>(s)]++] = static_cast<int>(l);
+        }
+      }
+    }
+    fault_dist_.assign(topo.endpoints().size() * n, MtrPlan::kUnreachable);
+    std::vector<int> frontier;
+    frontier.reserve(n);
     for (std::size_t d = 0; d < topo.endpoints().size(); ++d) {
-      auto& dist = fault_dist_[d];
+      std::uint16_t* dist = fault_dist_.data() + d * n;
       const int target = graph.ejection_node(topo.endpoints()[d]);
-      dist[static_cast<std::size_t>(target)] = 0;
-      queue.clear();
-      queue.push_back(target);
-      while (!queue.empty()) {
-        const int cur = queue.front();
-        queue.pop_front();
-        for (int p : pred[static_cast<std::size_t>(cur)]) {
-          if (dist[static_cast<std::size_t>(p)] == MtrPlan::kUnreachable) {
-            dist[static_cast<std::size_t>(p)] = static_cast<std::uint16_t>(
-                dist[static_cast<std::size_t>(cur)] + 1);
-            queue.push_back(p);
+      dist[target] = 0;
+      frontier.clear();
+      frontier.push_back(target);
+      for (std::size_t head = 0; head < frontier.size(); ++head) {
+        const int cur = frontier[head];
+        const std::uint16_t next_dist =
+            static_cast<std::uint16_t>(dist[cur] + 1);
+        for (std::size_t i = pred_off[static_cast<std::size_t>(cur)];
+             i < pred_off[static_cast<std::size_t>(cur) + 1]; ++i) {
+          const int p = pred[i];
+          if (dist[p] == MtrPlan::kUnreachable) {
+            dist[p] = next_dist;
+            frontier.push_back(p);
           }
         }
       }
@@ -523,8 +589,9 @@ std::uint16_t MtrRouting::dist(int line_node, NodeId dst) const {
   }
   const int d = plan_->endpoint_index(dst);
   require(d >= 0, "MtrRouting::dist: dst is not an endpoint");
-  return fault_dist_[static_cast<std::size_t>(d)]
-                    [static_cast<std::size_t>(line_node)];
+  return fault_dist_[static_cast<std::size_t>(d) *
+                         static_cast<std::size_t>(plan_->line_graph().size()) +
+                     static_cast<std::size_t>(line_node)];
 }
 
 bool MtrRouting::prepare_packet(PacketRoute& route) {
@@ -546,16 +613,20 @@ bool MtrRouting::prepare_packet(PacketRoute& route) {
 void MtrRouting::rebuild_route_cache() {
   // Flatten the per-hop successor scan into one table lookup: for every
   // (line node, destination endpoint) record the minimal continuations in
-  // allowed-turn successor order. route() then only runs the credit
-  // tie-break over the recorded candidates, visiting them in the order the
-  // uncached scan did - the adaptive choices stay bit-identical. Rebuilt
-  // whenever set_faults() swaps the fault scenario (the distances the
-  // cache derives from change with the scenario).
+  // allowed-turn successor order, and fully resolve the decision whenever
+  // it is credit-independent (ejection, or exactly one continuation).
+  // route() then answers single-candidate hops straight from the entry
+  // and resolves multi-candidate hops through the shared credit-class
+  // winner tables, visiting candidates in the order the uncached scan did
+  // - the adaptive choices stay bit-identical. Rebuilt whenever
+  // set_faults() swaps the fault scenario (the distances the cache
+  // derives from change with the scenario).
   const Topology& topo = plan_->topo();
   const LineGraph& graph = plan_->line_graph();
   const std::size_t n = static_cast<std::size_t>(graph.size());
   const auto& endpoints = topo.endpoints();
   route_cache_.assign(endpoints.size() * n, RouteEntry{});
+  const VcMask vcs = all_vcs_mask(num_vcs_);
   for (std::size_t d = 0; d < endpoints.size(); ++d) {
     const NodeId dst = endpoints[d];
     for (std::size_t l = 0; l < n; ++l) {
@@ -564,7 +635,8 @@ void MtrRouting::rebuild_route_cache() {
         continue;  // entry stays count == 0: unreachable from this hop
       }
       RouteEntry& entry = route_cache_[d * n + l];
-      for (int s : graph.successors(static_cast<int>(l))) {
+      entry.decision.vcs = vcs;
+      for (int s : graph.successors_flat(static_cast<int>(l))) {
         if (dist(s, dst) != here - 1) {
           continue;
         }
@@ -578,14 +650,17 @@ void MtrRouting::rebuild_route_cache() {
         entry.ports[entry.count++] = static_cast<std::uint8_t>(
             port_index(topo.channel(static_cast<ChannelId>(s)).src_port));
       }
+      if (entry.eject) {
+        entry.decision.out_port = Port::local;  // ejection node of dst
+      } else if (entry.count == 1) {
+        entry.decision.out_port = static_cast<Port>(entry.ports[0]);
+      }
     }
   }
 }
 
-RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
-                                const PacketRoute& rt,
-                                const RouterView& view) const {
-  (void)in_vc;
+const MtrRouting::RouteEntry& MtrRouting::entry_for(NodeId node, Port in_port,
+                                                    NodeId dst) const {
   const LineGraph& graph = plan_->line_graph();
   int line_node;
   if (in_port == Port::local) {
@@ -595,30 +670,59 @@ RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
     check(in != kInvalidChannel, "MtrRouting: no channel on input port");
     line_node = graph.channel_node(in);
   }
-  const int d = plan_->endpoint_index(rt.dst);
+  const int d = plan_->endpoint_index(dst);
   check(d >= 0, "MtrRouting: dst is not an endpoint");
-  const RouteEntry& entry =
-      route_cache_[static_cast<std::size_t>(d) *
-                       static_cast<std::size_t>(graph.size()) +
-                   static_cast<std::size_t>(line_node)];
+  return route_cache_[static_cast<std::size_t>(d) *
+                          static_cast<std::size_t>(graph.size()) +
+                      static_cast<std::size_t>(line_node)];
+}
 
-  // Adaptive among the memoized minimal continuations: prefer the port
-  // with the most free downstream credits; ejection wins immediately.
-  RouteDecision decision;
-  decision.vcs = all_vcs_mask(num_vcs_);
-  if (entry.eject) {
-    decision.out_port = Port::local;  // ejection node of rt.dst
-    return decision;
+bool MtrRouting::route_needs_view(NodeId node, Port in_port,
+                                  const PacketRoute& rt) const {
+  const RouteEntry& entry = entry_for(node, in_port, rt.dst);
+  return !entry.eject && entry.count >= 2;
+}
+
+RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
+                                const PacketRoute& rt,
+                                const RouterView& view) const {
+  (void)in_vc;
+  const RouteEntry& entry = entry_for(node, in_port, rt.dst);
+
+  // Credit-independent hops (ejection or a forced continuation) were
+  // resolved at cache-build time.
+  if (entry.eject || entry.count == 1) {
+    return entry.decision;
   }
   check(entry.count > 0, "MtrRouting: routing from an unreachable line node");
-  int best_credits = -1;
-  for (int i = 0; i < entry.count; ++i) {
-    const int credits = view.free_credits[entry.ports[i]];
-    if (credits > best_credits) {
-      best_credits = credits;
-      decision.out_port = static_cast<Port>(entry.ports[i]);
+
+  // Adaptive tie-break among the memoized minimal continuations: prefer
+  // the port with the most free downstream credits, first in successor
+  // order on ties - table-driven over the candidates' credit classes.
+  RouteDecision decision = entry.decision;
+  int winner;
+  if (entry.count == 2) {
+    winner = kWinner2[static_cast<std::size_t>(
+        credit_class(view, entry.ports[0]) * kCreditClasses +
+        credit_class(view, entry.ports[1]))];
+  } else if (entry.count == 3) {
+    winner = kWinner3[static_cast<std::size_t>(
+        (credit_class(view, entry.ports[0]) * kCreditClasses +
+         credit_class(view, entry.ports[1])) *
+            kCreditClasses +
+        credit_class(view, entry.ports[2]))];
+  } else {
+    winner = 0;
+    int best_credits = view.free_credits[entry.ports[0]];
+    for (int i = 1; i < entry.count; ++i) {
+      const int credits = view.free_credits[entry.ports[i]];
+      if (credits > best_credits) {
+        best_credits = credits;
+        winner = i;
+      }
     }
   }
+  decision.out_port = static_cast<Port>(entry.ports[winner]);
   return decision;
 }
 

@@ -97,6 +97,14 @@ class MtrPlan {
   std::vector<std::uint64_t> combos_;
 };
 
+/// Number of downstream-credit classes MTR's table-driven tie-break
+/// distinguishes: one per possible free-credit total of a candidate port
+/// (0..kMaxPortCredits). Because a mesh/vertical port can never hold more
+/// than kMaxPortCredits free credits, classifying by clamped credit value
+/// is lossless - the bucketed argmax picks exactly the candidate the
+/// uncached credit scan picked.
+inline constexpr int kCreditClasses = kMaxPortCredits + 1;
+
 class MtrRouting final : public RoutingAlgorithm {
  public:
   MtrRouting(std::shared_ptr<const MtrPlan> plan, VlFaultSet faults,
@@ -108,6 +116,12 @@ class MtrRouting final : public RoutingAlgorithm {
   RouteDecision route(NodeId node, Port in_port, int in_vc,
                       const PacketRoute& route,
                       const RouterView& view) const override;
+  /// Only hops whose cached candidate set holds two or more continuations
+  /// tie-break on credits; everything else (ejection, forced single
+  /// continuation) answers from the table without a credit view, and the
+  /// network skips building one.
+  bool route_needs_view(NodeId node, Port in_port,
+                        const PacketRoute& route) const override;
   bool pair_reachable(NodeId src, NodeId dst) const override;
   std::uint64_t pair_combo_mask(NodeId src, NodeId dst) const override;
 
@@ -122,19 +136,29 @@ class MtrRouting final : public RoutingAlgorithm {
 
  private:
   /// Memoized route decision for one (line node, destination endpoint):
-  /// the minimal continuations in allowed-turn successor order, so the
-  /// runtime credit tie-break visits candidates exactly as the uncached
-  /// successor scan did (bit-identical adaptive choices).
+  /// the minimal continuations in allowed-turn successor order plus, for
+  /// credit-independent hops (ejection or a single continuation), the
+  /// fully resolved decision. Multi-candidate hops resolve through the
+  /// shared credit-class winner tables, visiting candidates in the order
+  /// the uncached successor scan did (bit-identical adaptive choices).
   struct RouteEntry {
     std::uint8_t count = 0;  ///< 0 = unreachable from this line node
     bool eject = false;      ///< a minimal continuation is dst's ejection
     std::array<std::uint8_t, 6> ports{};  ///< Port values, successor order
+    /// Precomputed answer when `eject || count == 1`; for larger counts
+    /// only the VC mask is meaningful and out_port comes from the
+    /// credit-class tables.
+    RouteDecision decision;
   };
 
   /// Minimal allowed-path distance from `line_node` to `dst`'s ejection,
   /// excluding faulty vertical channels (falls back to the design-time
   /// tables when the fault set is empty).
   std::uint16_t dist(int line_node, NodeId dst) const;
+
+  /// The cached entry for the hop arriving at `node` through `in_port`
+  /// toward destination endpoint `dst`.
+  const RouteEntry& entry_for(NodeId node, Port in_port, NodeId dst) const;
 
   void rebuild_fault_tables();
   void rebuild_route_cache();
@@ -145,13 +169,14 @@ class MtrRouting final : public RoutingAlgorithm {
   /// Per chiplet: alive down/up VL-index bitmasks under faults_.
   std::vector<std::uint8_t> alive_down_;
   std::vector<std::uint8_t> alive_up_;
-  /// Fault-aware distance tables (same layout as MtrPlan's); empty when
-  /// faults_ is empty. MTR never re-selects VLs at design time, but a hop
-  /// must still not be steered into a dead vertical channel at run time:
-  /// these tables make route() follow minimal allowed paths through alive
-  /// channels only, while pair_reachable still reports the pairs whose
-  /// every allowed combination died.
-  std::vector<std::vector<std::uint16_t>> fault_dist_;
+  /// Fault-aware distance table, flat with one line-graph-sized row per
+  /// endpoint (fault_dist_[d * line_graph.size() + line_node]); empty
+  /// when faults_ is empty. MTR never re-selects VLs at design time, but
+  /// a hop must still not be steered into a dead vertical channel at run
+  /// time: these tables make route() follow minimal allowed paths through
+  /// alive channels only, while pair_reachable still reports the pairs
+  /// whose every allowed combination died.
+  std::vector<std::uint16_t> fault_dist_;
   /// route_cache_[dst_endpoint_index * line_graph.size() + line_node].
   std::vector<RouteEntry> route_cache_;
 };

@@ -38,14 +38,15 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algorithm,
     RouterState& r = routers_[static_cast<std::size_t>(n)];
     for (int p = 0; p < kNumPorts; ++p) {
       for (int v = 0; v < num_vcs_; ++v) {
+        OutputVc& out =
+            r.out[static_cast<std::size_t>(FlitStore::lane_of(p, v))];
         if (static_cast<Port>(p) == Port::local) {
-          r.out[p][static_cast<std::size_t>(v)].credits = 0x3fff;
+          out.credits = 0x3fff;
         } else if (static_cast<Port>(p) == Port::rc) {
-          r.out[p][static_cast<std::size_t>(v)].credits = 0;
+          out.credits = 0;
         } else if (topo.out_channel(n, static_cast<Port>(p)) !=
                    kInvalidChannel) {
-          r.out[p][static_cast<std::size_t>(v)].credits =
-              static_cast<std::int16_t>(buffer_depth_);
+          out.credits = static_cast<std::int16_t>(buffer_depth_);
         }
       }
     }
@@ -56,18 +57,29 @@ Network::Network(const Topology& topo, RoutingAlgorithm& algorithm,
       static_cast<std::size_t>(topo.num_nodes()) * num_vcs_, buffer_depth_);
 }
 
+Flit Network::stamp_kind(const Flit& flit) const {
+  // The kind byte is the single injection-time PacketTable access that
+  // lets every later pipeline stage answer head/tail queries from the
+  // flit planes alone.
+  Flit stamped = flit;
+  stamped.kind = flit_kind(flit.seq, packets_->get(flit.packet).size);
+  return stamped;
+}
+
 void Network::inject_local(NodeId node, int vc, const Flit& flit) {
   check(local_credit_[index(node, vc)] > 0, "inject_local: no credit");
   --local_credit_[index(node, vc)];
   staged_arrivals_.push_back({node, static_cast<std::uint8_t>(Port::local),
-                              static_cast<std::uint8_t>(vc), flit});
+                              static_cast<std::uint8_t>(vc),
+                              stamp_kind(flit)});
 }
 
 void Network::inject_rc(NodeId node, int vc, const Flit& flit) {
   check(rc_in_credit_[index(node, vc)] > 0, "inject_rc: no credit");
   --rc_in_credit_[index(node, vc)];
   staged_arrivals_.push_back({node, static_cast<std::uint8_t>(Port::rc),
-                              static_cast<std::uint8_t>(vc), flit});
+                              static_cast<std::uint8_t>(vc),
+                              stamp_kind(flit)});
 }
 
 void Network::add_rc_out_credits(NodeId node, int credits) {
@@ -79,7 +91,8 @@ RouterView Network::make_view(const RouterState& r) const {
   for (int p = 0; p < kNumPorts; ++p) {
     int credits = 0;
     for (int v = 0; v < num_vcs_; ++v) {
-      credits += r.out[p][static_cast<std::size_t>(v)].credits;
+      credits +=
+          r.out[static_cast<std::size_t>(FlitStore::lane_of(p, v))].credits;
     }
     view.free_credits[static_cast<std::size_t>(p)] = credits;
   }

@@ -26,6 +26,13 @@
 //    (see NullStatsSink for the concept) instead of indirect std::function
 //    hooks, so per-flit instrumentation inlines into the traversal loop
 //    and the no-stats phases (warmup, drain, deadlock probes) pay nothing.
+//
+//  * Structure-of-arrays flit storage (FlitStore in router.hpp): buffered
+//    flits live in parallel field planes per router, flits carry a
+//    head/tail kind byte stamped once at injection, and the credit view
+//    for adaptive routing is built only when route_needs_view() says the
+//    hop's decision actually depends on it - so the pipeline stages
+//    stream single bytes instead of whole Flit/PacketState objects.
 #pragma once
 
 #include <bit>
@@ -139,6 +146,9 @@ class Network {
   template <class Sink>
   void process_router(NodeId node, Cycle now, Sink& sink);
   RouterView make_view(const RouterState& r) const;
+  /// Returns `flit` with its head/tail kind byte filled in from the
+  /// packet's size (called once per flit as it enters the network).
+  Flit stamp_kind(const Flit& flit) const;
 
   const Topology* topo_;
   RoutingAlgorithm* algorithm_;
@@ -209,26 +219,30 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
   // computes its route, then tries to acquire an output VC. The output-VC
   // round-robin pointer arbitrates both fairness and DeFT's round-robin VN
   // assignment when the admissible mask spans both VNs. The credit view is
-  // built lazily: only adaptive algorithms read it, and only when a route
-  // actually needs computing (its contents cannot change inside this stage,
-  // so computing it at first use is equivalent to computing it up front).
+  // built lazily: only adaptive algorithms read it, and only for hops where
+  // route_needs_view() says the decision actually depends on it (its
+  // contents cannot change inside this stage, so computing it at first use
+  // is equivalent to computing it up front).
   RouterView view{};
   bool view_ready = !algorithm_uses_view_;
   for (std::uint64_t occ = r.occupancy; occ != 0; occ &= occ - 1) {
-    const int bit = std::countr_zero(occ);
-    const int p = bit / kMaxVcs;
-    const int v = bit % kMaxVcs;
-    InputVc& ivc = r.in[p][static_cast<std::size_t>(v)];
+    const int lane = std::countr_zero(occ);
+    const int p = lane / kMaxVcs;
+    const int v = lane % kMaxVcs;
+    InputVcState& ivc = r.in[static_cast<std::size_t>(lane)];
     if (!ivc.route_ready) {
-      const Flit& head = ivc.fifo.front();  // occupancy bit => non-empty
-      if (!head.is_head()) {
+      // Occupancy bit => lane non-empty; only the kind plane is touched
+      // unless the head is routable.
+      if ((r.flits.front_kind(lane) & kFlitHead) == 0) {
         continue;  // waiting for a lagging head? cannot happen, see below
       }
-      if (!view_ready) {
+      const PacketState& pkt = packets_->get(r.flits.front_packet(lane));
+      if (!view_ready &&
+          algorithm_->route_needs_view(node, static_cast<Port>(p),
+                                       pkt.route)) {
         view = make_view(r);
         view_ready = true;
       }
-      const PacketState& pkt = packets_->get(head.packet);
       ivc.decision = algorithm_->route(node, static_cast<Port>(p), v,
                                        pkt.route, view);
       ivc.route_ready = true;
@@ -244,12 +258,14 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
       if ((ivc.decision.vcs & vc_bit(cand)) == 0) {
         continue;
       }
-      OutputVc& out = r.out[o][static_cast<std::size_t>(cand)];
+      OutputVc& out = r.out[static_cast<std::size_t>(
+          FlitStore::lane_of(o, cand))];
       if (out.owner_port >= 0) {
         continue;
       }
       out.owner_port = static_cast<std::int8_t>(p);
       out.owner_vc = static_cast<std::int8_t>(v);
+      r.owned |= std::uint32_t{1} << FlitStore::lane_of(o, cand);
       ivc.out_vc = static_cast<std::int8_t>(cand);
       ovc_ptr = static_cast<std::uint8_t>((cand + 1) % num_vcs_);
       break;
@@ -262,9 +278,16 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
   // fields: an input VC competes for output port o iff it holds one of o's
   // output VCs, so visiting the owners in cyclic slot order starting at
   // the round-robin pointer grants exactly the slot the full scan would.
+  // The owned-output bitmask drives the walk: only output ports with at
+  // least one owned VC are visited (in port order, VCs in ascending order
+  // within a port - the order the exhaustive scan used).
   bool used_in[kNumPorts] = {};
   const int slots = kNumPorts * num_vcs_;
-  for (int o = 0; o < kNumPorts; ++o) {
+  for (std::uint32_t owned = r.owned; owned != 0;) {
+    const int o = std::countr_zero(owned) / kMaxVcs;
+    constexpr std::uint32_t kGroupMask = (std::uint32_t{1} << kMaxVcs) - 1;
+    std::uint32_t group = owned & (kGroupMask << (o * kMaxVcs));
+    owned &= ~group;
     auto& sa = r.sa_ptr[static_cast<std::size_t>(o)];
     struct Candidate {
       int distance;  ///< cyclic slot distance from the round-robin pointer
@@ -275,14 +298,13 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
     };
     Candidate cands[kMaxVcs];
     int num_cands = 0;
-    for (int vc = 0; vc < num_vcs_; ++vc) {
-      const OutputVc& out = r.out[o][static_cast<std::size_t>(vc)];
-      if (out.owner_port < 0) {
-        continue;
-      }
+    for (; group != 0; group &= group - 1) {
+      const int out_lane = std::countr_zero(group);
+      const OutputVc& out = r.out[static_cast<std::size_t>(out_lane)];
       const int slot = out.owner_port * num_vcs_ + out.owner_vc;
       Candidate c{(slot - sa + slots) % slots, static_cast<std::int16_t>(slot),
-                  out.owner_port, out.owner_vc, static_cast<std::int8_t>(vc)};
+                  out.owner_port, out.owner_vc,
+                  static_cast<std::int8_t>(out_lane % kMaxVcs)};
       int i = num_cands++;
       for (; i > 0 && cands[i - 1].distance > c.distance; --i) {
         cands[i] = cands[i - 1];
@@ -295,11 +317,13 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
       if (used_in[p]) {
         continue;
       }
-      InputVc& ivc = r.in[p][static_cast<std::size_t>(c.vc)];
-      if (ivc.fifo.empty()) {
+      const int in_lane = FlitStore::lane_of(p, c.vc);
+      InputVcState& ivc = r.in[static_cast<std::size_t>(in_lane)];
+      if (r.flits.empty(in_lane)) {
         continue;  // owner waiting for body flits (wormhole)
       }
-      OutputVc& out = r.out[o][static_cast<std::size_t>(c.out_vc)];
+      OutputVc& out =
+          r.out[static_cast<std::size_t>(FlitStore::lane_of(o, c.out_vc))];
       const Port out_port = static_cast<Port>(o);
       if (out_port != Port::local && out.credits <= 0) {
         continue;
@@ -315,14 +339,13 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
       }
 
       // Grant: move the flit.
-      const Flit flit = ivc.fifo.pop();
+      const Flit flit = r.flits.pop(in_lane);
       --flits_buffered_;
       ++moves_last_cycle_;
       used_in[p] = true;
       sa = static_cast<std::uint8_t>((c.slot + 1) % slots);
-      if (ivc.fifo.empty()) {
-        r.occupancy &=
-            ~(std::uint64_t{1} << RouterState::occ_bit(p, c.vc));
+      if (r.flits.empty(in_lane)) {
+        r.occupancy &= ~(std::uint64_t{1} << in_lane);
       }
 
       // Return a credit upstream for the freed input slot.
@@ -341,7 +364,7 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
                                    static_cast<std::uint8_t>(c.vc)});
       }
 
-      const bool is_tail = packets_->is_tail(flit);
+      const bool is_tail = flit.is_tail();  // stamped at injection
       if (out_port == Port::local) {
         staged_departures_.push_back({node, flit, /*to_rc=*/false});
       } else if (out_port == Port::rc) {
@@ -369,6 +392,7 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
       if (is_tail) {
         out.owner_port = -1;
         out.owner_vc = -1;
+        r.owned &= ~(std::uint32_t{1} << FlitStore::lane_of(o, c.out_vc));
         ivc.route_ready = false;
         ivc.out_vc = -1;
       }
@@ -381,11 +405,11 @@ template <class Sink>
 void Network::apply(Cycle now, Sink& sink) {
   for (const Arrival& a : staged_arrivals_) {
     RouterState& r = routers_[static_cast<std::size_t>(a.node)];
-    InputVc& ivc = r.in[a.port][a.vc];
-    check(ivc.fifo.size() < buffer_depth_, "Network: buffer overflow");
-    ivc.fifo.push(a.flit);
+    const int lane = FlitStore::lane_of(a.port, a.vc);
+    check(r.flits.size(lane) < buffer_depth_, "Network: buffer overflow");
+    r.flits.push(lane, a.flit);
     ++flits_buffered_;
-    r.occupancy |= std::uint64_t{1} << RouterState::occ_bit(a.port, a.vc);
+    r.occupancy |= std::uint64_t{1} << lane;
     active_[static_cast<std::size_t>(a.node) / 64] |=
         std::uint64_t{1} << (static_cast<std::size_t>(a.node) % 64);
   }
@@ -398,7 +422,7 @@ void Network::apply(Cycle now, Sink& sink) {
       ++rc_in_credit_[index(c.node, c.vc)];
     } else {
       ++routers_[static_cast<std::size_t>(c.node)]
-            .out[c.port][c.vc]
+            .out[static_cast<std::size_t>(FlitStore::lane_of(c.port, c.vc))]
             .credits;
     }
   }
@@ -408,7 +432,8 @@ void Network::apply(Cycle now, Sink& sink) {
     // The RC output port is modelled with a single shared credit pool on
     // VC 0 (the RC unit ignores VCs).
     routers_[static_cast<std::size_t>(node)]
-        .out[port_index(Port::rc)][0]
+        .out[static_cast<std::size_t>(
+            FlitStore::lane_of(port_index(Port::rc), 0))]
         .credits += static_cast<std::int16_t>(credits);
   }
   staged_rc_out_credits_.clear();

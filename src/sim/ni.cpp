@@ -74,23 +74,28 @@ void NetworkInterface::try_inject(Cycle now, Network& net,
     }
     queue_.pop_front();
     active_ = head;
+    // Cache the per-packet fields the flit-streaming loop needs (size and
+    // admissible injection VCs) so the cycles that push body flits never
+    // touch the PacketTable.
+    const PacketState& pkt = packets.get(head);
+    active_size_ = pkt.size;
+    active_initial_vcs_ = pkt.route.initial_vcs;
     next_seq_ = 0;
     vc_ = -1;
     perm_requested_ = false;
   }
 
-  PacketState& pkt = packets.get(active_);
   if (vc_ < 0) {
     // Bind the whole packet to one local-input VC (wormhole). Packets that
     // may start in either VN round-robin over the admissible mask
     // (Algorithm 1's VN assignment); packets pinned to one VN must not
     // disturb that pointer, or the assignment drifts toward one VN.
-    const bool round_robins = (pkt.route.initial_vcs &
-                               (pkt.route.initial_vcs - 1)) != 0;
+    const bool round_robins = (active_initial_vcs_ &
+                               (active_initial_vcs_ - 1)) != 0;
     const int start = round_robins ? vc_rr_ : 0;
     for (int k = 0; k < net.num_vcs(); ++k) {
       const int cand = (start + k) % net.num_vcs();
-      if ((pkt.route.initial_vcs & vc_bit(cand)) != 0 &&
+      if ((active_initial_vcs_ & vc_bit(cand)) != 0 &&
           net.local_free(node_, cand) > 0) {
         vc_ = cand;
         break;
@@ -111,10 +116,10 @@ void NetworkInterface::try_inject(Cycle now, Network& net,
   flit.seq = next_seq_;
   net.inject_local(node_, vc_, flit);
   if (next_seq_ == 0) {
-    pkt.net_injected = now;
+    packets.get(active_).net_injected = now;
   }
   ++next_seq_;
-  if (next_seq_ == pkt.size) {
+  if (next_seq_ == active_size_) {
     active_ = -1;
     vc_ = -1;
   }

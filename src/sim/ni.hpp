@@ -70,6 +70,10 @@ class NetworkInterface {
   Rng rng_;
   std::deque<PacketId> queue_;
   PacketId active_ = -1;
+  /// Cached from the active packet's PacketState at activation, so the
+  /// per-cycle flit streaming path stays inside the NI's own state.
+  std::uint16_t active_size_ = 0;
+  VcMask active_initial_vcs_ = 0;
   std::uint16_t next_seq_ = 0;
   int vc_ = -1;
   bool perm_requested_ = false;

@@ -1,9 +1,14 @@
 // Packets and flits.
 //
-// Flits carry only their packet id and sequence number; everything else
-// (route state, timestamps, size) lives in the central PacketTable. This
-// keeps the per-flit footprint at 8 bytes, which matters because the
-// cycle-accurate model moves every flit through every buffer it occupies.
+// Flits carry their packet id, sequence number and a head/tail kind byte;
+// everything else (route state, timestamps, size) lives in the central
+// PacketTable. This keeps the per-flit footprint at 8 bytes, which
+// matters because the cycle-accurate model moves every flit through every
+// buffer it occupies. The kind byte is stamped when the flit enters the
+// network (Network::inject_local/inject_rc), so the switch stage and the
+// ejection sinks answer "is this a tail?" from the flit itself instead of
+// chasing the packet's PacketTable entry - a random access per flit per
+// hop in the old layout.
 #pragma once
 
 #include <vector>
@@ -14,11 +19,25 @@ namespace deft {
 
 using PacketId = std::int32_t;
 
+/// Head/tail position bits of a flit within its packet. A single-flit
+/// packet is both. 0 = not yet stamped (the network stamps on injection).
+using FlitKind = std::uint8_t;
+inline constexpr FlitKind kFlitHead = 1;
+inline constexpr FlitKind kFlitTail = 2;
+
+inline constexpr FlitKind flit_kind(std::uint16_t seq, std::uint16_t size) {
+  return static_cast<FlitKind>((seq == 0 ? kFlitHead : 0) |
+                               (seq + 1 == size ? kFlitTail : 0));
+}
+
 struct Flit {
   PacketId packet = -1;
   std::uint16_t seq = 0;
+  FlitKind kind = 0;
 
   bool is_head() const { return seq == 0; }
+  /// Valid once stamped by the network (flit_kind of seq and packet size).
+  bool is_tail() const { return (kind & kFlitTail) != 0; }
 };
 
 struct PacketState {
@@ -49,10 +68,6 @@ class PacketTable {
   PacketState& get(PacketId id) { return packets_[static_cast<std::size_t>(id)]; }
   const PacketState& get(PacketId id) const {
     return packets_[static_cast<std::size_t>(id)];
-  }
-
-  bool is_tail(const Flit& flit) const {
-    return flit.seq + 1 == get(flit.packet).size;
   }
 
   std::size_t size() const { return packets_.size(); }

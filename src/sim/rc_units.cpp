@@ -60,10 +60,11 @@ void RcUnitManager::absorb(NodeId unit_node, const Flit& flit, Cycle now,
         "RcUnitManager: RC buffer overflow");
   unit.buffer.push_back(flit);
   ++flits_held_;
-  if (packets.is_tail(flit)) {
+  if (flit.is_tail()) {  // kind stamped when the flit entered the network
     unit.absorbing_done = true;
   }
   (void)now;
+  (void)packets;
 }
 
 void RcUnitManager::publish_initial_credits(Network& net) const {

@@ -49,12 +49,12 @@ struct PhaseSink {
   }
 
   void eject(NodeId node, const Flit& flit, Cycle now) {
-    PacketState& pkt = a->packets->get(flit.packet);
-    check(node == pkt.route.dst, "Simulator: flit ejected at a wrong node");
     if constexpr (InWindow) {
       ++a->results->flits_ejected_in_window;
     }
-    if (a->packets->is_tail(flit)) {
+    if (flit.is_tail()) {  // kind stamped at injection
+      PacketState& pkt = a->packets->get(flit.packet);
+      check(node == pkt.route.dst, "Simulator: flit ejected at a wrong node");
       pkt.ejected = now;
       if (pkt.measured) {
         ++a->delivered_measured;

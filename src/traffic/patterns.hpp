@@ -31,20 +31,24 @@ class TrafficGenerator {
                     std::vector<PacketRequest>& out) = 0;
 
   /// True when next_injection() may replace per-cycle tick() polling.
-  /// Requires cycle-stationary, per-source-independent generation: tick()
-  /// ignores `cycle`, and the draws of one source never influence another
-  /// source's output (which rules out request/reply generators). The
-  /// simulator then asks each idle source for its next injection event in
-  /// one batched call instead of polling every endpoint every cycle.
+  /// Requires per-source-independent generation whose timing the
+  /// generator can predict without being ticked every cycle: either
+  /// cycle-stationary random draws (tick() ignores `cycle`, as in the
+  /// five synthetic patterns) or fully predetermined schedules (trace
+  /// replay's per-source cursors). Draws of one source must never
+  /// influence another source's output, which rules out request/reply
+  /// generators. The simulator then asks each idle source for its next
+  /// injection event in one batched call instead of polling every
+  /// endpoint every cycle.
   virtual bool supports_lookahead() const { return false; }
 
   /// Batched lookahead (only meaningful when supports_lookahead()).
-  /// Consumes `rng` exactly as successive tick() calls for the cycles
-  /// `from`, `from + 1`, ... would - so scheduled and per-cycle execution
-  /// see bit-identical request streams - and returns the first cycle
-  /// < `limit` whose tick() produces requests, appending them to `out`.
-  /// Returns `limit` (with `out` untouched) when no injection happens in
-  /// [from, limit).
+  /// Consumes `rng` and any internal cursors exactly as successive tick()
+  /// calls for the cycles `from`, `from + 1`, ... would - so scheduled
+  /// and per-cycle execution see bit-identical request streams - and
+  /// returns the first cycle < `limit` whose tick() produces requests,
+  /// appending them to `out`. Returns `limit` (with `out` untouched) when
+  /// no injection happens in [from, limit).
   virtual Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
                                std::vector<PacketRequest>& out);
 };

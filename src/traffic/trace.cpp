@@ -47,6 +47,26 @@ std::vector<TraceRecord> parse_trace(std::istream& in) {
   return records;
 }
 
+std::vector<TraceRecord> record_uniform_trace(const Topology& topo,
+                                              double rate, Cycle cycles,
+                                              std::uint64_t seed) {
+  UniformTraffic gen(topo, rate);
+  std::vector<TraceRecord> records;
+  Rng root(seed);
+  std::vector<PacketRequest> out;
+  for (NodeId n : topo.core_endpoints()) {
+    Rng rng = root.fork(static_cast<std::uint64_t>(n));
+    for (Cycle c = 0; c < cycles; ++c) {
+      out.clear();
+      gen.tick(n, c, rng, out);
+      for (const PacketRequest& r : out) {
+        records.push_back({c, n, r.dst, r.app});
+      }
+    }
+  }
+  return records;
+}
+
 TraceReplayGenerator::TraceReplayGenerator(std::vector<TraceRecord> records)
     : records_(std::move(records)) {
   NodeId max_node = 0;
@@ -76,6 +96,33 @@ void TraceReplayGenerator::tick(NodeId src, Cycle cycle, Rng& /*rng*/,
     out.push_back({queue[cur].dst, queue[cur].app});
     ++cur;
   }
+}
+
+Cycle TraceReplayGenerator::next_injection(NodeId src, Cycle from, Cycle limit,
+                                           Rng& /*rng*/,
+                                           std::vector<PacketRequest>& out) {
+  // Replay draws nothing from the RNG, so lookahead only has to mirror
+  // tick()'s cursor movement: the next event is the first unconsumed
+  // record's cycle (or `from`, if that record is already overdue), and the
+  // event batches every record up to and including that cycle - exactly
+  // what a tick() at the returned cycle would have emitted.
+  if (static_cast<std::size_t>(src) >= per_source_.size()) {
+    return limit;
+  }
+  auto& queue = per_source_[static_cast<std::size_t>(src)];
+  auto& cur = cursor_[static_cast<std::size_t>(src)];
+  if (cur >= queue.size()) {
+    return limit;  // source exhausted: silent forever
+  }
+  const Cycle event = std::max(queue[cur].cycle, from);
+  if (event >= limit) {
+    return limit;  // nothing due inside [from, limit)
+  }
+  while (cur < queue.size() && queue[cur].cycle <= event) {
+    out.push_back({queue[cur].dst, queue[cur].app});
+    ++cur;
+  }
+  return event;
 }
 
 bool TraceReplayGenerator::exhausted() const {

@@ -37,9 +37,23 @@ class TraceRecorder {
 /// Parses a trace stream. Throws std::invalid_argument on malformed input.
 std::vector<TraceRecord> parse_trace(std::istream& in);
 
+/// Records the request stream a uniform-random workload at `rate` would
+/// inject over [0, cycles) - one forked RNG stream per core endpoint -
+/// as a replayable trace. The perf matrix and the trace-equivalence
+/// goldens share this construction so both describe the same workload.
+std::vector<TraceRecord> record_uniform_trace(const Topology& topo,
+                                              double rate, Cycle cycles,
+                                              std::uint64_t seed = 0x7ace);
+
 /// Replays a trace as a TrafficGenerator. Records must be sorted by cycle
 /// (ties in any order); each is injected at its source when its cycle is
 /// reached.
+///
+/// Supports injection lookahead: records are bucketed per source at
+/// construction and each source's cursor advances independently, so the
+/// next injection cycle of an idle source is a cursor read rather than a
+/// per-cycle poll - trace workloads ride the simulator's scheduled
+/// injection path like the synthetic patterns do.
 class TraceReplayGenerator final : public TrafficGenerator {
  public:
   explicit TraceReplayGenerator(std::vector<TraceRecord> records);
@@ -47,6 +61,9 @@ class TraceReplayGenerator final : public TrafficGenerator {
   const char* name() const override { return "trace"; }
   void tick(NodeId src, Cycle cycle, Rng& rng,
             std::vector<PacketRequest>& out) override;
+  bool supports_lookahead() const override { return true; }
+  Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
+                       std::vector<PacketRequest>& out) override;
 
   /// True once every record has been replayed.
   bool exhausted() const;

@@ -87,9 +87,11 @@ TEST_F(RcUnitTest, ReservationIsExclusiveUntilReinjectionCompletes) {
     }
     ASSERT_FALSE(units_.grant_ready(unit, src_b, b, now));
   }
-  // Absorb all 8 flits of packet a; b stays ungranted throughout.
+  // Absorb all 8 flits of packet a; b stays ungranted throughout. The
+  // flits carry the head/tail kind the network stamps on injection (the
+  // unit's tail detection reads it).
   for (std::uint16_t seq = 0; seq < 8; ++seq) {
-    units_.absorb(unit, {a, seq}, now, packets_);
+    units_.absorb(unit, {a, seq, flit_kind(seq, 8)}, now, packets_);
     EXPECT_FALSE(units_.grant_ready(unit, src_b, b, now));
     ++now;
   }

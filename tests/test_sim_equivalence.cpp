@@ -19,6 +19,7 @@
 
 #include "core/runner.hpp"
 #include "traffic/app_profiles.hpp"
+#include "traffic/trace.hpp"
 
 namespace deft {
 namespace {
@@ -115,6 +116,19 @@ const ExperimentContext& ctx4() {
   return ctx;
 }
 
+const ExperimentContext& ctx6() {
+  static const ExperimentContext ctx = ExperimentContext::reference(6);
+  return ctx;
+}
+
+/// Deterministic replay workload for the trace-equivalence configs:
+/// uniform-random draws at 0.03 pkt/cycle/core recorded over the warmup +
+/// measurement window of golden_knobs (record_uniform_trace is the same
+/// construction the perf matrix uses; the digests below depend on it).
+std::vector<TraceRecord> golden_trace(const Topology& topo) {
+  return record_uniform_trace(topo, 0.03, 1500);
+}
+
 struct GoldenConfig {
   const char* name;
   Algorithm algorithm;
@@ -195,6 +209,153 @@ TEST(SimEquivalence, ActiveSetMatchesFullScanAcrossTrafficPatterns) {
     }
     expect_identical(results[0], results[1]);
   }
+}
+
+// 6-chiplet fault scenarios from the PR 3 perf matrix. Uniform traffic at
+// 0.02 pkt/cycle/core, golden_knobs, seed 7; digests captured from the
+// pre-SoA core (commit 9de0b1c) - they pin the flit-storage rewrite on
+// the big system exactly as kGoldens pins it on the reference system.
+const GoldenConfig kGoldens6[] = {
+    {"deft6_f0", Algorithm::deft, VlStrategy::table, 0,
+     0xf248820a903e160cULL},
+    {"deft6_f2", Algorithm::deft, VlStrategy::table, 2,
+     0x0c790fafe5f9eeaeULL},
+    {"deft6_f4", Algorithm::deft, VlStrategy::table, 4,
+     0x1ce90bf5c3df4299ULL},
+    {"mtr6_f0", Algorithm::mtr, VlStrategy::table, 0, 0x07d054c492ae5657ULL},
+    {"mtr6_f4", Algorithm::mtr, VlStrategy::table, 4, 0xb433898a2fb129bcULL},
+};
+
+SimResults run_config6(const GoldenConfig& cfg, SimCore core) {
+  UniformTraffic traffic(ctx6().topo(), 0.02);
+  VlFaultSet faults;
+  if (cfg.fault_count > 0) {
+    faults = grid_fault_pattern(ctx6(), cfg.fault_count);
+  }
+  return run_sim(ctx6(), cfg.algorithm, traffic, golden_knobs(core), faults,
+                 cfg.strategy);
+}
+
+TEST(SimEquivalence, SixChipletFaultScenariosMatchAcrossCores) {
+  for (const GoldenConfig& cfg : kGoldens6) {
+    SCOPED_TRACE(cfg.name);
+    const SimResults full = run_config6(cfg, SimCore::full_scan);
+    const SimResults active = run_config6(cfg, SimCore::active_set);
+    expect_identical(full, active);
+    EXPECT_EQ(digest(full), cfg.expected_digest);
+  }
+}
+
+TEST(SimEquivalence, SixChipletHotspotMatchesAcrossCores) {
+  // Hotspot at 0.012 on the 6-chiplet system, fault-free and 2-fault
+  // (digests captured from the pre-SoA core).
+  struct HotspotGolden {
+    int fault_count;
+    std::uint64_t expected_digest;
+  };
+  const HotspotGolden goldens[] = {
+      {0, 0xbf6f111bf3e363e4ULL},
+      {2, 0xd0888228b2650ef9ULL},
+  };
+  for (const HotspotGolden& g : goldens) {
+    SCOPED_TRACE(g.fault_count);
+    VlFaultSet faults;
+    if (g.fault_count > 0) {
+      faults = grid_fault_pattern(ctx6(), g.fault_count);
+    }
+    SimResults results[2];
+    for (SimCore core : {SimCore::full_scan, SimCore::active_set}) {
+      HotspotTraffic traffic(ctx6().topo(), 0.012);
+      results[core == SimCore::active_set] = run_sim(
+          ctx6(), Algorithm::deft, traffic, golden_knobs(core), faults);
+    }
+    expect_identical(results[0], results[1]);
+    EXPECT_EQ(digest(results[0]), g.expected_digest);
+  }
+}
+
+TEST(SimEquivalence, TraceReplayLookaheadMatchesPollingAcrossCores) {
+  // The active-set core now rides TraceReplayGenerator's per-source-cursor
+  // lookahead; the full-scan reference still polls tick() every cycle.
+  // Both must reproduce the digests captured before the lookahead existed
+  // (when every core polled traces), for DeFT and MTR, fault-free and
+  // under faults.
+  struct TraceGolden {
+    const char* name;
+    Algorithm algorithm;
+    int fault_count;
+    std::uint64_t expected_digest;
+  };
+  const TraceGolden goldens[] = {
+      {"trace_deft_f0", Algorithm::deft, 0, 0xf03ff11403a277d5ULL},
+      {"trace_deft_f2", Algorithm::deft, 2, 0xe9db7514cb7cc6e5ULL},
+      {"trace_mtr_f0", Algorithm::mtr, 0, 0x6fddd8a00a890274ULL},
+      {"trace_mtr_f2", Algorithm::mtr, 2, 0xd48e63dd7ca05101ULL},
+  };
+  const std::vector<TraceRecord> records = golden_trace(ctx4().topo());
+  for (const TraceGolden& g : goldens) {
+    SCOPED_TRACE(g.name);
+    VlFaultSet faults;
+    if (g.fault_count > 0) {
+      faults = grid_fault_pattern(ctx4(), g.fault_count);
+    }
+    SimResults results[2];
+    for (SimCore core : {SimCore::full_scan, SimCore::active_set}) {
+      // Replay consumes the generator's cursors: fresh instance per run.
+      TraceReplayGenerator traffic(records);
+      ASSERT_TRUE(traffic.supports_lookahead());
+      results[core == SimCore::active_set] =
+          run_sim(ctx4(), g.algorithm, traffic, golden_knobs(core), faults);
+    }
+    expect_identical(results[0], results[1]);
+    EXPECT_EQ(digest(results[0]), g.expected_digest);
+  }
+}
+
+TEST(SimEquivalence, TraceLookaheadConsumesCursorsExactlyLikePolling) {
+  // The trace analogue of LookaheadConsumesRngExactlyLikePolling: for
+  // every source, alternating next_injection() calls must visit the same
+  // (cycle, requests) sequence per-cycle tick() polling produces,
+  // including batched same-cycle records and overdue records (cycle <
+  // `from`), and leave the cursors in the same state.
+  const std::vector<TraceRecord> records = golden_trace(ctx4().topo());
+  TraceReplayGenerator polled(records);
+  TraceReplayGenerator batched(records);
+  Rng rng(1);  // unused by replay; required by the interface
+  const Cycle limit = 2000;
+  for (NodeId src :
+       {ctx4().topo().core_endpoints()[3], ctx4().topo().core_endpoints()[17]}) {
+    SCOPED_TRACE(src);
+    Cycle from = 0;
+    while (from < limit) {
+      std::vector<PacketRequest> expected;
+      Cycle expected_cycle = limit;
+      for (Cycle c = from; c < limit && expected.empty(); ++c) {
+        polled.tick(src, c, rng, expected);
+        if (!expected.empty()) {
+          expected_cycle = c;
+        }
+      }
+      std::vector<PacketRequest> got;
+      const Cycle got_cycle =
+          batched.next_injection(src, from, limit, rng, got);
+      EXPECT_EQ(got_cycle, expected_cycle);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].dst, expected[i].dst);
+        EXPECT_EQ(got[i].app, expected[i].app);
+      }
+      from = got_cycle + 1;
+    }
+  }
+  // A record already overdue at `from` fires immediately at `from`.
+  TraceReplayGenerator overdue({{5, ctx4().topo().core_endpoints()[0],
+                                 ctx4().topo().core_endpoints()[1], 0}});
+  std::vector<PacketRequest> out;
+  EXPECT_EQ(overdue.next_injection(ctx4().topo().core_endpoints()[0], 40,
+                                   100, rng, out),
+            40);
+  ASSERT_EQ(out.size(), 1u);
 }
 
 TEST(SimEquivalence, ActiveSetMatchesFullScanWithoutLookahead) {

@@ -1,18 +1,48 @@
 #!/usr/bin/env python3
-"""Compare a fresh perf-core run against the committed baseline.
+"""Compare a fresh perf-matrix run against the committed baseline.
 
 Usage: check_perf_regression.py BASELINE.json NEW.json [--tolerance 0.25]
 
-The gate tracks the machine-portable metrics: the active-set/full-scan
-speedup ratios, which are measured within one run on one machine and so
-cancel out host speed. A ratio that drops more than --tolerance below the
-committed baseline fails the check. Absolute cycles/sec values in the JSON
-are informational (they depend on the host) and are printed but not gated.
+The gate tracks the machine-portable metrics: the per-scenario
+active-set/full-scan speedup ratios, which are measured within one run on
+one machine and so cancel out host speed. A ratio that drops more than
+--tolerance below the committed baseline fails the check, as does a
+scenario present in the baseline but missing from the fresh run (a
+silently shrunk matrix must not pass the gate). Absolute cycles/sec
+values in the JSON are informational (they depend on the host) and are
+printed but not gated.
+
+Exits 1 on regressions and 2 on malformed input (unreadable file, invalid
+JSON, or a JSON document without the expected "speedup" table).
 """
 
 import argparse
 import json
 import sys
+
+
+def die_malformed(message: str) -> None:
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_speedups(path: str) -> dict:
+    """Reads the "speedup" table of a perf JSON, with actionable errors."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        die_malformed(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        die_malformed(f"{path} is not valid JSON: {err}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("speedup"), dict):
+        die_malformed(f"{path} has no \"speedup\" table; is it a "
+                      f"--perf-json output?")
+    bad = {k: v for k, v in doc["speedup"].items()
+           if not isinstance(v, (int, float)) or isinstance(v, bool)}
+    if bad:
+        die_malformed(f"non-numeric speedup entries in {path}: {sorted(bad)}")
+    return doc
 
 
 def main() -> int:
@@ -23,16 +53,17 @@ def main() -> int:
                         help="allowed fractional drop in speedup ratios")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
+    baseline = load_speedups(args.baseline)
+    fresh = load_speedups(args.fresh)
 
     failures = []
     for key, base_value in sorted(baseline["speedup"].items()):
         new_value = fresh["speedup"].get(key)
         if new_value is None:
-            failures.append(f"speedup[{key}]: missing from fresh run")
+            print(f"FAIL speedup[{key}]: missing from fresh run")
+            failures.append(
+                f"speedup[{key}]: present in baseline but missing from "
+                f"{args.fresh} (scenario dropped from the matrix?)")
             continue
         floor = base_value * (1.0 - args.tolerance)
         status = "OK " if new_value >= floor else "FAIL"
@@ -43,11 +74,16 @@ def main() -> int:
                 f"speedup[{key}] regressed: {new_value:.3f} < {floor:.3f} "
                 f"(baseline {base_value:.3f}, tolerance {args.tolerance:.0%})")
 
+    for key in sorted(set(fresh["speedup"]) - set(baseline["speedup"])):
+        print(f"info speedup[{key}]: new scenario (no baseline), "
+              f"{fresh['speedup'][key]:.3f}")
+
     for point in fresh.get("points", []):
-        if point["core"] == "active_set":
-            print(f"info {point['algorithm']:>4} rate={point['rate']:.3f}: "
-                  f"{point['cycles_per_sec']:,.0f} cycles/s, "
-                  f"{point['flit_hops_per_sec']:,.0f} flit-hops/s")
+        if point.get("core") == "active_set":
+            label = point.get("scenario") or point.get("algorithm", "?")
+            print(f"info {label}: "
+                  f"{point.get('cycles_per_sec', 0):,.0f} cycles/s, "
+                  f"{point.get('flit_hops_per_sec', 0):,.0f} flit-hops/s")
 
     if failures:
         print("\nPerf regression detected:", file=sys.stderr)
