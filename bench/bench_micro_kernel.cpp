@@ -8,14 +8,19 @@
 // harness: a scenario matrix spanning the 4-chiplet reference and the
 // 6-chiplet system, uniform + hotspot + trace-replay traffic, and 0/2/4
 // faulty vertical channels, each timed under both simulation cores (the
-// active-set worklist core and the full-scan reference) and written as
-// JSON with per-scenario speedup ratios (BENCH_PR3.json is the tracked
-// baseline; CI's perf-smoke job fails on regressions against it - see
-// docs/performance.md).
+// active-set worklist core and the full-scan reference), plus a
+// short-run sweep scenario (many 1k-cycle fault points through the sweep
+// runner, where the reusable SimWorkspace matters most) timed with and
+// without workspace reuse. Everything is written as JSON with
+// per-scenario speedup ratios (BENCH_PR4.json is the tracked baseline;
+// CI's perf-smoke job fails on regressions against it - see
+// docs/performance.md). --list-scenarios enumerates the matrix without
+// running it.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -226,52 +231,91 @@ constexpr Cycle kPerfDrainMax = 6000;
 /// benchmarking practice: the minimum estimates the noise-free cost).
 constexpr int kPerfRepeats = 3;
 
-/// Cycles/sec of the PR 2 active-set core (commit 9de0b1c, before the SoA
-/// flit storage, credit-bucketed MTR tables and trace-replay lookahead
-/// landed) on this same scenario matrix, measured on the reference 1-core
-/// container. A historical artifact like the golden digests:
-/// speedup_vs_pr2 is only meaningful on comparable hardware, while the
-/// full_scan/active_set ratios in "speedup" cancel machine speed and are
-/// what CI tracks. Order matches kScenarios.
-constexpr double kPr2CyclesPerSec[kNumScenarios] = {
-    155780,  // ref4/uniform/f0/DeFT
-    123273,  // ref4/uniform/f0/MTR
-    144704,  // ref4/uniform/f0/RC
-    152818,  // ref4/uniform/f2/DeFT
-    124751,  // ref4/uniform/f2/MTR
-    148719,  // ref4/uniform/f4/DeFT
-    122805,  // ref4/uniform/f4/MTR
-    193559,  // ref4/hotspot/f0/DeFT
-    161351,  // ref4/hotspot/f0/MTR
-    188910,  // ref4/hotspot/f2/DeFT
-    163233,  // ref4/hotspot/f2/MTR
-    185431,  // ref4/hotspot/f4/DeFT
-    160307,  // ref4/hotspot/f4/MTR
-    98135,   // ref4/trace/f0/DeFT
-    100025,  // ref4/trace/f0/MTR
-    94742,   // ref4/trace/f2/DeFT
-    129888,  // ref4/trace/f2/MTR
-    91572,   // ref4/trace/f4/DeFT
-    116131,  // ref4/trace/f4/MTR
-    111384,  // sys6/uniform/f0/DeFT
-    85445,   // sys6/uniform/f0/MTR
-    101434,  // sys6/uniform/f0/RC
-    109628,  // sys6/uniform/f2/DeFT
-    84098,   // sys6/uniform/f2/MTR
-    106366,  // sys6/uniform/f4/DeFT
-    81655,   // sys6/uniform/f4/MTR
-    146787,  // sys6/hotspot/f0/DeFT
-    111918,  // sys6/hotspot/f0/MTR
-    144860,  // sys6/hotspot/f2/DeFT
-    110443,  // sys6/hotspot/f2/MTR
-    141881,  // sys6/hotspot/f4/DeFT
-    108470,  // sys6/hotspot/f4/MTR
-    84639,   // sys6/trace/f0/DeFT
-    65428,   // sys6/trace/f0/MTR
-    83247,   // sys6/trace/f2/DeFT
-    66944,   // sys6/trace/f2/MTR
-    80631,   // sys6/trace/f4/DeFT
-    66048,   // sys6/trace/f4/MTR
+/// Cycles/sec of the PR 3 active-set core (commit 511c16b, before the
+/// interned route plane and the reusable SimWorkspace landed) on this
+/// same scenario matrix, measured on the reference 1-core container
+/// interleaved best-of-5 with the current core. A historical artifact
+/// like the golden digests: speedup_vs_pr3 is only meaningful on
+/// comparable hardware, while the full_scan/active_set ratios in
+/// "speedup" cancel machine speed and are what CI tracks. Order matches
+/// kScenarios.
+constexpr double kPr3CyclesPerSec[kNumScenarios] = {
+    200797,  // ref4/uniform/f0/DeFT
+    147705,  // ref4/uniform/f0/MTR
+    175274,  // ref4/uniform/f0/RC
+    195011,  // ref4/uniform/f2/DeFT
+    147565,  // ref4/uniform/f2/MTR
+    191230,  // ref4/uniform/f4/DeFT
+    145624,  // ref4/uniform/f4/MTR
+    249049,  // ref4/hotspot/f0/DeFT
+    196884,  // ref4/hotspot/f0/MTR
+    243940,  // ref4/hotspot/f2/DeFT
+    199034,  // ref4/hotspot/f2/MTR
+    238043,  // ref4/hotspot/f4/DeFT
+    194888,  // ref4/hotspot/f4/MTR
+    130628,  // ref4/trace/f0/DeFT
+    128873,  // ref4/trace/f0/MTR
+    126864,  // ref4/trace/f2/DeFT
+    174840,  // ref4/trace/f2/MTR
+    120393,  // ref4/trace/f4/DeFT
+    155353,  // ref4/trace/f4/MTR
+    142292,  // sys6/uniform/f0/DeFT
+    103454,  // sys6/uniform/f0/MTR
+    122670,  // sys6/uniform/f0/RC
+    140723,  // sys6/uniform/f2/DeFT
+    101844,  // sys6/uniform/f2/MTR
+    137706,  // sys6/uniform/f4/DeFT
+    100052,  // sys6/uniform/f4/MTR
+    188333,  // sys6/hotspot/f0/DeFT
+    136612,  // sys6/hotspot/f0/MTR
+    187253,  // sys6/hotspot/f2/DeFT
+    133921,  // sys6/hotspot/f2/MTR
+    182990,  // sys6/hotspot/f4/DeFT
+    132099,  // sys6/hotspot/f4/MTR
+    116494,  // sys6/trace/f0/DeFT
+    84671,   // sys6/trace/f0/MTR
+    113187,  // sys6/trace/f2/DeFT
+    86164,   // sys6/trace/f2/MTR
+    111510,  // sys6/trace/f4/DeFT
+    84236,   // sys6/trace/f4/MTR
+};
+
+// --------------------------------------------------------------------------
+// Short-run sweep scenario: the Fig. 7/8-shaped workload of many 1k-cycle
+// fault points, where per-run state construction dominates and the
+// reusable SimWorkspace matters most. The in-binary ratio compares the
+// sweep runner's workspace path against executing the identical expanded
+// grid with a fresh allocating Simulator per point (the PR 3 execution
+// model); both produce field-identical results (test_workspace.cpp).
+
+constexpr char kSweepScenario[] = "sweep1k/deft";
+
+ExperimentGrid sweep_grid() {
+  ExperimentGrid grid;
+  grid.algorithms = {Algorithm::deft};
+  grid.traffic_patterns = {"uniform", "hotspot"};
+  grid.fault_counts = {0, 1, 2, 3, 4};
+  grid.injection_rates = {0.004, 0.008, 0.012};
+  return grid;  // 30 points
+}
+
+SimKnobs sweep_knobs() {
+  SimKnobs knobs;
+  knobs.warmup = 100;
+  knobs.measure = 1000;
+  knobs.drain_max = 400;
+  return knobs;
+}
+
+/// Sweep points/sec of the PR 3 core (commit 511c16b) on this workload,
+/// recorded interleaved best-of-5 on the reference 1-core container (same
+/// caveats as kPr3CyclesPerSec).
+constexpr double kPr3SweepPointsPerSec = 206.9;
+
+struct SweepMeasure {
+  std::size_t points = 0;
+  Cycle cycles = 0;
+  double seconds = 0.0;
 };
 
 const ExperimentContext& perf_ctx(int chiplets) {
@@ -286,7 +330,52 @@ struct PerfPoint {
   double seconds = 0.0;
 };
 
-PerfPoint measure_point(const Scenario& s, SimCore core) {
+SweepMeasure measure_sweep(bool workspace) {
+  const ExperimentContext& ctx = perf_ctx(4);
+  const ExperimentGrid grid = sweep_grid();
+  const SimKnobs knobs = sweep_knobs();
+  SweepMeasure best;
+  for (int rep = 0; rep < kPerfRepeats; ++rep) {
+    SweepMeasure m;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (workspace) {
+      // The production path: SweepRunner reuses one workspace per worker
+      // (one worker here, so wall clock is comparable to the serial loop).
+      const auto sweep = SweepRunner(1).run(ctx, grid, knobs);
+      m.points = sweep.size();
+      for (const SweepResult& r : sweep) {
+        m.cycles += r.results.cycles_run;
+      }
+    } else {
+      // The PR 3 execution model: a fresh Simulator (and packet table,
+      // network, NIs, ...) per grid point.
+      const auto points = expand_grid(ctx, grid);
+      m.points = points.size();
+      for (const ExperimentPoint& point : points) {
+        const auto traffic = make_traffic(ctx.topo(), point.traffic_pattern,
+                                          point.injection_rate);
+        SimKnobs point_knobs = knobs;
+        point_knobs.seed = point.sim_seed;
+        const SimResults r = run_sim(ctx, point.algorithm, *traffic,
+                                     point_knobs, point.faults,
+                                     point.vl_strategy);
+        m.cycles += r.cycles_run;
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    m.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || m.seconds < best.seconds) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+/// Times one scenario under `core`. The active-set measurement reuses a
+/// workspace across repeats and scenarios - the production configuration
+/// (how SweepRunner workers execute); the full-scan reference keeps the
+/// allocating path. Results are bit-identical either way.
+PerfPoint measure_point(const Scenario& s, SimCore core, SimWorkspace* ws) {
   const ExperimentContext& ctx = perf_ctx(s.chiplets);
   VlFaultSet faults;
   if (s.faults > 0) {
@@ -310,12 +399,23 @@ PerfPoint measure_point(const Scenario& s, SimCore core) {
     } else {
       traffic = make_traffic(ctx.topo(), s.traffic, s.rate);
     }
+    Cycle cycles = 0;
+    std::uint64_t flit_hops = 0;
     const auto t0 = std::chrono::steady_clock::now();
-    const SimResults r = run_sim(ctx, s.algorithm, *traffic, knobs, faults);
+    if (ws != nullptr) {
+      const SimResults& r =
+          run_sim(*ws, ctx, s.algorithm, *traffic, knobs, faults);
+      cycles = r.cycles_run;
+      flit_hops = r.flit_hops;
+    } else {
+      const SimResults r = run_sim(ctx, s.algorithm, *traffic, knobs, faults);
+      cycles = r.cycles_run;
+      flit_hops = r.flit_hops;
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     if (rep == 0 || seconds < best.seconds) {
-      best = {r.cycles_run, r.flit_hops, seconds};
+      best = {cycles, flit_hops, seconds};
     }
   }
   return best;
@@ -327,10 +427,11 @@ int run_perf_core(const std::string& json_path) {
 
   PerfPoint full[kNumScenarios];
   PerfPoint active[kNumScenarios];
+  SimWorkspace ws;  // reused across every active-set measurement
   for (std::size_t i = 0; i < kNumScenarios; ++i) {
     const Scenario& s = kScenarios[i];
-    full[i] = measure_point(s, SimCore::full_scan);
-    active[i] = measure_point(s, SimCore::active_set);
+    full[i] = measure_point(s, SimCore::full_scan, nullptr);
+    active[i] = measure_point(s, SimCore::active_set, &ws);
     std::printf("%-22s %7lld cycles  full %9.0f cyc/s  active %9.0f cyc/s "
                 " (%.2fx)\n",
                 s.name, static_cast<long long>(active[i].cycles),
@@ -338,6 +439,15 @@ int run_perf_core(const std::string& json_path) {
                 static_cast<double>(active[i].cycles) / active[i].seconds,
                 full[i].seconds / active[i].seconds);
   }
+
+  const SweepMeasure sweep_fresh = measure_sweep(/*workspace=*/false);
+  const SweepMeasure sweep_ws = measure_sweep(/*workspace=*/true);
+  std::printf("%-22s %5zu points  fresh %6.1f pts/s  workspace %6.1f pts/s "
+              " (%.2fx)\n",
+              kSweepScenario, sweep_ws.points,
+              static_cast<double>(sweep_fresh.points) / sweep_fresh.seconds,
+              static_cast<double>(sweep_ws.points) / sweep_ws.seconds,
+              sweep_fresh.seconds / sweep_ws.seconds);
 
   FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
@@ -349,10 +459,16 @@ int run_perf_core(const std::string& json_path) {
                "  \"config\": {\"systems\": [\"reference-4\", "
                "\"reference-6\"], \"traffics\": [\"uniform\", \"hotspot\", "
                "\"trace\"], \"fault_counts\": [0, 2, 4], \"warmup\": %lld, "
-               "\"measure\": %lld, \"drain_max\": %lld, \"repeats\": %d},\n",
+               "\"measure\": %lld, \"drain_max\": %lld, \"repeats\": %d, "
+               "\"sweep_scenario\": {\"name\": \"%s\", \"points\": %zu, "
+               "\"warmup\": %lld, \"measure\": %lld, \"drain_max\": %lld}},\n",
                static_cast<long long>(kPerfWarmup),
                static_cast<long long>(kPerfMeasure),
-               static_cast<long long>(kPerfDrainMax), kPerfRepeats);
+               static_cast<long long>(kPerfDrainMax), kPerfRepeats,
+               kSweepScenario, sweep_ws.points,
+               static_cast<long long>(sweep_knobs().warmup),
+               static_cast<long long>(sweep_knobs().measure),
+               static_cast<long long>(sweep_knobs().drain_max));
   std::fprintf(out, "  \"points\": [\n");
   for (std::size_t i = 0; i < kNumScenarios; ++i) {
     const Scenario& s = kScenarios[i];
@@ -365,21 +481,34 @@ int run_perf_core(const std::string& json_path) {
           "\"%s\", \"faults\": %d, \"algorithm\": \"%s\", \"rate\": %.3f, "
           "\"core\": \"%s\", \"cycles\": %lld, \"flit_hops\": %llu, "
           "\"seconds\": %.6f, \"cycles_per_sec\": %.0f, "
-          "\"flit_hops_per_sec\": %.0f}%s\n",
+          "\"flit_hops_per_sec\": %.0f},\n",
           s.name, s.chiplets == 4 ? "reference-4" : "reference-6", s.traffic,
           s.faults, algorithm_name(s.algorithm), s.rate, core,
           static_cast<long long>(p.cycles),
           static_cast<unsigned long long>(p.flit_hops), p.seconds,
           static_cast<double>(p.cycles) / p.seconds,
-          static_cast<double>(p.flit_hops) / p.seconds,
-          i + 1 < kNumScenarios || std::string_view(core) == "full_scan"
-              ? ","
-              : "");
+          static_cast<double>(p.flit_hops) / p.seconds);
     }
   }
-  // Per-scenario active-set/full-scan ratios: both cores run in the same
-  // process on the same host, so these are machine-portable and are what
-  // the CI perf gate tracks.
+  for (const char* mode : {"fresh_sim", "workspace"}) {
+    const SweepMeasure& m =
+        std::string_view(mode) == "fresh_sim" ? sweep_fresh : sweep_ws;
+    std::fprintf(
+        out,
+        "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"points\": %zu, "
+        "\"cycles\": %lld, \"seconds\": %.6f, \"points_per_sec\": %.1f, "
+        "\"cycles_per_sec\": %.0f}%s\n",
+        kSweepScenario, mode, m.points, static_cast<long long>(m.cycles),
+        m.seconds, static_cast<double>(m.points) / m.seconds,
+        static_cast<double>(m.cycles) / m.seconds,
+        std::string_view(mode) == "fresh_sim" ? "," : "");
+  }
+  // Per-scenario in-binary ratios: active-set/full-scan for the matrix,
+  // workspace/fresh-Simulator for the sweep scenario. Both sides of each
+  // ratio run in the same process on the same host, so these are
+  // machine-portable and are what the CI perf gate tracks. "overall" is
+  // the time-weighted matrix ratio (the sweep scenario is gated through
+  // its own key).
   std::fprintf(out, "  ],\n  \"speedup\": {\n");
   double all_full = 0.0;
   double all_active = 0.0;
@@ -389,37 +518,59 @@ int run_perf_core(const std::string& json_path) {
     std::fprintf(out, "    \"%s\": %.3f,\n", kScenarios[i].name,
                  full[i].seconds / active[i].seconds);
   }
+  std::fprintf(out, "    \"%s\": %.3f,\n", kSweepScenario,
+               sweep_fresh.seconds / sweep_ws.seconds);
   std::fprintf(out, "    \"overall\": %.3f\n  },\n", all_full / all_active);
 
-  // Speedup of this run's active-set core over the recorded PR 2 core on
+  // Speedup of this run's active-set core over the recorded PR 3 core on
   // the same matrix (identical seeds: cycles_run matches exactly, so the
-  // cycles/sec ratio is the wall-clock ratio).
+  // cycles/sec ratio is the wall-clock ratio). "geomean" covers the 38
+  // matrix scenarios; the sweep scenario compares points/sec.
   std::fprintf(out,
-               "  \"pr2_core_baseline\": {\"machine\": \"reference 1-core "
-               "container (commit 9de0b1c)\", \"cycles_per_sec\": {\n");
+               "  \"pr3_core_baseline\": {\"machine\": \"reference 1-core "
+               "container (commit 511c16b)\", \"sweep_points_per_sec\": "
+               "%.1f, \"cycles_per_sec\": {\n",
+               kPr3SweepPointsPerSec);
   for (std::size_t i = 0; i < kNumScenarios; ++i) {
     std::fprintf(out, "    \"%s\": %.0f%s\n", kScenarios[i].name,
-                 kPr2CyclesPerSec[i], i + 1 < kNumScenarios ? "," : "");
+                 kPr3CyclesPerSec[i], i + 1 < kNumScenarios ? "," : "");
   }
-  std::fprintf(out, "  }},\n  \"speedup_vs_pr2\": {\n");
-  double pr2_total_sec = 0.0;
+  std::fprintf(out, "  }},\n  \"speedup_vs_pr3\": {\n");
+  double pr3_total_sec = 0.0;
   double active_total_sec = 0.0;
+  double log_sum = 0.0;
   for (std::size_t i = 0; i < kNumScenarios; ++i) {
     const double active_cps =
         static_cast<double>(active[i].cycles) / active[i].seconds;
-    pr2_total_sec +=
-        static_cast<double>(active[i].cycles) / kPr2CyclesPerSec[i];
+    pr3_total_sec +=
+        static_cast<double>(active[i].cycles) / kPr3CyclesPerSec[i];
     active_total_sec += active[i].seconds;
+    log_sum += std::log(active_cps / kPr3CyclesPerSec[i]);
     std::fprintf(out, "    \"%s\": %.3f,\n", kScenarios[i].name,
-                 active_cps / kPr2CyclesPerSec[i]);
+                 active_cps / kPr3CyclesPerSec[i]);
   }
+  const double sweep_vs_pr3 =
+      (static_cast<double>(sweep_ws.points) / sweep_ws.seconds) /
+      kPr3SweepPointsPerSec;
+  const double geomean_vs_pr3 =
+      std::exp(log_sum / static_cast<double>(kNumScenarios));
+  std::fprintf(out, "    \"%s\": %.3f,\n", kSweepScenario, sweep_vs_pr3);
+  std::fprintf(out, "    \"geomean\": %.3f,\n", geomean_vs_pr3);
   std::fprintf(out, "    \"overall\": %.3f\n  }\n}\n",
-               pr2_total_sec / active_total_sec);
+               pr3_total_sec / active_total_sec);
   std::fclose(out);
-  std::printf("active-set vs in-binary full scan: %.2fx; vs recorded PR 2 "
-              "core: %.2fx -> %s\n",
-              all_full / all_active, pr2_total_sec / active_total_sec,
+  std::printf("active-set vs in-binary full scan: %.2fx; vs recorded PR 3 "
+              "core: %.2fx geomean (matrix), %.2fx (sweep) -> %s\n",
+              all_full / all_active, geomean_vs_pr3, sweep_vs_pr3,
               json_path.c_str());
+  return 0;
+}
+
+int list_scenarios() {
+  for (const Scenario& s : kScenarios) {
+    std::printf("%s\n", s.name);
+  }
+  std::printf("%s\n", kSweepScenario);
   return 0;
 }
 
@@ -429,9 +580,14 @@ int run_perf_core(const std::string& json_path) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
+    if (arg == "--list-scenarios") {
+      // Enumerates the perf-matrix scenario keys (one per line, matching
+      // the JSON "speedup" table) without running anything.
+      return deft::list_scenarios();
+    }
     if (arg == "--perf-json" || arg.starts_with("--perf-json=")) {
       const std::string path =
-          arg == "--perf-json" ? "BENCH_PR3.json"
+          arg == "--perf-json" ? "BENCH_PR4.json"
                                : std::string(arg.substr(sizeof("--perf-json=") - 1));
       return deft::run_perf_core(path);
     }

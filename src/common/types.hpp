@@ -33,9 +33,28 @@ inline void require(bool condition, const std::string& what) {
   }
 }
 
+/// Literal-message overload: the exception message is only materialized on
+/// failure, so a passing check costs one branch and zero allocations (the
+/// std::string overload above constructs its message unconditionally,
+/// which both costs a heap allocation per call site per invocation and
+/// forbids these helpers inside allocation-free regions such as
+/// Simulator::run(SimWorkspace&)).
+inline void require(bool condition, const char* what) {
+  if (!condition) {
+    throw std::invalid_argument(what);
+  }
+}
+
 /// Throws std::logic_error when an internal invariant fails. Used on paths
 /// where the cost of the check is negligible; hot paths use assert().
 inline void check(bool condition, const std::string& what) {
+  if (!condition) {
+    throw std::logic_error(what);
+  }
+}
+
+/// Literal-message overload; see require(bool, const char*).
+inline void check(bool condition, const char* what) {
   if (!condition) {
     throw std::logic_error(what);
   }

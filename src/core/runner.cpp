@@ -78,6 +78,16 @@ SimResults run_sim(const ExperimentContext& ctx, Algorithm algorithm,
   return sim.run();
 }
 
+const SimResults& run_sim(SimWorkspace& ws, const ExperimentContext& ctx,
+                          Algorithm algorithm, TrafficGenerator& traffic,
+                          const SimKnobs& knobs, VlFaultSet faults,
+                          VlStrategy strategy) {
+  const auto alg = ctx.make_algorithm(algorithm, faults, knobs.num_vcs,
+                                      strategy);
+  Simulator sim(ctx.topo(), *alg, traffic, knobs, faults);
+  return sim.run(ws);
+}
+
 std::unique_ptr<TrafficGenerator> make_traffic(const Topology& topo,
                                                const std::string& pattern,
                                                double rate) {
@@ -197,15 +207,21 @@ std::vector<SweepResult> SweepRunner::run(const ExperimentContext& ctx,
   }
   ctx.prewarm(wants_tables, wants_mtr);
 
-  std::vector<SimResults> results = parallel_map<SimResults>(
-      points.size(), [&](std::size_t i) {
+  // One workspace per pool worker: a worker's simulation state is reused
+  // across every point it executes (reset, not reallocated, between
+  // points), which is where the sweep's many-short-runs cost went.
+  std::vector<SimWorkspace> workspaces(
+      static_cast<std::size_t>(num_threads_));
+  std::vector<SimResults> results = parallel_map_workers<SimResults>(
+      points.size(), [&](int worker, std::size_t i) {
         const ExperimentPoint& point = points[i];
         const auto traffic = make_traffic(ctx.topo(), point.traffic_pattern,
                                           point.injection_rate);
         SimKnobs point_knobs = knobs;
         point_knobs.seed = point.sim_seed;
-        return run_sim(ctx, point.algorithm, *traffic, point_knobs,
-                       point.faults, point.vl_strategy);
+        return run_sim(workspaces[static_cast<std::size_t>(worker)], ctx,
+                       point.algorithm, *traffic, point_knobs, point.faults,
+                       point.vl_strategy);
       });
 
   std::vector<SweepResult> sweep;

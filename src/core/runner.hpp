@@ -81,6 +81,15 @@ SimResults run_sim(const ExperimentContext& ctx, Algorithm algorithm,
                    VlFaultSet faults = {},
                    VlStrategy strategy = VlStrategy::table);
 
+/// Workspace-reusing variant: bit-identical results to the allocating
+/// overload, but the simulation state lives in `ws` (warm buffers run
+/// allocation-free). The returned reference is into `ws` and valid until
+/// its next run.
+const SimResults& run_sim(SimWorkspace& ws, const ExperimentContext& ctx,
+                          Algorithm algorithm, TrafficGenerator& traffic,
+                          const SimKnobs& knobs, VlFaultSet faults = {},
+                          VlStrategy strategy = VlStrategy::table);
+
 /// Builds a synthetic traffic generator by pattern name: "uniform",
 /// "localized", "hotspot", "transpose" or "bit-complement". Throws on an
 /// unknown name.
@@ -150,6 +159,10 @@ class SweepRunner {
 
   /// Runs the whole grid and returns results in grid expansion order.
   /// Prewarms the context's design-time artifacts before sharding.
+  /// Each pool worker reuses one SimWorkspace across all the points it
+  /// executes, so steady-state sweep execution stays off the heap; the
+  /// results are still bit-identical to fresh-Simulator serial execution
+  /// (tests/test_workspace.cpp).
   std::vector<SweepResult> run(const ExperimentContext& ctx,
                                const ExperimentGrid& grid,
                                const SimKnobs& knobs) const;
@@ -161,6 +174,18 @@ class SweepRunner {
   template <typename T>
   std::vector<T> parallel_map(
       std::size_t n, const std::function<T(std::size_t)>& job) const {
+    return parallel_map_workers<T>(
+        n, [&job](int, std::size_t i) { return job(i); });
+  }
+
+  /// Worker-identity-aware fan-out: job(worker, i) with worker in
+  /// [0, num_threads()). Work stays dynamically scheduled (results depend
+  /// only on i); the worker id exists solely so jobs can reuse per-worker
+  /// scratch state such as a SimWorkspace. Serial execution (one worker,
+  /// or n == 1) runs everything as worker 0.
+  template <typename T>
+  std::vector<T> parallel_map_workers(
+      std::size_t n, const std::function<T(int, std::size_t)>& job) const {
     std::vector<T> results(n);
     if (n == 0) {
       return results;
@@ -170,7 +195,7 @@ class SweepRunner {
             static_cast<std::size_t>(num_threads_), n));
     if (workers <= 1) {
       for (std::size_t i = 0; i < n; ++i) {
-        results[i] = job(i);
+        results[i] = job(0, i);
       }
       return results;
     }
@@ -178,14 +203,14 @@ class SweepRunner {
     std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex error_mu;
-    auto worker = [&] {
+    auto worker = [&](int w) {
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= n || failed.load()) {
           return;
         }
         try {
-          results[i] = job(i);
+          results[i] = job(w, i);
         } catch (...) {
           {
             const std::lock_guard<std::mutex> lock(error_mu);
@@ -201,7 +226,7 @@ class SweepRunner {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
-      pool.emplace_back(worker);
+      pool.emplace_back(worker, w);
     }
     for (auto& t : pool) {
       t.join();

@@ -2,17 +2,23 @@
 
 namespace deft {
 
-Network::Network(const Topology& topo, RoutingAlgorithm& algorithm,
-                 PacketTable& packets, int num_vcs, int buffer_depth,
-                 VlFaultSet faults, int vl_serialization, SimCore core)
-    : topo_(&topo),
-      algorithm_(&algorithm),
-      packets_(&packets),
-      num_vcs_(num_vcs),
-      buffer_depth_(buffer_depth),
-      vl_serialization_(vl_serialization),
-      core_(core),
-      algorithm_uses_view_(algorithm.uses_router_view()) {
+void Network::reset(const Topology& topo, RoutingAlgorithm& algorithm,
+                    PacketTable& packets, int num_vcs, int buffer_depth,
+                    VlFaultSet faults, int vl_serialization, SimCore core) {
+  topo_ = &topo;
+  algorithm_ = &algorithm;
+  packets_ = &packets;
+  num_vcs_ = num_vcs;
+  buffer_depth_ = buffer_depth;
+  vl_serialization_ = vl_serialization;
+  core_ = core;
+  algorithm_uses_view_ = algorithm.uses_router_view();
+  flits_buffered_ = 0;
+  moves_last_cycle_ = 0;
+  staged_arrivals_.clear();
+  staged_credits_.clear();
+  staged_departures_.clear();
+  staged_rc_out_credits_.clear();
   require(num_vcs_ >= 1 && num_vcs_ <= kMaxVcs, "Network: bad VC count");
   require(buffer_depth_ >= 1 && buffer_depth_ <= kMaxBufferDepth,
           "Network: bad buffer depth");
@@ -62,7 +68,7 @@ Flit Network::stamp_kind(const Flit& flit) const {
   // lets every later pipeline stage answer head/tail queries from the
   // flit planes alone.
   Flit stamped = flit;
-  stamped.kind = flit_kind(flit.seq, packets_->get(flit.packet).size);
+  stamped.kind = flit_kind(flit.seq, packets_->hot(flit.packet).size);
   return stamped;
 }
 

@@ -32,7 +32,11 @@
 //    head/tail kind byte stamped once at injection, and the credit view
 //    for adaptive routing is built only when route_needs_view() says the
 //    hop's decision actually depends on it - so the pipeline stages
-//    stream single bytes instead of whole Flit/PacketState objects.
+//    stream single bytes instead of whole packet records. The route
+//    stage's one remaining per-packet access reads the interned route
+//    plane (PacketTable::route_of): an 8-byte hot record indexing a
+//    dense RouteId -> PacketRoute array shared by every packet that
+//    repeats the route.
 #pragma once
 
 #include <bit>
@@ -68,7 +72,21 @@ class Network {
   Network(const Topology& topo, RoutingAlgorithm& algorithm,
           PacketTable& packets, int num_vcs, int buffer_depth,
           VlFaultSet faults, int vl_serialization = 1,
-          SimCore core = SimCore::active_set);
+          SimCore core = SimCore::active_set) {
+    reset(topo, algorithm, packets, num_vcs, buffer_depth, faults,
+          vl_serialization, core);
+  }
+
+  /// An empty network awaiting reset() (SimWorkspace member state).
+  Network() = default;
+
+  /// (Re)configures the network for a run: identical post-state to
+  /// constructing a fresh Network with these arguments, but reuses every
+  /// allocation - on a same-or-smaller topology no heap traffic occurs.
+  void reset(const Topology& topo, RoutingAlgorithm& algorithm,
+             PacketTable& packets, int num_vcs, int buffer_depth,
+             VlFaultSet faults, int vl_serialization = 1,
+             SimCore core = SimCore::active_set);
 
   /// Compute one cycle of router activity (stages moves, does not commit).
   /// `sink` receives the per-flit traversal events.
@@ -150,16 +168,16 @@ class Network {
   /// packet's size (called once per flit as it enters the network).
   Flit stamp_kind(const Flit& flit) const;
 
-  const Topology* topo_;
-  RoutingAlgorithm* algorithm_;
-  PacketTable* packets_;
-  int num_vcs_;
-  int buffer_depth_;
-  int vl_serialization_;
-  SimCore core_;
+  const Topology* topo_ = nullptr;
+  RoutingAlgorithm* algorithm_ = nullptr;
+  PacketTable* packets_ = nullptr;
+  int num_vcs_ = 0;
+  int buffer_depth_ = 0;
+  int vl_serialization_ = 1;
+  SimCore core_ = SimCore::active_set;
   /// Whether algorithm_ reads the RouterView; oblivious algorithms skip
   /// the per-route credit aggregation entirely.
-  bool algorithm_uses_view_;
+  bool algorithm_uses_view_ = false;
 
   std::vector<RouterState> routers_;
   std::vector<char> channel_faulty_;
@@ -236,15 +254,18 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
       if ((r.flits.front_kind(lane) & kFlitHead) == 0) {
         continue;  // waiting for a lagging head? cannot happen, see below
       }
-      const PacketState& pkt = packets_->get(r.flits.front_packet(lane));
+      // Interned-route chase: PacketHot (8 bytes) -> dense RouteId plane.
+      // Hot routes are shared across the packets repeating them, so this
+      // stays cache-resident where the old fat PacketState walk did not.
+      const PacketRoute& route =
+          packets_->route_of(r.flits.front_packet(lane));
       if (!view_ready &&
-          algorithm_->route_needs_view(node, static_cast<Port>(p),
-                                       pkt.route)) {
+          algorithm_->route_needs_view(node, static_cast<Port>(p), route)) {
         view = make_view(r);
         view_ready = true;
       }
       ivc.decision = algorithm_->route(node, static_cast<Port>(p), v,
-                                       pkt.route, view);
+                                       route, view);
       ivc.route_ready = true;
       ivc.out_vc = -1;
     }

@@ -56,11 +56,11 @@ void NetworkInterface::try_inject(Cycle now, Network& net,
                                   PacketTable& packets,
                                   RcUnitManager& rc_units) {
   if (active_ < 0) {
-    if (queue_.empty()) {
+    if (queue_head_ == queue_.size()) {
       return;
     }
-    const PacketId head = queue_.front();
-    const PacketRoute& route = packets.get(head).route;
+    const PacketId head = queue_[queue_head_];
+    const PacketRoute& route = packets.route_of(head);
     if (route.rc_unit != kInvalidNode) {
       // RC permission handshake for the head-of-queue packet.
       if (!perm_requested_) {
@@ -72,14 +72,16 @@ void NetworkInterface::try_inject(Cycle now, Network& net,
         return;
       }
     }
-    queue_.pop_front();
+    if (++queue_head_ == queue_.size()) {
+      queue_.clear();  // drained: rewind so the buffer is reused in place
+      queue_head_ = 0;
+    }
     active_ = head;
     // Cache the per-packet fields the flit-streaming loop needs (size and
     // admissible injection VCs) so the cycles that push body flits never
     // touch the PacketTable.
-    const PacketState& pkt = packets.get(head);
-    active_size_ = pkt.size;
-    active_initial_vcs_ = pkt.route.initial_vcs;
+    active_size_ = packets.hot(head).size;
+    active_initial_vcs_ = route.initial_vcs;
     next_seq_ = 0;
     vc_ = -1;
     perm_requested_ = false;
@@ -116,7 +118,7 @@ void NetworkInterface::try_inject(Cycle now, Network& net,
   flit.seq = next_seq_;
   net.inject_local(node_, vc_, flit);
   if (next_seq_ == 0) {
-    packets.get(active_).net_injected = now;
+    packets.times(active_).net_injected = now;  // cold plane: head only
   }
   ++next_seq_;
   if (next_seq_ == active_size_) {

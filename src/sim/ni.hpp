@@ -6,8 +6,6 @@
 // state machine for the packet at the head of its queue.
 #pragma once
 
-#include <deque>
-
 #include "sim/network.hpp"
 #include "sim/rc_units.hpp"
 #include "traffic/patterns.hpp"
@@ -23,7 +21,28 @@ struct NiCounters {
 
 class NetworkInterface {
  public:
-  NetworkInterface(NodeId node, Rng rng) : node_(node), rng_(std::move(rng)) {}
+  NetworkInterface(NodeId node, Rng rng) : node_(node), rng_(rng) {}
+
+  /// An unbound NI awaiting reset() (SimWorkspace member state).
+  NetworkInterface() = default;
+
+  /// Rebinds the NI to an endpoint with a fresh RNG stream and discards
+  /// all queued/active packet state, keeping the queue and scratch
+  /// allocations (workspace reuse across runs).
+  void reset(NodeId node, Rng rng) {
+    node_ = node;
+    rng_ = rng;
+    queue_.clear();
+    queue_head_ = 0;
+    active_ = -1;
+    active_size_ = 0;
+    active_initial_vcs_ = 0;
+    next_seq_ = 0;
+    vc_ = -1;
+    perm_requested_ = false;
+    vc_rr_ = 0;
+    scratch_.clear();
+  }
 
   /// Asks the traffic generator for this cycle's packets, prepares their
   /// routes and enqueues them (unroutable ones are dropped and counted).
@@ -54,8 +73,10 @@ class NetworkInterface {
                   RcUnitManager& rc_units);
 
   /// Work still owned by this NI (queued or partially injected packets).
-  bool busy() const { return active_ >= 0 || !queue_.empty(); }
-  std::size_t queue_depth() const { return queue_.size() + (active_ >= 0); }
+  bool busy() const { return active_ >= 0 || queue_head_ < queue_.size(); }
+  std::size_t queue_depth() const {
+    return (queue_.size() - queue_head_) + (active_ >= 0);
+  }
   NodeId node() const { return node_; }
 
  private:
@@ -66,11 +87,17 @@ class NetworkInterface {
                    int packet_size, bool in_measure_window,
                    NiCounters& counters);
 
-  NodeId node_;
-  Rng rng_;
-  std::deque<PacketId> queue_;
+  NodeId node_ = kInvalidNode;
+  Rng rng_{0};
+  /// FIFO as a growth-only vector with a consumed-prefix cursor: push_back
+  /// appends, the head advances on pop, and both rewind to zero whenever
+  /// the queue drains. Capacity is never released, so a reused workspace's
+  /// steady state enqueues without heap traffic (a deque would allocate
+  /// block nodes at construction and release them on clear).
+  std::vector<PacketId> queue_;
+  std::size_t queue_head_ = 0;
   PacketId active_ = -1;
-  /// Cached from the active packet's PacketState at activation, so the
+  /// Cached from the active packet's hot record at activation, so the
   /// per-cycle flit streaming path stays inside the NI's own state.
   std::uint16_t active_size_ = 0;
   VcMask active_initial_vcs_ = 0;

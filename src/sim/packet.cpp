@@ -1,0 +1,90 @@
+#include "sim/packet.hpp"
+
+#include <algorithm>
+
+namespace deft {
+
+namespace {
+
+/// SplitMix64 finalizer: the avalanche stage used for seed derivation in
+/// common/rng, reused here to mix route fields into slot indices.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::size_t kInitialSlots = 256;  // power of two
+
+}  // namespace
+
+std::uint64_t RouteStore::hash(const PacketRoute& route) {
+  const std::uint64_t a =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(route.src))
+       << 32) |
+      static_cast<std::uint32_t>(route.dst);
+  const std::uint64_t b =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(route.down_node))
+       << 32) |
+      static_cast<std::uint32_t>(route.up_exit);
+  const std::uint64_t c =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(route.rc_unit))
+       << 32) |
+      (static_cast<std::uint64_t>(route.initial_vcs) << 8) |
+      (route.rc_absorb ? 1u : 0u);
+  return mix64(a ^ mix64(b ^ mix64(c)));
+}
+
+bool RouteStore::equal(const PacketRoute& a, const PacketRoute& b) {
+  return a.src == b.src && a.dst == b.dst && a.down_node == b.down_node &&
+         a.up_exit == b.up_exit && a.initial_vcs == b.initial_vcs &&
+         a.rc_absorb == b.rc_absorb && a.rc_unit == b.rc_unit;
+}
+
+void RouteStore::rehash(std::size_t new_slots) {
+  slots_.assign(new_slots, -1);
+  mask_ = new_slots - 1;
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    std::size_t slot = static_cast<std::size_t>(hash(routes_[i])) & mask_;
+    while (slots_[slot] >= 0) {
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = static_cast<std::int32_t>(i);
+  }
+}
+
+RouteId RouteStore::intern(const PacketRoute& route) {
+  if (slots_.empty()) {
+    rehash(kInitialSlots);
+  }
+  std::size_t slot = static_cast<std::size_t>(hash(route)) & mask_;
+  while (slots_[slot] >= 0) {
+    const RouteId id = slots_[slot];
+    if (equal(routes_[static_cast<std::size_t>(id)], route)) {
+      return id;
+    }
+    slot = (slot + 1) & mask_;
+  }
+  const RouteId id = static_cast<RouteId>(routes_.size());
+  routes_.push_back(route);
+  slots_[slot] = id;
+  // Keep the load factor under 1/2 so probe chains stay short. A run that
+  // re-interns a previous run's route population never re-grows: the
+  // table is already sized for it.
+  if (routes_.size() * 2 > slots_.size()) {
+    rehash(slots_.size() * 2);
+  }
+  return id;
+}
+
+void RouteStore::clear() {
+  routes_.clear();
+  if (!slots_.empty()) {
+    std::fill(slots_.begin(), slots_.end(), -1);
+  }
+}
+
+}  // namespace deft

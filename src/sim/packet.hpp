@@ -1,14 +1,36 @@
 // Packets and flits.
 //
 // Flits carry their packet id, sequence number and a head/tail kind byte;
-// everything else (route state, timestamps, size) lives in the central
-// PacketTable. This keeps the per-flit footprint at 8 bytes, which
-// matters because the cycle-accurate model moves every flit through every
-// buffer it occupies. The kind byte is stamped when the flit enters the
-// network (Network::inject_local/inject_rc), so the switch stage and the
-// ejection sinks answer "is this a tail?" from the flit itself instead of
-// chasing the packet's PacketTable entry - a random access per flit per
-// hop in the old layout.
+// everything else lives in the central PacketTable. This keeps the
+// per-flit footprint at 8 bytes, which matters because the cycle-accurate
+// model moves every flit through every buffer it occupies. The kind byte
+// is stamped when the flit enters the network (Network::inject_local/
+// inject_rc), so the switch stage and the ejection sinks answer "is this
+// a tail?" from the flit itself instead of chasing the packet's table
+// entry - a random access per flit per hop in the old layout.
+//
+// The PacketTable itself is split into planes by access pattern:
+//
+//  * RouteStore - an interning pool of PacketRoute values. A run creates
+//    thousands of packets but only ever sees a few hundred distinct
+//    (src, dst, down, up) tuples (synthetic patterns revisit pairs every
+//    few cycles, traces replay the same flows), so the route-stage lookup
+//    that used to chase a fat 48-byte PacketState entry per head flit now
+//    lands in a dense RouteId -> PacketRoute array small enough to stay
+//    cache-resident. Interned routes are immutable: per-hop VC re-binding
+//    lives in router-side state (InputVcState) and NI-side state, never
+//    in the route (see docs/performance.md).
+//
+//  * PacketHot - one 8-byte record per packet (route id, size, app id,
+//    measured flag): everything the route stage, the injection stamp and
+//    the NI's flit streaming need.
+//
+//  * PacketTimes - the cold timestamp plane (created / net_injected /
+//    ejected), touched exactly twice per packet (injection, ejection) and
+//    by post-run latency accounting; it stays out of the per-hop path.
+//
+// All planes support clear() without freeing, so a SimWorkspace reuses
+// them across runs with zero steady-state allocation.
 #pragma once
 
 #include <vector>
@@ -18,6 +40,9 @@
 namespace deft {
 
 using PacketId = std::int32_t;
+
+/// Index into a RouteStore's dense route plane.
+using RouteId = std::int32_t;
 
 /// Head/tail position bits of a flit within its packet. A single-flit
 /// packet is both. 0 = not yet stamped (the network stamps on injection).
@@ -35,45 +60,111 @@ struct Flit {
   std::uint16_t seq = 0;
   FlitKind kind = 0;
 
-  bool is_head() const { return seq == 0; }
-  /// Valid once stamped by the network (flit_kind of seq and packet size).
+  /// Valid once stamped by the network (flit_kind of seq and packet size),
+  /// like is_tail(); pre-stamp flits answer false for both.
+  bool is_head() const { return (kind & kFlitHead) != 0; }
   bool is_tail() const { return (kind & kFlitTail) != 0; }
 };
 
-struct PacketState {
-  PacketRoute route;
-  Cycle created = -1;
-  Cycle net_injected = -1;  ///< head flit entered the source router buffer
-  Cycle ejected = -1;       ///< tail flit left the network
+/// Interning pool of PacketRoute values: value-identical routes share one
+/// RouteId, assigned densely in first-appearance order (deterministic for
+/// a fixed seed). Open-addressing index on top of the dense route array;
+/// clear() keeps both allocations, and a run that repeats an earlier run's
+/// route population re-interns without touching the heap.
+class RouteStore {
+ public:
+  RouteStore() = default;
+
+  /// Returns the id of `route`, inserting it on first appearance.
+  RouteId intern(const PacketRoute& route);
+
+  const PacketRoute& get(RouteId id) const {
+    return routes_[static_cast<std::size_t>(id)];
+  }
+
+  /// Distinct routes currently interned.
+  std::size_t size() const { return routes_.size(); }
+
+  /// Forgets every route but keeps the storage (workspace reuse).
+  void clear();
+
+ private:
+  static std::uint64_t hash(const PacketRoute& route);
+  static bool equal(const PacketRoute& a, const PacketRoute& b);
+  void rehash(std::size_t new_slots);
+
+  std::vector<PacketRoute> routes_;
+  /// Open-addressing slots over routes_ (power-of-two size, -1 = empty).
+  std::vector<std::int32_t> slots_;
+  std::size_t mask_ = 0;
+};
+
+/// The hot per-packet record: everything the per-hop and per-flit paths
+/// read. 8 bytes so a cache line covers 8 in-flight packets.
+struct PacketHot {
+  RouteId route = -1;
   std::uint16_t size = 0;   ///< flits
   std::uint8_t app = 0;     ///< traffic class (application id)
   bool measured = false;    ///< created inside the measurement window
 };
+static_assert(sizeof(PacketHot) == 8, "PacketHot is the hot plane record");
 
-/// Flat storage for every packet created during a simulation run.
+/// The cold per-packet timestamps, touched only at injection/ejection and
+/// by post-run latency accounting.
+struct PacketTimes {
+  Cycle created = -1;
+  Cycle net_injected = -1;  ///< head flit entered the source router buffer
+  Cycle ejected = -1;       ///< tail flit left the network
+};
+
+/// Flat storage for every packet created during a simulation run: an
+/// interned route plane plus parallel hot/cold per-packet arrays.
 class PacketTable {
  public:
   PacketId create(const PacketRoute& route, Cycle now, std::uint16_t size,
                   std::uint8_t app, bool measured) {
-    PacketState state;
-    state.route = route;
-    state.created = now;
-    state.size = size;
-    state.app = app;
-    state.measured = measured;
-    packets_.push_back(state);
-    return static_cast<PacketId>(packets_.size() - 1);
+    PacketHot hot;
+    hot.route = routes_.intern(route);
+    hot.size = size;
+    hot.app = app;
+    hot.measured = measured;
+    hot_.push_back(hot);
+    times_.push_back(PacketTimes{now, -1, -1});
+    return static_cast<PacketId>(hot_.size() - 1);
   }
 
-  PacketState& get(PacketId id) { return packets_[static_cast<std::size_t>(id)]; }
-  const PacketState& get(PacketId id) const {
-    return packets_[static_cast<std::size_t>(id)];
+  /// The packet's interned route (the route-stage lookup: two dense array
+  /// reads, no fat-entry chase).
+  const PacketRoute& route_of(PacketId id) const {
+    return routes_.get(hot_[static_cast<std::size_t>(id)].route);
   }
 
-  std::size_t size() const { return packets_.size(); }
+  const PacketHot& hot(PacketId id) const {
+    return hot_[static_cast<std::size_t>(id)];
+  }
+
+  PacketTimes& times(PacketId id) {
+    return times_[static_cast<std::size_t>(id)];
+  }
+  const PacketTimes& times(PacketId id) const {
+    return times_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const { return hot_.size(); }
+  std::size_t distinct_routes() const { return routes_.size(); }
+
+  /// Forgets every packet and route but keeps all allocations (workspace
+  /// reuse across runs).
+  void clear() {
+    hot_.clear();
+    times_.clear();
+    routes_.clear();
+  }
 
  private:
-  std::vector<PacketState> packets_;
+  RouteStore routes_;
+  std::vector<PacketHot> hot_;
+  std::vector<PacketTimes> times_;
 };
 
 }  // namespace deft

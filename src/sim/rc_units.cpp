@@ -2,16 +2,36 @@
 
 namespace deft {
 
-RcUnitManager::RcUnitManager(const Topology& topo, int packet_size)
-    : topo_(&topo), packet_size_(packet_size) {
-  require(packet_size_ >= 1, "RcUnitManager: bad packet size");
+void RcUnitManager::reset(const Topology& topo, int packet_size) {
+  require(packet_size >= 1, "RcUnitManager: bad packet size");
+  progress_ = 0;
+  flits_held_ = 0;
+  busy_units_ = 0;
+  topo_ = &topo;
+  packet_size_ = packet_size;
+  // The node/unit bindings are rebuilt unconditionally (a pointer-identity
+  // fast path would be fooled by a new Topology allocated at a recycled
+  // address). The rebuild is allocation-free whenever the topology shape
+  // repeats: assign() and resize() reuse capacity, and a unit left at rest
+  // (the state every well-formed run ends in) clears empty queues.
   unit_of_node_.assign(static_cast<std::size_t>(topo.num_nodes()), -1);
-  for (const VerticalLink& vl : topo.vls()) {
-    Unit unit;
-    unit.node = vl.chiplet_node;
-    unit_of_node_[static_cast<std::size_t>(vl.chiplet_node)] =
-        static_cast<int>(units_.size());
-    units_.push_back(std::move(unit));
+  const std::vector<VerticalLink>& vls = topo.vls();
+  if (units_.size() != vls.size()) {
+    units_.resize(vls.size());
+  }
+  for (std::size_t i = 0; i < vls.size(); ++i) {
+    Unit& unit = units_[i];
+    unit.node = vls[i].chiplet_node;
+    unit_of_node_[static_cast<std::size_t>(unit.node)] =
+        static_cast<int>(i);
+    unit.queue.clear();
+    unit.reserved = false;
+    unit.granted_to = kInvalidNode;
+    unit.granted_packet = -1;
+    unit.grant_arrives = 0;
+    unit.buffer.clear();
+    unit.absorbing_done = false;
+    unit.reinject_vc = 0;
   }
 }
 

@@ -21,7 +21,18 @@ class RcUnitManager {
  public:
   /// Creates one unit per boundary router; `packet_size` fixes each unit's
   /// buffer capacity (they store exactly one packet).
-  RcUnitManager(const Topology& topo, int packet_size);
+  RcUnitManager(const Topology& topo, int packet_size) {
+    reset(topo, packet_size);
+  }
+
+  /// A manager without units awaiting reset() (SimWorkspace member state).
+  RcUnitManager() = default;
+
+  /// (Re)binds the manager: identical post-state to fresh construction.
+  /// Reusing the same topology and packet size clears each unit in place
+  /// and keeps the unit/node tables (workspace reuse); otherwise the
+  /// tables are rebuilt.
+  void reset(const Topology& topo, int packet_size);
 
   /// NI-side: file a permission request for `packet` targeting the unit at
   /// boundary router `unit_node`. One outstanding request per NI.
@@ -86,8 +97,8 @@ class RcUnitManager {
   Unit& unit_at(NodeId node);
   const Unit& unit_at(NodeId node) const;
 
-  const Topology* topo_;
-  int packet_size_;
+  const Topology* topo_ = nullptr;
+  int packet_size_ = 0;
   std::vector<int> unit_of_node_;
   std::vector<Unit> units_;
   std::uint64_t progress_ = 0;

@@ -17,9 +17,10 @@
 // route state, and the output-VC state. The pipeline stages stream the
 // array they need: the switch stage streams (dst lane, vc, kind) through
 // the slot plane and the owned-output bitmask without touching route
-// state, the route stage reads one 8-byte head slot per occupied lane,
-// and the head/tail kind byte stamped at injection keeps the PacketTable
-// out of the traversal loop entirely.
+// state, the route stage reads one 8-byte head slot per occupied lane
+// plus the packet's interned route (PacketTable::route_of), and the
+// head/tail kind byte stamped at injection keeps the packet table out
+// of the traversal loop entirely.
 #pragma once
 
 #include <array>

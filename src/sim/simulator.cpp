@@ -1,20 +1,22 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 
 namespace deft {
 
 namespace {
 
 /// Run-wide accumulation shared by the phase sinks and the cycle loops.
+/// The latency sample vectors live in the SimWorkspace so a reused
+/// workspace keeps their capacity across runs.
 struct RunAccum {
   const Topology* topo;
   PacketTable* packets;
   RcUnitManager* rc_units;
   SimResults* results;
-  std::vector<std::uint32_t> net_latencies;
-  std::vector<std::uint32_t> total_latencies;
+  std::vector<std::uint32_t>* net_latencies;
+  std::vector<std::uint32_t>* total_latencies;
   std::uint64_t delivered_measured = 0;
 };
 
@@ -53,15 +55,20 @@ struct PhaseSink {
       ++a->results->flits_ejected_in_window;
     }
     if (flit.is_tail()) {  // kind stamped at injection
-      PacketState& pkt = a->packets->get(flit.packet);
-      check(node == pkt.route.dst, "Simulator: flit ejected at a wrong node");
-      pkt.ejected = now;
-      if (pkt.measured) {
+      // Tail ejection touches the hot plane (route id + measured byte)
+      // and, for measured packets, the cold timestamp plane - the only
+      // per-packet table accesses outside injection.
+      const PacketHot& hot = a->packets->hot(flit.packet);
+      check(node == a->packets->route_of(flit.packet).dst,
+            "Simulator: flit ejected at a wrong node");
+      PacketTimes& times = a->packets->times(flit.packet);
+      times.ejected = now;
+      if (hot.measured) {
         ++a->delivered_measured;
-        a->net_latencies.push_back(
-            static_cast<std::uint32_t>(now - pkt.net_injected));
-        a->total_latencies.push_back(
-            static_cast<std::uint32_t>(now - pkt.created));
+        a->net_latencies->push_back(
+            static_cast<std::uint32_t>(now - times.net_injected));
+        a->total_latencies->push_back(
+            static_cast<std::uint32_t>(now - times.created));
       }
     }
   }
@@ -86,23 +93,21 @@ struct LoopCtx {
   bool deadlock = false;
   bool drained = false;
 
-  // Pending-NI worklist (active-set core). `busy` mirrors
-  // NetworkInterface::busy(); `wake` marks NIs whose scheduled injection
-  // fires this cycle; `events` orders the pre-drawn injections by
-  // (cycle, NI index) so same-cycle wakeups run in NI order - the order
-  // the full scan visits them.
+  // Pending-NI worklist (active-set core); the storage is workspace-owned.
+  // `busy` mirrors NetworkInterface::busy(); `wake` marks NIs whose
+  // scheduled injection fires this cycle; `events` is a min-heap ordering
+  // the pre-drawn injections by (cycle, NI index) so same-cycle wakeups
+  // run in NI order - the order the full scan visits them.
   bool lookahead = false;
-  std::vector<std::uint64_t> busy;
-  std::vector<std::uint64_t> wake;
-  std::priority_queue<std::pair<Cycle, std::size_t>,
-                      std::vector<std::pair<Cycle, std::size_t>>,
-                      std::greater<>>
-      events;
+  std::vector<std::uint64_t>* busy = nullptr;
+  std::vector<std::uint64_t>* wake = nullptr;
+  std::vector<std::pair<Cycle, std::size_t>>* events = nullptr;
 
   void schedule(std::size_t i, Cycle from) {
     const Cycle c = (*nis)[i].schedule_next(*traffic, from, hard_end);
     if (c < hard_end) {
-      events.push({c, i});
+      events->emplace_back(c, i);
+      std::push_heap(events->begin(), events->end(), std::greater<>{});
     }
   }
 };
@@ -129,15 +134,17 @@ bool run_phase(LoopCtx& ctx) {
         }
       }
     } else {
-      while (!ctx.events.empty() && ctx.events.top().first == now) {
-        const std::size_t i = ctx.events.top().second;
-        ctx.events.pop();
-        ctx.wake[i / 64] |= std::uint64_t{1} << (i % 64);
+      while (!ctx.events->empty() && ctx.events->front().first == now) {
+        std::pop_heap(ctx.events->begin(), ctx.events->end(),
+                      std::greater<>{});
+        const std::size_t i = ctx.events->back().second;
+        ctx.events->pop_back();
+        (*ctx.wake)[i / 64] |= std::uint64_t{1} << (i % 64);
       }
-      for (std::size_t w = 0; w < ctx.busy.size(); ++w) {
-        const std::uint64_t wake_word = ctx.wake[w];
-        ctx.wake[w] = 0;
-        std::uint64_t word = ctx.busy[w] | wake_word;
+      for (std::size_t w = 0; w < ctx.busy->size(); ++w) {
+        const std::uint64_t wake_word = (*ctx.wake)[w];
+        (*ctx.wake)[w] = 0;
+        std::uint64_t word = (*ctx.busy)[w] | wake_word;
         while (word != 0) {
           const int b = std::countr_zero(word);
           word &= word - 1;
@@ -153,9 +160,9 @@ bool run_phase(LoopCtx& ctx) {
             ni.try_inject(now, *ctx.net, *ctx.packets, *ctx.rc_units);
           }
           if (ni.busy()) {
-            ctx.busy[w] |= std::uint64_t{1} << b;
+            (*ctx.busy)[w] |= std::uint64_t{1} << b;
           } else {
-            ctx.busy[w] &= ~(std::uint64_t{1} << b);
+            (*ctx.busy)[w] &= ~(std::uint64_t{1} << b);
           }
         }
       }
@@ -237,6 +244,29 @@ void run_reference(LoopCtx& ctx) {
   }
 }
 
+/// Resets the workspace-owned results in place: scalar fields zeroed,
+/// vector fields assigned to this run's dimensions - never replaced, so a
+/// reused workspace keeps their capacity.
+void reset_results(SimResults& results, const Topology& topo,
+                   Cycle measure_cycles) {
+  results.network_latency = LatencySummary{};
+  results.total_latency = LatencySummary{};
+  results.packets_created = 0;
+  results.packets_created_measured = 0;
+  results.packets_delivered_measured = 0;
+  results.packets_dropped_unroutable = 0;
+  results.flits_ejected_in_window = 0;
+  results.flit_hops = 0;
+  results.cycles_run = 0;
+  results.measure_cycles = measure_cycles;
+  results.deadlock_detected = false;
+  results.drained = false;
+  results.region_vc_flits.assign(
+      static_cast<std::size_t>(topo.num_chiplets()) + 1, {});
+  results.vl_channel_flits.assign(
+      static_cast<std::size_t>(topo.num_vl_channels()), 0);
+}
+
 }  // namespace
 
 Simulator::Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
@@ -253,52 +283,61 @@ Simulator::Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
 }
 
 SimResults Simulator::run() {
+  SimWorkspace ws;
+  return run(ws);  // copied out before the private workspace dies
+}
+
+const SimResults& Simulator::run(SimWorkspace& ws) {
   require(!ran_, "Simulator::run may only be called once");
   ran_ = true;
 
-  PacketTable packets;
-  Network net(*topo_, *algorithm_, packets, knobs_.num_vcs,
-              knobs_.buffer_depth, faults_, knobs_.vl_serialization,
-              knobs_.core);
-  RcUnitManager rc_units(*topo_, knobs_.packet_size);
-  rc_units.publish_initial_credits(net);
+  ws.packets_.clear();
+  ws.net_.reset(*topo_, *algorithm_, ws.packets_, knobs_.num_vcs,
+                knobs_.buffer_depth, faults_, knobs_.vl_serialization,
+                knobs_.core);
+  ws.rc_units_.reset(*topo_, knobs_.packet_size);
+  ws.rc_units_.publish_initial_credits(ws.net_);
 
   Rng root(knobs_.seed);
-  std::vector<NetworkInterface> nis;
-  nis.reserve(topo_->endpoints().size());
-  for (NodeId n : topo_->endpoints()) {
-    nis.emplace_back(n, root.fork(static_cast<std::uint64_t>(n)));
+  const std::vector<NodeId>& endpoints = topo_->endpoints();
+  ws.nis_.resize(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const NodeId n = endpoints[i];
+    ws.nis_[i].reset(n, root.fork(static_cast<std::uint64_t>(n)));
   }
 
-  SimResults results;
-  results.measure_cycles = knobs_.measure;
-  results.region_vc_flits.assign(
-      static_cast<std::size_t>(topo_->num_chiplets()) + 1, {});
-  results.vl_channel_flits.assign(
-      static_cast<std::size_t>(topo_->num_vl_channels()), 0);
+  ws.net_latencies_.clear();
+  ws.total_latencies_.clear();
+  ws.events_.clear();
+  reset_results(ws.results_, *topo_, knobs_.measure);
 
-  RunAccum acc{topo_, &packets, &rc_units, &results, {}, {}, 0};
+  RunAccum acc{topo_,        &ws.packets_,       &ws.rc_units_,
+               &ws.results_, &ws.net_latencies_, &ws.total_latencies_,
+               0};
   LoopCtx ctx;
   ctx.knobs = &knobs_;
   ctx.traffic = traffic_;
   ctx.algorithm = algorithm_;
-  ctx.packets = &packets;
-  ctx.net = &net;
-  ctx.rc_units = &rc_units;
-  ctx.nis = &nis;
+  ctx.packets = &ws.packets_;
+  ctx.net = &ws.net_;
+  ctx.rc_units = &ws.rc_units_;
+  ctx.nis = &ws.nis_;
   ctx.acc = &acc;
   ctx.measure_end = knobs_.warmup + knobs_.measure;
   ctx.hard_end = ctx.measure_end + knobs_.drain_max;
+  ctx.busy = &ws.busy_;
+  ctx.wake = &ws.wake_;
+  ctx.events = &ws.events_;
 
   if (knobs_.core == SimCore::full_scan) {
     run_reference(ctx);
   } else {
     ctx.lookahead = traffic_->supports_lookahead();
     if (ctx.lookahead) {
-      const std::size_t words = (nis.size() + 63) / 64;
-      ctx.busy.assign(words, 0);
-      ctx.wake.assign(words, 0);
-      for (std::size_t i = 0; i < nis.size(); ++i) {
+      const std::size_t words = (ws.nis_.size() + 63) / 64;
+      ws.busy_.assign(words, 0);
+      ws.wake_.assign(words, 0);
+      for (std::size_t i = 0; i < ws.nis_.size(); ++i) {
         ctx.schedule(i, 0);
       }
     }
@@ -312,6 +351,7 @@ SimResults Simulator::run() {
     }
   }
 
+  SimResults& results = ws.results_;
   results.cycles_run = ctx.now;
   results.deadlock_detected = ctx.deadlock;
   results.drained = ctx.drained;
@@ -319,8 +359,8 @@ SimResults Simulator::run() {
   results.packets_created_measured = ctx.counters.created_measured;
   results.packets_delivered_measured = acc.delivered_measured;
   results.packets_dropped_unroutable = ctx.counters.dropped_unroutable;
-  results.network_latency = LatencySummary::from_samples(acc.net_latencies);
-  results.total_latency = LatencySummary::from_samples(acc.total_latencies);
+  results.network_latency = LatencySummary::from_samples(ws.net_latencies_);
+  results.total_latency = LatencySummary::from_samples(ws.total_latencies_);
   return results;
 }
 

@@ -18,9 +18,17 @@
 // worklists and runs the original walk-everything loop - the semantic
 // reference that the equivalence tests compare against; both cores are
 // bit-identical for a fixed seed.
+//
+// All per-run state lives in a SimWorkspace arena. run() builds a private
+// one; run(SimWorkspace&) reuses the caller's across runs, which is what
+// makes sweeps of many short runs cheap: after the first run on a given
+// topology the workspace's buffers are warm and a steady-state run
+// performs zero heap allocations (asserted by tests/test_workspace.cpp).
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "sim/ni.hpp"
 #include "stats/stats.hpp"
@@ -45,6 +53,53 @@ struct SimKnobs {
   SimCore core = SimCore::active_set;
 };
 
+/// Reusable arena owning every piece of per-run simulation state: the
+/// PacketTable planes (hot/cold records plus the interned RouteStore),
+/// the Network's router/credit storage, the RC units, the NI vector, the
+/// pending-NI worklist bitmasks and event heap, the latency sample
+/// vectors, and the SimResults the run fills in.
+///
+/// Contract: a run through a workspace produces SimResults bit-identical
+/// to a run through a freshly constructed one (Simulator::run(ws) resets
+/// every plane before the first cycle), but reuses all prior allocations.
+/// Reusing one workspace across differing topologies, algorithms or knobs
+/// is supported - buffers grow to the high-water mark and stay there.
+/// A workspace serves one run at a time; for a thread pool, keep one
+/// workspace per worker.
+class SimWorkspace {
+ public:
+  SimWorkspace() = default;
+  SimWorkspace(SimWorkspace&&) = default;
+  SimWorkspace& operator=(SimWorkspace&&) = default;
+
+  /// Results of the last completed run (also returned by reference from
+  /// Simulator::run(SimWorkspace&)); valid until the next run starts.
+  const SimResults& results() const { return results_; }
+
+  /// Distinct interned routes after the last run (observability: the hot
+  /// route plane's residency is why the route stage stays in cache).
+  std::size_t distinct_routes() const { return packets_.distinct_routes(); }
+
+ private:
+  friend class Simulator;
+
+  PacketTable packets_;
+  Network net_;
+  RcUnitManager rc_units_;
+  std::vector<NetworkInterface> nis_;
+  /// Pending-NI worklist state (active-set core with lookahead traffic).
+  std::vector<std::uint64_t> busy_;
+  std::vector<std::uint64_t> wake_;
+  /// Binary min-heap over (cycle, NI index), managed with std::push_heap/
+  /// std::pop_heap (a std::priority_queue would own - and reallocate - its
+  /// container privately).
+  std::vector<std::pair<Cycle, std::size_t>> events_;
+  /// Latency samples of measured packets (consumed into the summaries).
+  std::vector<std::uint32_t> net_latencies_;
+  std::vector<std::uint32_t> total_latencies_;
+  SimResults results_;
+};
+
 class Simulator {
  public:
   /// The topology, algorithm and traffic objects must outlive run().
@@ -53,8 +108,14 @@ class Simulator {
             VlFaultSet faults = {});
 
   /// Runs the full simulation and returns its statistics. Can be called
-  /// once per Simulator instance.
+  /// once per Simulator instance. Allocating wrapper over run(ws).
   SimResults run();
+
+  /// Runs the full simulation inside `ws`, reusing its buffers, and
+  /// returns a reference to the workspace-owned results (valid until the
+  /// workspace's next run). Bit-identical to run() for equal inputs; on a
+  /// warm workspace the run performs no heap allocation.
+  const SimResults& run(SimWorkspace& ws);
 
  private:
   const Topology* topo_;

@@ -49,7 +49,7 @@ TEST_F(RcUnitTest, GrantTimingIncludesRoundTrip) {
   const Topology& topo = ctx_.topo();
   const NodeId src = topo.chiplet_node_at(0, 1, 1);
   const PacketId pid = make_rc_packet(src, topo.chiplet_node_at(3, 2, 2));
-  const NodeId unit = packets_.get(pid).route.rc_unit;
+  const NodeId unit = packets_.route_of(pid).rc_unit;
   units_.request(unit, src, pid, /*now=*/0);
   // Request travels with hop-count latency; the grant needs the same time
   // back: not ready before ~2 * distance cycles.
@@ -75,8 +75,8 @@ TEST_F(RcUnitTest, ReservationIsExclusiveUntilReinjectionCompletes) {
   const NodeId src_b = topo.chiplet_node_at(1, 1, 1);
   const PacketId a = make_rc_packet(src_a, dst);
   const PacketId b = make_rc_packet(src_b, dst);
-  ASSERT_EQ(packets_.get(a).route.rc_unit, packets_.get(b).route.rc_unit);
-  const NodeId unit = packets_.get(a).route.rc_unit;
+  ASSERT_EQ(packets_.route_of(a).rc_unit, packets_.route_of(b).rc_unit);
+  const NodeId unit = packets_.route_of(a).rc_unit;
   units_.request(unit, src_a, a, 0);
   units_.request(unit, src_b, b, 0);
   Cycle now = 0;
@@ -125,7 +125,7 @@ TEST_F(RcUnitTest, AbsorbWithoutReservationIsAnError) {
   const PacketId pid =
       make_rc_packet(topo.chiplet_node_at(0, 1, 1),
                      topo.chiplet_node_at(3, 2, 2));
-  const NodeId unit = packets_.get(pid).route.rc_unit;
+  const NodeId unit = packets_.route_of(pid).rc_unit;
   EXPECT_THROW(units_.absorb(unit, {pid, 0}, 0, packets_),
                std::logic_error);
 }
@@ -134,7 +134,7 @@ TEST_F(RcUnitTest, ProgressCounterFeedsWatchdog) {
   const Topology& topo = ctx_.topo();
   const NodeId src = topo.chiplet_node_at(0, 1, 1);
   const PacketId pid = make_rc_packet(src, topo.chiplet_node_at(3, 2, 2));
-  const NodeId unit = packets_.get(pid).route.rc_unit;
+  const NodeId unit = packets_.route_of(pid).rc_unit;
   EXPECT_EQ(units_.take_progress(), 0u);
   units_.request(unit, src, pid, 0);
   std::uint64_t total = 0;

@@ -2,15 +2,24 @@
 """Compare a fresh perf-matrix run against the committed baseline.
 
 Usage: check_perf_regression.py BASELINE.json NEW.json [--tolerance 0.25]
+       check_perf_regression.py --baseline OTHER.json NEW.json
 
-The gate tracks the machine-portable metrics: the per-scenario
-active-set/full-scan speedup ratios, which are measured within one run on
-one machine and so cancel out host speed. A ratio that drops more than
---tolerance below the committed baseline fails the check, as does a
-scenario present in the baseline but missing from the fresh run (a
-silently shrunk matrix must not pass the gate). Absolute cycles/sec
+The gate tracks the machine-portable metrics: the per-scenario speedup
+ratios (active-set/full-scan for the matrix scenarios, workspace/fresh-
+Simulator for the short-run sweep scenario), which are measured within
+one run on one machine and so cancel out host speed. A ratio that drops
+more than --tolerance below the committed baseline fails the check, as
+does a scenario present in the baseline but missing from the fresh run
+(a silently shrunk matrix must not pass the gate). Absolute cycles/sec
 values in the JSON are informational (they depend on the host) and are
 printed but not gated.
+
+--baseline overrides the positional baseline (handy for comparing a
+fresh run against an arbitrary recorded file, e.g. a previous PR's
+artifact, without reordering arguments in CI).
+
+A geomean summary line over the scenarios common to both runs is printed
+at the end ("overall"-style aggregate keys are excluded from it).
 
 Exits 1 on regressions and 2 on malformed input (unreadable file, invalid
 JSON, or a JSON document without the expected "speedup" table).
@@ -18,7 +27,13 @@ JSON, or a JSON document without the expected "speedup" table).
 
 import argparse
 import json
+import math
 import sys
+
+#: Aggregate keys that may appear in a "speedup" table alongside the
+#: per-scenario ratios; they are gated like any other key but excluded
+#: from the geomean summary (they are already aggregates).
+AGGREGATE_KEYS = {"overall", "geomean"}
 
 
 def die_malformed(message: str) -> None:
@@ -45,15 +60,30 @@ def load_speedups(path: str) -> dict:
     return doc
 
 
+def geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="committed baseline JSON (positional)")
+    parser.add_argument("fresh", help="fresh --perf-json output to check")
+    parser.add_argument("--baseline", dest="baseline_override", default=None,
+                        metavar="PATH",
+                        help="override the positional baseline path")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional drop in speedup ratios")
     args = parser.parse_args()
 
-    baseline = load_speedups(args.baseline)
+    baseline_path = args.baseline_override or args.baseline
+    if baseline_path is None:
+        parser.error("a baseline is required (positional or --baseline)")
+
+    baseline = load_speedups(baseline_path)
     fresh = load_speedups(args.fresh)
 
     failures = []
@@ -84,6 +114,19 @@ def main() -> int:
             print(f"info {label}: "
                   f"{point.get('cycles_per_sec', 0):,.0f} cycles/s, "
                   f"{point.get('flit_hops_per_sec', 0):,.0f} flit-hops/s")
+        elif point.get("mode") == "workspace":
+            print(f"info {point.get('scenario', '?')}: "
+                  f"{point.get('points_per_sec', 0):,.1f} sweep points/s")
+
+    # Geomean summary over the per-scenario ratios both runs share.
+    common = [k for k in baseline["speedup"]
+              if k in fresh["speedup"] and k not in AGGREGATE_KEYS]
+    if common:
+        base_gm = geomean(baseline["speedup"][k] for k in common)
+        new_gm = geomean(fresh["speedup"][k] for k in common)
+        print(f"\ngeomean speedup over {len(common)} scenarios: "
+              f"baseline {base_gm:.3f} -> fresh {new_gm:.3f} "
+              f"({new_gm / base_gm:.3f}x of baseline)")
 
     if failures:
         print("\nPerf regression detected:", file=sys.stderr)
