@@ -11,8 +11,13 @@
 // active-set worklist core and the full-scan reference), plus a
 // short-run sweep scenario (many 1k-cycle fault points through the sweep
 // runner, where the reusable SimWorkspace matters most) timed with and
-// without workspace reuse. Everything is written as JSON with
-// per-scenario speedup ratios (BENCH_PR4.json is the tracked baseline;
+// without workspace reuse, plus the many-chiplet grid scenarios (16- and
+// 36-chiplet make_grid_spec systems) timed under the partitioned core at
+// several shard counts - their "<scenario>/shardsN" ratios are serial
+// time over N-shard time, so they only exceed 1 on hosts with at least N
+// cores (the gate script skips them on smaller hosts). --shards N caps
+// the largest shard count tried. Everything is written as JSON with
+// per-scenario speedup ratios (BENCH_PR5.json is the tracked baseline;
 // CI's perf-smoke job fails on regressions against it - see
 // docs/performance.md). --list-scenarios enumerates the matrix without
 // running it.
@@ -22,8 +27,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "routing/cdg.hpp"
@@ -290,6 +298,53 @@ constexpr double kPr3CyclesPerSec[kNumScenarios] = {
 
 constexpr char kSweepScenario[] = "sweep1k/deft";
 
+// --------------------------------------------------------------------------
+// Many-chiplet grid scenarios: the workload the partitioned core opens.
+// make_grid_spec systems far beyond the paper's 4-6 chiplets, DeFT under
+// the distance VL strategy (table synthesis for 36 chiplets is design-time
+// work the sharding measurement should not absorb), timed at shard counts
+// {1, 2, max}. The recorded ratios are wall-clock serial/sharded within
+// one process, so they are machine-portable only between hosts of equal
+// core count - the JSON records hardware_concurrency and the gate skips
+// shard ratios the host cannot express.
+
+struct GridScenario {
+  const char* name;
+  int cols;
+  int rows;
+  double rate;  ///< packets/cycle/core (below the large-system knee)
+};
+
+constexpr GridScenario kGridScenarios[] = {
+    {"grid16/uniform/f0/DeFT", 4, 4, 0.006},
+    {"grid36/uniform/f0/DeFT", 6, 6, 0.0045},
+};
+
+constexpr Cycle kGridWarmup = 300;
+constexpr Cycle kGridMeasure = 1200;
+constexpr Cycle kGridDrainMax = 4000;
+
+/// Largest shard count the grid scenarios try (--shards overrides).
+int g_max_shards = 4;
+
+const ExperimentContext& grid_ctx(int cols, int rows) {
+  static const ExperimentContext g16(make_grid_spec(4, 4, 4, 4));
+  static const ExperimentContext g36(make_grid_spec(6, 6, 4, 4));
+  return cols * rows == 16 ? g16 : g36;
+}
+
+/// Shard counts the grid scenarios measure: {1, 2, g_max_shards},
+/// deduplicated and capped (--shards 1 measures serial only).
+std::vector<int> grid_shard_counts() {
+  std::vector<int> counts{1};
+  for (int c : {2, g_max_shards}) {
+    if (c > counts.back() && c <= g_max_shards) {
+      counts.push_back(c);
+    }
+  }
+  return counts;
+}
+
 ExperimentGrid sweep_grid() {
   ExperimentGrid grid;
   grid.algorithms = {Algorithm::deft};
@@ -421,6 +476,32 @@ PerfPoint measure_point(const Scenario& s, SimCore core, SimWorkspace* ws) {
   return best;
 }
 
+/// Times one grid scenario at one shard count. The workspace is reused
+/// across repeats, shard counts and scenarios (its worker pool persists),
+/// matching how a long-lived service would run the partitioned core.
+PerfPoint measure_grid_point(const GridScenario& s, int shards,
+                             SimWorkspace& ws) {
+  const ExperimentContext& ctx = grid_ctx(s.cols, s.rows);
+  SimKnobs knobs;
+  knobs.warmup = kGridWarmup;
+  knobs.measure = kGridMeasure;
+  knobs.drain_max = kGridDrainMax;
+  knobs.shards = shards;
+  PerfPoint best;
+  for (int rep = 0; rep < kPerfRepeats; ++rep) {
+    UniformTraffic traffic(ctx.topo(), s.rate);
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResults& r = run_sim(ws, ctx, Algorithm::deft, traffic, knobs,
+                                  {}, VlStrategy::distance);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || seconds < best.seconds) {
+      best = {r.cycles_run, r.flit_hops, seconds};
+    }
+  }
+  return best;
+}
+
 int run_perf_core(const std::string& json_path) {
   perf_ctx(4).prewarm();
   perf_ctx(6).prewarm();
@@ -449,6 +530,31 @@ int run_perf_core(const std::string& json_path) {
               static_cast<double>(sweep_ws.points) / sweep_ws.seconds,
               sweep_fresh.seconds / sweep_ws.seconds);
 
+  // Many-chiplet grid scenarios under the partitioned core.
+  const std::vector<int> shard_counts = grid_shard_counts();
+  constexpr std::size_t kNumGrid = std::size(kGridScenarios);
+  std::vector<PerfPoint> grid(kNumGrid * shard_counts.size());
+  {
+    SimWorkspace grid_ws;
+    for (std::size_t g = 0; g < kNumGrid; ++g) {
+      for (std::size_t c = 0; c < shard_counts.size(); ++c) {
+        grid[g * shard_counts.size() + c] =
+            measure_grid_point(kGridScenarios[g], shard_counts[c], grid_ws);
+      }
+      const PerfPoint& serial = grid[g * shard_counts.size()];
+      const PerfPoint& widest =
+          grid[g * shard_counts.size() + shard_counts.size() - 1];
+      std::printf("%-22s %7lld cycles  1 shard %9.0f cyc/s  %d shards "
+                  "%9.0f cyc/s  (%.2fx)\n",
+                  kGridScenarios[g].name,
+                  static_cast<long long>(serial.cycles),
+                  static_cast<double>(serial.cycles) / serial.seconds,
+                  shard_counts.back(),
+                  static_cast<double>(widest.cycles) / widest.seconds,
+                  serial.seconds / widest.seconds);
+    }
+  }
+
   FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -460,15 +566,24 @@ int run_perf_core(const std::string& json_path) {
                "\"reference-6\"], \"traffics\": [\"uniform\", \"hotspot\", "
                "\"trace\"], \"fault_counts\": [0, 2, 4], \"warmup\": %lld, "
                "\"measure\": %lld, \"drain_max\": %lld, \"repeats\": %d, "
+               "\"hardware_concurrency\": %u, "
                "\"sweep_scenario\": {\"name\": \"%s\", \"points\": %zu, "
-               "\"warmup\": %lld, \"measure\": %lld, \"drain_max\": %lld}},\n",
+               "\"warmup\": %lld, \"measure\": %lld, \"drain_max\": %lld}, "
+               "\"grid_scenarios\": {\"systems\": [\"grid-16\", "
+               "\"grid-36\"], \"vl_strategy\": \"distance\", \"warmup\": "
+               "%lld, \"measure\": %lld, \"drain_max\": %lld, "
+               "\"max_shards\": %d}},\n",
                static_cast<long long>(kPerfWarmup),
                static_cast<long long>(kPerfMeasure),
                static_cast<long long>(kPerfDrainMax), kPerfRepeats,
-               kSweepScenario, sweep_ws.points,
+               std::thread::hardware_concurrency(), kSweepScenario,
+               sweep_ws.points,
                static_cast<long long>(sweep_knobs().warmup),
                static_cast<long long>(sweep_knobs().measure),
-               static_cast<long long>(sweep_knobs().drain_max));
+               static_cast<long long>(sweep_knobs().drain_max),
+               static_cast<long long>(kGridWarmup),
+               static_cast<long long>(kGridMeasure),
+               static_cast<long long>(kGridDrainMax), shard_counts.back());
   std::fprintf(out, "  \"points\": [\n");
   for (std::size_t i = 0; i < kNumScenarios; ++i) {
     const Scenario& s = kScenarios[i];
@@ -484,6 +599,25 @@ int run_perf_core(const std::string& json_path) {
           "\"flit_hops_per_sec\": %.0f},\n",
           s.name, s.chiplets == 4 ? "reference-4" : "reference-6", s.traffic,
           s.faults, algorithm_name(s.algorithm), s.rate, core,
+          static_cast<long long>(p.cycles),
+          static_cast<unsigned long long>(p.flit_hops), p.seconds,
+          static_cast<double>(p.cycles) / p.seconds,
+          static_cast<double>(p.flit_hops) / p.seconds);
+    }
+  }
+  for (std::size_t g = 0; g < kNumGrid; ++g) {
+    for (std::size_t c = 0; c < shard_counts.size(); ++c) {
+      const PerfPoint& p = grid[g * shard_counts.size() + c];
+      std::fprintf(
+          out,
+          "    {\"scenario\": \"%s\", \"system\": \"grid-%d\", \"traffic\": "
+          "\"uniform\", \"faults\": 0, \"algorithm\": \"DeFT\", \"rate\": "
+          "%.4f, \"core\": \"active_set\", \"shards\": %d, \"cycles\": "
+          "%lld, \"flit_hops\": %llu, \"seconds\": %.6f, "
+          "\"cycles_per_sec\": %.0f, \"flit_hops_per_sec\": %.0f},\n",
+          kGridScenarios[g].name,
+          kGridScenarios[g].cols * kGridScenarios[g].rows,
+          kGridScenarios[g].rate, shard_counts[c],
           static_cast<long long>(p.cycles),
           static_cast<unsigned long long>(p.flit_hops), p.seconds,
           static_cast<double>(p.cycles) / p.seconds,
@@ -520,6 +654,18 @@ int run_perf_core(const std::string& json_path) {
   }
   std::fprintf(out, "    \"%s\": %.3f,\n", kSweepScenario,
                sweep_fresh.seconds / sweep_ws.seconds);
+  // Grid shard ratios: serial wall clock over N-shard wall clock within
+  // this run. Only meaningful on hosts with >= N cores; the gate script
+  // reads hardware_concurrency and skips ratios the host cannot express.
+  for (std::size_t g = 0; g < kNumGrid; ++g) {
+    const PerfPoint& serial = grid[g * shard_counts.size()];
+    for (std::size_t c = 1; c < shard_counts.size(); ++c) {
+      const PerfPoint& p = grid[g * shard_counts.size() + c];
+      std::fprintf(out, "    \"%s/shards%d\": %.3f,\n",
+                   kGridScenarios[g].name, shard_counts[c],
+                   serial.seconds / p.seconds);
+    }
+  }
   std::fprintf(out, "    \"overall\": %.3f\n  },\n", all_full / all_active);
 
   // Speedup of this run's active-set core over the recorded PR 3 core on
@@ -571,6 +717,13 @@ int list_scenarios() {
     std::printf("%s\n", s.name);
   }
   std::printf("%s\n", kSweepScenario);
+  for (const GridScenario& s : kGridScenarios) {
+    for (int c : grid_shard_counts()) {
+      if (c > 1) {
+        std::printf("%s/shards%d\n", s.name, c);
+      }
+    }
+  }
   return 0;
 }
 
@@ -578,19 +731,35 @@ int list_scenarios() {
 }  // namespace deft
 
 int main(int argc, char** argv) {
+  bool perf = false;
+  std::string perf_path = "BENCH_PR5.json";
+  bool list = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-scenarios") {
       // Enumerates the perf-matrix scenario keys (one per line, matching
       // the JSON "speedup" table) without running anything.
-      return deft::list_scenarios();
+      list = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      // Caps the largest shard count the grid scenarios measure.
+      deft::g_max_shards =
+          std::clamp(std::atoi(argv[++i]), 1, deft::kMaxSimShards);
+    } else if (arg.starts_with("--shards=")) {
+      deft::g_max_shards = std::clamp(
+          std::atoi(argv[i] + sizeof("--shards=") - 1), 1,
+          deft::kMaxSimShards);
+    } else if (arg == "--perf-json" || arg.starts_with("--perf-json=")) {
+      perf = true;
+      if (arg != "--perf-json") {
+        perf_path = std::string(arg.substr(sizeof("--perf-json=") - 1));
+      }
     }
-    if (arg == "--perf-json" || arg.starts_with("--perf-json=")) {
-      const std::string path =
-          arg == "--perf-json" ? "BENCH_PR4.json"
-                               : std::string(arg.substr(sizeof("--perf-json=") - 1));
-      return deft::run_perf_core(path);
-    }
+  }
+  if (list) {
+    return deft::list_scenarios();
+  }
+  if (perf) {
+    return deft::run_perf_core(perf_path);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -3,12 +3,20 @@
 //
 //   $ ./deft_sim config.cfg              # run a configuration file
 //   $ ./deft_sim                         # built-in default configuration
+//   $ ./deft_sim --shards 4 config.cfg   # partitioned core on 4 threads
 //   $ ./deft_sim --dump-default > a.cfg  # start from a template
 //
 // The configuration format is documented in src/core/config_file.hpp.
+// `--shards N` overrides the config's `shards` key (results are
+// bit-identical for every shard count). When the configuration sets
+// `perf_json`, the run is timed (`repeats` wall-clock repeats, best
+// taken) and a perf-matrix-style JSON entry is written alongside the
+// normal report.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "core/config_file.hpp"
 #include "topology/builder.hpp"
@@ -20,7 +28,7 @@ chiplets   = 4          # 4 or 6 (the paper's reference systems)
 algorithm  = deft       # deft | mtr | rc
 vl_strategy = table     # table | distance | random (DeFT only)
 traffic    = uniform    # uniform | localized | hotspot | transpose |
-                        # bit-complement
+                        # bit-complement | trace (see trace_file below)
 rate       = 0.008      # packets/cycle/core
 vcs        = 2
 buffer_depth = 4
@@ -30,26 +38,47 @@ warmup     = 10000
 measure    = 30000
 drain_max  = 100000
 seed       = 1
+shards     = 1          # worker threads of the partitioned core
 faults     =            # e.g.: 0v 3^ 12v  (<vl>v = down half, <vl>^ = up)
+trace_file =            # traffic = trace: replay this `cycle src dst app` file
+trace_cycles =          # ... or record a uniform workload over N cycles
+scenario   =            # perf hook: scenario key (default: derived)
+repeats    =            # perf hook: wall-clock repeats (default 3)
+perf_json  =            # perf hook: write a perf-matrix JSON entry here
 )";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace deft;
-  if (argc > 1 && std::strcmp(argv[1], "--dump-default") == 0) {
-    std::fputs(kDefaultConfig, stdout);
-    return 0;
+  const char* config_path = nullptr;
+  int shards_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump-default") == 0) {
+      std::fputs(kDefaultConfig, stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards_override = std::atoi(argv[++i]);  // validated below
+      continue;
+    }
+    config_path = argv[i];
   }
 
   SimulationConfig config;
   try {
-    if (argc > 1) {
-      std::ifstream file(argv[1]);
-      require(file.good(), std::string("cannot open ") + argv[1]);
+    if (config_path != nullptr) {
+      std::ifstream file(config_path);
+      require(file.good(), std::string("cannot open ") + config_path);
       config = parse_simulation_config(file);
     } else {
       config = parse_simulation_config(std::string(kDefaultConfig));
+    }
+    if (shards_override != 0) {
+      require(shards_override >= 1 && shards_override <= kMaxSimShards,
+              "--shards must be in [1, " + std::to_string(kMaxSimShards) +
+                  "]");
+      config.knobs.shards = shards_override;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -65,14 +94,62 @@ int main(int argc, char** argv) {
               config.chiplets, algorithm_name(config.algorithm),
               vl_strategy_name(config.vl_strategy), config.traffic.c_str(),
               config.rate);
+  if (config.knobs.shards > 1) {
+    std::printf(", %d shards", config.knobs.shards);
+  }
   if (!faults.empty()) {
     std::printf(", faults %s", faults.to_string().c_str());
   }
   std::puts("");
 
-  const auto traffic = config.make_traffic(topo);
-  const SimResults r = run_sim(ctx, config.algorithm, *traffic, config.knobs,
-                               faults, config.vl_strategy);
+  // Perf hook: repeat the run (fresh traffic each repeat - replay
+  // cursors and RNG draws are consumed) and keep the fastest repeat;
+  // results are identical across repeats, so `r` reports the last.
+  const int repeats = config.perf_json.empty() ? 1 : config.repeats;
+  SimResults r;
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto traffic = config.make_traffic(topo);
+    const auto t0 = std::chrono::steady_clock::now();
+    r = run_sim(ctx, config.algorithm, *traffic, config.knobs, faults,
+                config.vl_strategy);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || seconds < best_seconds) {
+      best_seconds = seconds;
+    }
+  }
+
+  if (!config.perf_json.empty()) {
+    // The key lands inside a JSON string literal: drop the two
+    // characters that could break out of it.
+    std::string key = config.scenario_key(topo);
+    std::erase_if(key, [](char c) { return c == '"' || c == '\\'; });
+    FILE* out = std::fopen(config.perf_json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   config.perf_json.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n  \"bench\": \"deft-sim\",\n"
+        "  \"config\": {\"repeats\": %d, \"shards\": %d},\n"
+        "  \"points\": [\n"
+        "    {\"scenario\": \"%s\", \"core\": \"active_set\", "
+        "\"cycles\": %lld, \"flit_hops\": %llu, \"seconds\": %.6f, "
+        "\"cycles_per_sec\": %.0f, \"flit_hops_per_sec\": %.0f}\n"
+        "  ],\n  \"speedup\": {}\n}\n",
+        repeats, config.knobs.shards, key.c_str(),
+        static_cast<long long>(r.cycles_run),
+        static_cast<unsigned long long>(r.flit_hops), best_seconds,
+        static_cast<double>(r.cycles_run) / best_seconds,
+        static_cast<double>(r.flit_hops) / best_seconds);
+    std::fclose(out);
+    std::printf("perf: %s -> %s (%.0f cycles/s best of %d)\n", key.c_str(),
+                config.perf_json.c_str(),
+                static_cast<double>(r.cycles_run) / best_seconds, repeats);
+  }
 
   std::printf("cycles simulated:     %lld\n",
               static_cast<long long>(r.cycles_run));

@@ -1,10 +1,12 @@
 #include "core/config_file.hpp"
 
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <sstream>
 
 #include "traffic/patterns.hpp"
+#include "traffic/trace.hpp"
 
 namespace deft {
 
@@ -74,6 +76,20 @@ VlFaultSet SimulationConfig::faults(const Topology& topo) const {
 
 std::unique_ptr<TrafficGenerator> SimulationConfig::make_traffic(
     const Topology& topo) const {
+  if (traffic == "trace") {
+    if (!trace_file.empty()) {
+      std::ifstream in(trace_file);
+      require(in.good(), "config: cannot open trace_file '" + trace_file +
+                             "'");
+      return std::make_unique<TraceReplayGenerator>(parse_trace(in));
+    }
+    require(trace_cycles > 0,
+            "config: traffic = trace needs trace_file or trace_cycles");
+    // The synthetic replay workload the perf matrix uses: a uniform run
+    // at `rate` recorded over the requested window.
+    return std::make_unique<TraceReplayGenerator>(
+        record_uniform_trace(topo, rate, trace_cycles));
+  }
   if (traffic == "uniform") {
     return std::make_unique<UniformTraffic>(topo, rate);
   }
@@ -91,6 +107,15 @@ std::unique_ptr<TrafficGenerator> SimulationConfig::make_traffic(
   }
   require(false, "config: unknown traffic pattern '" + traffic + "'");
   return nullptr;
+}
+
+std::string SimulationConfig::scenario_key(const Topology& topo) const {
+  if (!scenario.empty()) {
+    return scenario;
+  }
+  return std::to_string(chiplets) + "c/" + traffic + "/f" +
+         std::to_string(faults(topo).count()) + "/" +
+         algorithm_name(algorithm);
 }
 
 SimulationConfig parse_simulation_config(std::istream& in) {
@@ -153,6 +178,19 @@ SimulationConfig parse_simulation_config(std::istream& in) {
           parse_int(key, value, 0, std::numeric_limits<long>::max()));
     } else if (key == "faults") {
       config.fault_spec = value;
+    } else if (key == "shards") {
+      config.knobs.shards =
+          static_cast<int>(parse_int(key, value, 1, kMaxSimShards));
+    } else if (key == "trace_file") {
+      config.trace_file = value;
+    } else if (key == "trace_cycles") {
+      config.trace_cycles = parse_int(key, value, 1, 100'000'000);
+    } else if (key == "scenario") {
+      config.scenario = value;
+    } else if (key == "repeats") {
+      config.repeats = static_cast<int>(parse_int(key, value, 1, 100));
+    } else if (key == "perf_json") {
+      config.perf_json = value;
     } else {
       require(false, "config: unknown key '" + key + "' on line " +
                          std::to_string(line_no));

@@ -8,7 +8,7 @@
 //   chiplets   = 4
 //   algorithm  = deft        # deft | mtr | rc
 //   traffic    = uniform     # uniform | localized | hotspot | transpose |
-//                            # bit-complement
+//                            # bit-complement | trace
 //   rate       = 0.008       # packets/cycle/core
 //   vcs        = 2
 //   buffer_depth = 4
@@ -16,9 +16,25 @@
 //   warmup     = 10000
 //   measure    = 30000
 //   seed       = 1
+//   shards     = 1           # worker threads of the partitioned core
 //   vl_strategy = table      # table | distance | random (DeFT only)
 //   faults     = 0v 3^       # faulty VL channels: <vl>v (down) / <vl>^ (up)
 //   vl_serialization = 1
+//
+// Trace-replay workloads (`traffic = trace`) come from one of:
+//   trace_file   = path/to.trace   # `cycle src dst app` lines (trace.hpp)
+//   trace_cycles = 11000           # or: record a uniform workload at
+//                                  # `rate` over that many cycles and
+//                                  # replay it (record_uniform_trace)
+//
+// Perf-matrix hooks let a configuration double as a tracked perf
+// scenario: with `perf_json = out.json` the CLI driver times the run
+// (`repeats` wall-clock repeats, best taken) and writes a perf-matrix-
+// style JSON entry keyed by `scenario` (default: derived from the
+// configuration), compatible with tools/check_perf_regression.py.
+//   scenario  = ref4/uniform/f0/DeFT
+//   repeats   = 3
+//   perf_json = BENCH_LOCAL.json
 #pragma once
 
 #include <iosfwd>
@@ -39,11 +55,26 @@ struct SimulationConfig {
   SimKnobs knobs;
   std::string fault_spec;  ///< raw channel list, resolved against the topo
 
+  // Trace-replay workload source (traffic == "trace"): a trace file, or -
+  // when empty - a uniform workload at `rate` recorded over trace_cycles.
+  std::string trace_file;
+  Cycle trace_cycles = 0;
+
+  // Perf-matrix hooks (active when perf_json is non-empty).
+  std::string perf_json;  ///< output path for the perf-matrix JSON
+  std::string scenario;   ///< scenario key (empty: derived from the config)
+  int repeats = 3;        ///< wall-clock repeats, best-of reported
+
   /// Resolves the fault channel list ("0v 3^ ...") for a topology.
   VlFaultSet faults(const Topology& topo) const;
 
-  /// Builds the configured traffic generator.
+  /// Builds the configured traffic generator. Trace replay consumes its
+  /// cursors, so perf repeats must call this once per run.
   std::unique_ptr<TrafficGenerator> make_traffic(const Topology& topo) const;
+
+  /// The scenario key perf output uses: `scenario` if set, otherwise
+  /// "<chiplets>c/<traffic>/f<faults>/<algorithm>".
+  std::string scenario_key(const Topology& topo) const;
 };
 
 /// Parses `key = value` lines. Throws std::invalid_argument on malformed

@@ -209,11 +209,19 @@ std::vector<SweepResult> SweepRunner::run(const ExperimentContext& ctx,
 
   // One workspace per pool worker: a worker's simulation state is reused
   // across every point it executes (reset, not reallocated, between
-  // points), which is where the sweep's many-short-runs cost went.
-  std::vector<SimWorkspace> workspaces(
-      static_cast<std::size_t>(num_threads_));
+  // points), which is where the sweep's many-short-runs cost went. With
+  // sharded points each workspace also owns a `shards`-wide worker pool,
+  // so the sweep width is capped to keep shards x workers within the
+  // hardware (one sharded run at a time in the limit). The cap only
+  // applies when sharding can actually engage: grid traffic patterns are
+  // all lookahead-capable, so the remaining gate is the active-set core
+  // (full-scan points run serially and must keep the full sweep width).
+  const bool sharded_points =
+      knobs.shards > 1 && knobs.core == SimCore::active_set;
+  const int workers = effective_workers(sharded_points ? knobs.shards : 1);
+  std::vector<SimWorkspace> workspaces(static_cast<std::size_t>(workers));
   std::vector<SimResults> results = parallel_map_workers<SimResults>(
-      points.size(), [&](int worker, std::size_t i) {
+      points.size(), workers, [&](int worker, std::size_t i) {
         const ExperimentPoint& point = points[i];
         const auto traffic = make_traffic(ctx.topo(), point.traffic_pattern,
                                           point.injection_rate);

@@ -25,6 +25,7 @@
 //    how many worker threads execute the sweep.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <exception>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/worker_pool.hpp"
 #include "routing/mtr_routing.hpp"
 #include "routing/rc_routing.hpp"
 #include "topology/builder.hpp"
@@ -162,10 +164,26 @@ class SweepRunner {
   /// Each pool worker reuses one SimWorkspace across all the points it
   /// executes, so steady-state sweep execution stays off the heap; the
   /// results are still bit-identical to fresh-Simulator serial execution
-  /// (tests/test_workspace.cpp).
+  /// (tests/test_workspace.cpp). With knobs.shards > 1 the pool width is
+  /// capped by effective_workers() so sharded points compose with the
+  /// sweep's own parallelism instead of oversubscribing the host.
   std::vector<SweepResult> run(const ExperimentContext& ctx,
                                const ExperimentGrid& grid,
                                const SimKnobs& knobs) const;
+
+  /// Concurrent simulations the sweep will run for a given per-run shard
+  /// count: the configured pool width, capped so that
+  /// `workers x shards <= hardware concurrency` (floored at one run at a
+  /// time - a single sharded simulation is allowed to use every core).
+  /// Results never depend on this value, only wall clock does.
+  int effective_workers(int shards) const {
+    if (shards <= 1) {
+      return num_threads_;
+    }
+    const int hw = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    return std::clamp(hw / shards, 1, num_threads_);
+  }
 
   /// Generic ordered fan-out: evaluates job(0..n-1) on the pool and
   /// returns the results indexed by job id. The first job exception (if
@@ -179,20 +197,28 @@ class SweepRunner {
   }
 
   /// Worker-identity-aware fan-out: job(worker, i) with worker in
-  /// [0, num_threads()). Work stays dynamically scheduled (results depend
+  /// [0, workers). Work stays dynamically scheduled (results depend
   /// only on i); the worker id exists solely so jobs can reuse per-worker
   /// scratch state such as a SimWorkspace. Serial execution (one worker,
-  /// or n == 1) runs everything as worker 0.
+  /// or n == 1) runs everything as worker 0. The two-argument overload
+  /// uses the full configured pool width; the three-argument form caps it
+  /// (how sharded sweeps bound their total thread footprint).
   template <typename T>
   std::vector<T> parallel_map_workers(
       std::size_t n, const std::function<T(int, std::size_t)>& job) const {
+    return parallel_map_workers<T>(n, num_threads_, job);
+  }
+
+  template <typename T>
+  std::vector<T> parallel_map_workers(
+      std::size_t n, int max_workers,
+      const std::function<T(int, std::size_t)>& job) const {
     std::vector<T> results(n);
     if (n == 0) {
       return results;
     }
-    const int workers =
-        static_cast<int>(std::min<std::size_t>(
-            static_cast<std::size_t>(num_threads_), n));
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(1, max_workers)), n));
     if (workers <= 1) {
       for (std::size_t i = 0; i < n; ++i) {
         results[i] = job(0, i);
@@ -201,9 +227,10 @@ class SweepRunner {
     }
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mu;
-    auto worker = [&](int w) {
+    // WorkerPool rethrows the first job exception after the pool drains;
+    // `failed` just stops scheduling further points once one throws.
+    WorkerPool pool(workers - 1);
+    pool.run(workers, [&](int w) {
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= n || failed.load()) {
@@ -212,28 +239,11 @@ class SweepRunner {
         try {
           results[i] = job(w, i);
         } catch (...) {
-          {
-            const std::lock_guard<std::mutex> lock(error_mu);
-            if (!error) {
-              error = std::current_exception();
-            }
-          }
           failed.store(true);
-          return;
+          throw;
         }
       }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back(worker, w);
-    }
-    for (auto& t : pool) {
-      t.join();
-    }
-    if (error) {
-      std::rethrow_exception(error);
-    }
+    });
     return results;
   }
 

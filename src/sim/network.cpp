@@ -4,7 +4,8 @@ namespace deft {
 
 void Network::reset(const Topology& topo, RoutingAlgorithm& algorithm,
                     PacketTable& packets, int num_vcs, int buffer_depth,
-                    VlFaultSet faults, int vl_serialization, SimCore core) {
+                    VlFaultSet faults, int vl_serialization, SimCore core,
+                    const Partition* partition) {
   topo_ = &topo;
   algorithm_ = &algorithm;
   packets_ = &packets;
@@ -13,12 +14,9 @@ void Network::reset(const Topology& topo, RoutingAlgorithm& algorithm,
   vl_serialization_ = vl_serialization;
   core_ = core;
   algorithm_uses_view_ = algorithm.uses_router_view();
-  flits_buffered_ = 0;
-  moves_last_cycle_ = 0;
-  staged_arrivals_.clear();
-  staged_credits_.clear();
-  staged_departures_.clear();
-  staged_rc_out_credits_.clear();
+  partition_ = partition;
+  num_shards_ = partition == nullptr ? 1 : partition->num_shards();
+  require(num_shards_ >= 1, "Network: bad shard count");
   require(num_vcs_ >= 1 && num_vcs_ <= kMaxVcs, "Network: bad VC count");
   require(buffer_depth_ >= 1 && buffer_depth_ <= kMaxBufferDepth,
           "Network: bad buffer depth");
@@ -28,13 +26,42 @@ void Network::reset(const Topology& topo, RoutingAlgorithm& algorithm,
           "Network: algorithm configured for a different VC count");
 
   routers_.assign(static_cast<std::size_t>(topo.num_nodes()), RouterState{});
-  active_.assign((static_cast<std::size_t>(topo.num_nodes()) + 63) / 64, 0);
   channel_faulty_.assign(static_cast<std::size_t>(topo.num_channels()), 0);
   for (VlChannelId vc = 0; vc < topo.num_vl_channels(); ++vc) {
     if (faults.is_faulty(vc)) {
       channel_faulty_[static_cast<std::size_t>(topo.vl_channel_to_channel(vc))] =
           1;
     }
+  }
+
+  const std::size_t shards = static_cast<std::size_t>(num_shards_);
+  const std::size_t words =
+      (static_cast<std::size_t>(topo.num_nodes()) + 63) / 64;
+  lanes_.resize(shards);
+  for (ShardLane& lane : lanes_) {
+    lane.active.assign(words, 0);
+    lane.flits_buffered = 0;
+    lane.moves = 0;
+  }
+  staged_arrivals_.resize(shards * shards);
+  staged_credits_.resize(shards * shards);
+  staged_ejections_.resize(shards * shards);
+  rc_departures_.resize(shards);
+  staged_rc_out_credits_.resize(shards);
+  for (auto& v : staged_arrivals_) {
+    v.clear();
+  }
+  for (auto& v : staged_credits_) {
+    v.clear();
+  }
+  for (auto& v : staged_ejections_) {
+    v.clear();
+  }
+  for (auto& v : rc_departures_) {
+    v.clear();
+  }
+  for (auto& v : staged_rc_out_credits_) {
+    v.clear();
   }
 
   // Output credits mirror the downstream input buffer; local (ejection)
@@ -75,21 +102,24 @@ Flit Network::stamp_kind(const Flit& flit) const {
 void Network::inject_local(NodeId node, int vc, const Flit& flit) {
   check(local_credit_[index(node, vc)] > 0, "inject_local: no credit");
   --local_credit_[index(node, vc)];
-  staged_arrivals_.push_back({node, static_cast<std::uint8_t>(Port::local),
-                              static_cast<std::uint8_t>(vc),
-                              stamp_kind(flit)});
+  const int s = shard_of(node);  // the NI's shard: producer == consumer
+  staged_arrivals_[box(s, s)].push_back(
+      {node, static_cast<std::uint8_t>(Port::local),
+       static_cast<std::uint8_t>(vc), stamp_kind(flit)});
 }
 
 void Network::inject_rc(NodeId node, int vc, const Flit& flit) {
   check(rc_in_credit_[index(node, vc)] > 0, "inject_rc: no credit");
   --rc_in_credit_[index(node, vc)];
-  staged_arrivals_.push_back({node, static_cast<std::uint8_t>(Port::rc),
-                              static_cast<std::uint8_t>(vc),
-                              stamp_kind(flit)});
+  const int s = shard_of(node);
+  staged_arrivals_[box(s, s)].push_back(
+      {node, static_cast<std::uint8_t>(Port::rc),
+       static_cast<std::uint8_t>(vc), stamp_kind(flit)});
 }
 
 void Network::add_rc_out_credits(NodeId node, int credits) {
-  staged_rc_out_credits_.push_back({node, credits});
+  staged_rc_out_credits_[static_cast<std::size_t>(shard_of(node))].push_back(
+      {node, credits});
 }
 
 RouterView Network::make_view(const RouterState& r) const {

@@ -8,7 +8,7 @@
 // Noxim uses), and credits become visible one cycle after the buffer slot
 // frees.
 //
-// Two hot-path mechanisms keep the cost per simulated cycle proportional
+// Hot-path mechanisms keeping the cost per simulated cycle proportional
 // to traffic, not to system size:
 //
 //  * Active-router worklist (SimCore::active_set, the default): a bitmask
@@ -37,12 +37,29 @@
 //    plane (PacketTable::route_of): an 8-byte hot record indexing a
 //    dense RouteId -> PacketRoute array shared by every packet that
 //    repeats the route.
+//
+// Sharded execution (the partitioned core): when reset() receives a
+// Partition, every piece of per-cycle mutable state is sliced by shard -
+// each shard owns a private active-router worklist, flit/move counters,
+// and a row of staging outboxes keyed by the *consumer* shard. step() on
+// a router only ever touches that router's own state plus its shard's
+// outboxes, so step_shard() calls for different shards are data-race-free
+// and may run on different threads. commit_shard(s) then drains every
+// producer's outbox addressed to s (arrivals, credit returns, RC output
+// credits, local ejections) - all order-independent within a cycle: at
+// most one arrival lands per (router, port, VC) lane, credits are
+// additive, and ejection statistics are merged as order-insensitive
+// multisets - while RC-unit absorptions (which mutate manager-wide
+// state) drain through the serial drain_rc_departures(). The trivial
+// single-shard partition reproduces the historical serial behavior
+// byte for byte.
 #pragma once
 
 #include <bit>
 
 #include "fault/fault_set.hpp"
 #include "sim/router.hpp"
+#include "topology/partition.hpp"
 
 namespace deft {
 
@@ -72,9 +89,10 @@ class Network {
   Network(const Topology& topo, RoutingAlgorithm& algorithm,
           PacketTable& packets, int num_vcs, int buffer_depth,
           VlFaultSet faults, int vl_serialization = 1,
-          SimCore core = SimCore::active_set) {
+          SimCore core = SimCore::active_set,
+          const Partition* partition = nullptr) {
     reset(topo, algorithm, packets, num_vcs, buffer_depth, faults,
-          vl_serialization, core);
+          vl_serialization, core, partition);
   }
 
   /// An empty network awaiting reset() (SimWorkspace member state).
@@ -83,35 +101,81 @@ class Network {
   /// (Re)configures the network for a run: identical post-state to
   /// constructing a fresh Network with these arguments, but reuses every
   /// allocation - on a same-or-smaller topology no heap traffic occurs.
+  /// `partition` slices the per-cycle state for sharded execution (it
+  /// must outlive the network's use); nullptr keeps the serial
+  /// single-shard layout.
   void reset(const Topology& topo, RoutingAlgorithm& algorithm,
              PacketTable& packets, int num_vcs, int buffer_depth,
              VlFaultSet faults, int vl_serialization = 1,
-             SimCore core = SimCore::active_set);
+             SimCore core = SimCore::active_set,
+             const Partition* partition = nullptr);
 
   /// Compute one cycle of router activity (stages moves, does not commit).
-  /// `sink` receives the per-flit traversal events.
+  /// `sink` receives the per-flit traversal events. Serial wrapper over
+  /// step_shard() for every shard.
   template <class Sink>
-  void step(Cycle now, Sink& sink);
+  void step(Cycle now, Sink& sink) {
+    for (int s = 0; s < num_shards_; ++s) {
+      step_shard(s, now, sink);
+    }
+  }
   void step(Cycle now) {
     NullStatsSink sink;
     step(now, sink);
   }
 
   /// Commit staged arrivals, credits, ejections and absorptions. `sink`
-  /// receives the ejection and RC-absorption events.
+  /// receives the ejection and RC-absorption events. Serial wrapper over
+  /// commit_shard() for every shard plus the RC departure drain.
   template <class Sink>
-  void apply(Cycle now, Sink& sink);
+  void apply(Cycle now, Sink& sink) {
+    for (int s = 0; s < num_shards_; ++s) {
+      commit_shard(s, now, sink);
+    }
+    drain_rc_departures(now, sink);
+  }
   void apply(Cycle now) {
     NullStatsSink sink;
     apply(now, sink);
   }
+
+  // --- Sharded execution ---------------------------------------------------
+  // Contract (see the header comment): step_shard(s)/commit_shard(s) for
+  // distinct s touch disjoint state and may run concurrently within their
+  // phase; a barrier must separate the step phase from the commit phase,
+  // and drain_rc_departures() must run with no commit in flight.
+
+  /// Route/allocate/traverse for the routers shard `s` owns.
+  template <class Sink>
+  void step_shard(int shard, Cycle now, Sink& sink);
+
+  /// Commits arrivals, credit returns, RC output credits and local
+  /// ejections addressed to shard `s` (from every producer's outbox).
+  template <class Sink>
+  void commit_shard(int shard, Cycle now, Sink& sink);
+
+  /// Serially hands the staged RC-unit absorptions to `sink` (they mutate
+  /// manager-wide RC state and so stay out of the parallel commit).
+  template <class Sink>
+  void drain_rc_departures(Cycle now, Sink& sink) {
+    for (int p = 0; p < num_shards_; ++p) {
+      for (const Departure& d :
+           rc_departures_[static_cast<std::size_t>(p)]) {
+        sink.rc_absorb(d.node, d.flit, now);
+      }
+      rc_departures_[static_cast<std::size_t>(p)].clear();
+    }
+  }
+
+  int num_shards() const { return num_shards_; }
 
   // --- Network-interface side -------------------------------------------
   /// Free slots the NI may still inject into (node's local input VC).
   int local_free(NodeId node, int vc) const {
     return local_credit_[index(node, vc)];
   }
-  /// Stage one flit into the node's local input port on `vc`.
+  /// Stage one flit into the node's local input port on `vc`. Safe to
+  /// call concurrently from the shard owning `node`.
   void inject_local(NodeId node, int vc, const Flit& flit);
 
   // --- RC-unit side -------------------------------------------------------
@@ -119,18 +183,33 @@ class Network {
   int rc_in_free(NodeId node, int vc) const {
     return rc_in_credit_[index(node, vc)];
   }
-  /// Stage one flit into the boundary router's RC input port.
+  /// Stage one flit into the boundary router's RC input port (serial
+  /// contexts only: the RC units tick outside the parallel phases).
   void inject_rc(NodeId node, int vc, const Flit& flit);
   /// Make `credits` additional flit slots available on the router's RC
-  /// output (called by the RC unit as its packet buffer frees).
+  /// output (called by the RC unit as its packet buffer frees; serial
+  /// contexts only).
   void add_rc_out_credits(NodeId node, int credits);
 
   // --- Introspection --------------------------------------------------------
   /// Flits currently held in router buffers (the deadlock watchdog's
-  /// progress signal, together with moves_last_cycle()).
-  std::uint64_t flits_buffered() const { return flits_buffered_; }
-  /// Flit movements committed by the last apply().
-  std::uint64_t moves_last_cycle() const { return moves_last_cycle_; }
+  /// progress signal, together with moves_last_cycle()). Sums the
+  /// per-shard counters; call it from serial sections only.
+  std::uint64_t flits_buffered() const {
+    std::uint64_t total = 0;
+    for (const ShardLane& lane : lanes_) {
+      total += lane.flits_buffered;
+    }
+    return total;
+  }
+  /// Flit movements committed by the last apply() (summed over shards).
+  std::uint64_t moves_last_cycle() const {
+    std::uint64_t total = 0;
+    for (const ShardLane& lane : lanes_) {
+      total += lane.moves;
+    }
+    return total;
+  }
   int num_vcs() const { return num_vcs_; }
   int buffer_depth() const { return buffer_depth_; }
   SimCore core() const { return core_; }
@@ -153,7 +232,16 @@ class Network {
   struct Departure {
     NodeId node;
     Flit flit;
-    bool to_rc;  ///< RC-unit absorption rather than local ejection
+  };
+
+  /// Per-shard slice of the mutable per-cycle state. Only the owning
+  /// shard's step/commit pass touches a lane.
+  struct ShardLane {
+    /// Active-router worklist over the global node-id bit space; only
+    /// bits of owned routers are ever set.
+    std::vector<std::uint64_t> active;
+    std::uint64_t flits_buffered = 0;
+    std::uint64_t moves = 0;
   };
 
   std::size_t index(NodeId node, int vc) const {
@@ -161,8 +249,18 @@ class Network {
            static_cast<std::size_t>(vc);
   }
 
+  int shard_of(NodeId node) const {
+    return num_shards_ == 1 ? 0 : partition_->shard_of(node);
+  }
+  /// Outbox of `producer` addressed to `consumer`.
+  std::size_t box(int producer, int consumer) const {
+    return static_cast<std::size_t>(producer) *
+               static_cast<std::size_t>(num_shards_) +
+           static_cast<std::size_t>(consumer);
+  }
+
   template <class Sink>
-  void process_router(NodeId node, Cycle now, Sink& sink);
+  void process_router(NodeId node, int shard, Cycle now, Sink& sink);
   RouterView make_view(const RouterState& r) const;
   /// Returns `flit` with its head/tail kind byte filled in from the
   /// packet's size (called once per flit as it enters the network).
@@ -178,6 +276,8 @@ class Network {
   /// Whether algorithm_ reads the RouterView; oblivious algorithms skip
   /// the per-route credit aggregation entirely.
   bool algorithm_uses_view_ = false;
+  const Partition* partition_ = nullptr;
+  int num_shards_ = 1;
 
   std::vector<RouterState> routers_;
   std::vector<char> channel_faulty_;
@@ -186,16 +286,17 @@ class Network {
   std::vector<int> local_credit_;  ///< NI-visible credits per (node, vc)
   std::vector<int> rc_in_credit_;  ///< RC-unit-visible credits per (node, vc)
 
-  /// Active-router worklist: bit n set iff routers_[n].occupancy != 0.
-  std::vector<std::uint64_t> active_;
+  std::vector<ShardLane> lanes_;  ///< one per shard
 
-  std::vector<Arrival> staged_arrivals_;
-  std::vector<CreditReturn> staged_credits_;
-  std::vector<Departure> staged_departures_;
-  std::vector<std::pair<NodeId, int>> staged_rc_out_credits_;
-
-  std::uint64_t flits_buffered_ = 0;
-  std::uint64_t moves_last_cycle_ = 0;
+  // Staging outboxes, indexed box(producer, consumer). Arrivals and
+  // credit returns are keyed by the router they land on; ejections by
+  // the ejecting router. RC departures and RC output credits have one
+  // list per producer/consumer respectively (their producers are serial).
+  std::vector<std::vector<Arrival>> staged_arrivals_;
+  std::vector<std::vector<CreditReturn>> staged_credits_;
+  std::vector<std::vector<Departure>> staged_ejections_;
+  std::vector<std::vector<Departure>> rc_departures_;
+  std::vector<std::vector<std::pair<NodeId, int>>> staged_rc_out_credits_;
 };
 
 // ---------------------------------------------------------------------------
@@ -204,33 +305,36 @@ class Network {
 // std::function hooks).
 
 template <class Sink>
-void Network::step(Cycle now, Sink& sink) {
-  moves_last_cycle_ = 0;
+void Network::step_shard(int shard, Cycle now, Sink& sink) {
+  ShardLane& lane = lanes_[static_cast<std::size_t>(shard)];
+  lane.moves = 0;
   if (core_ == SimCore::full_scan) {
     for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
-      if (routers_[static_cast<std::size_t>(n)].occupancy != 0) {
-        process_router(n, now, sink);
+      if ((num_shards_ == 1 || shard_of(n) == shard) &&
+          routers_[static_cast<std::size_t>(n)].occupancy != 0) {
+        process_router(n, shard, now, sink);
       }
     }
     return;
   }
-  for (std::size_t w = 0; w < active_.size(); ++w) {
-    std::uint64_t word = active_[w];
+  for (std::size_t w = 0; w < lane.active.size(); ++w) {
+    std::uint64_t word = lane.active[w];
     while (word != 0) {
       const int b = std::countr_zero(word);
       word &= word - 1;
       const NodeId n = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
-      process_router(n, now, sink);
+      process_router(n, shard, now, sink);
       if (routers_[static_cast<std::size_t>(n)].occupancy == 0) {
-        active_[w] &= ~(std::uint64_t{1} << b);
+        lane.active[w] &= ~(std::uint64_t{1} << b);
       }
     }
   }
 }
 
 template <class Sink>
-void Network::process_router(NodeId node, Cycle now, Sink& sink) {
+void Network::process_router(NodeId node, int shard, Cycle now, Sink& sink) {
   RouterState& r = routers_[static_cast<std::size_t>(node)];
+  ShardLane& lane = lanes_[static_cast<std::size_t>(shard)];
 
   // --- Route computation + VC allocation ---------------------------------
   // Every occupied input VC whose head-of-line flit is a packet head first
@@ -244,21 +348,21 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
   RouterView view{};
   bool view_ready = !algorithm_uses_view_;
   for (std::uint64_t occ = r.occupancy; occ != 0; occ &= occ - 1) {
-    const int lane = std::countr_zero(occ);
-    const int p = lane / kMaxVcs;
-    const int v = lane % kMaxVcs;
-    InputVcState& ivc = r.in[static_cast<std::size_t>(lane)];
+    const int lane_idx = std::countr_zero(occ);
+    const int p = lane_idx / kMaxVcs;
+    const int v = lane_idx % kMaxVcs;
+    InputVcState& ivc = r.in[static_cast<std::size_t>(lane_idx)];
     if (!ivc.route_ready) {
       // Occupancy bit => lane non-empty; only the kind plane is touched
       // unless the head is routable.
-      if ((r.flits.front_kind(lane) & kFlitHead) == 0) {
+      if ((r.flits.front_kind(lane_idx) & kFlitHead) == 0) {
         continue;  // waiting for a lagging head? cannot happen, see below
       }
       // Interned-route chase: PacketHot (8 bytes) -> dense RouteId plane.
       // Hot routes are shared across the packets repeating them, so this
       // stays cache-resident where the old fat PacketState walk did not.
       const PacketRoute& route =
-          packets_->route_of(r.flits.front_packet(lane));
+          packets_->route_of(r.flits.front_packet(lane_idx));
       if (!view_ready &&
           algorithm_->route_needs_view(node, static_cast<Port>(p), route)) {
         view = make_view(r);
@@ -361,36 +465,40 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
 
       // Grant: move the flit.
       const Flit flit = r.flits.pop(in_lane);
-      --flits_buffered_;
-      ++moves_last_cycle_;
+      --lane.flits_buffered;
+      ++lane.moves;
       used_in[p] = true;
       sa = static_cast<std::uint8_t>((c.slot + 1) % slots);
       if (r.flits.empty(in_lane)) {
         r.occupancy &= ~(std::uint64_t{1} << in_lane);
       }
 
-      // Return a credit upstream for the freed input slot.
+      // Return a credit upstream for the freed input slot (the upstream
+      // router's shard consumes it).
       if (static_cast<Port>(p) == Port::local) {
-        staged_credits_.push_back({node, static_cast<std::uint8_t>(Port::local),
-                                   static_cast<std::uint8_t>(c.vc)});
+        staged_credits_[box(shard, shard)].push_back(
+            {node, static_cast<std::uint8_t>(Port::local),
+             static_cast<std::uint8_t>(c.vc)});
       } else if (static_cast<Port>(p) == Port::rc) {
-        staged_credits_.push_back({node, static_cast<std::uint8_t>(Port::rc),
-                                   static_cast<std::uint8_t>(c.vc)});
+        staged_credits_[box(shard, shard)].push_back(
+            {node, static_cast<std::uint8_t>(Port::rc),
+             static_cast<std::uint8_t>(c.vc)});
       } else {
         const ChannelId in_ch = topo_->in_channel(node, static_cast<Port>(p));
         check(in_ch != kInvalidChannel, "Network: input port without channel");
         const Channel& ch = topo_->channel(in_ch);
-        staged_credits_.push_back({ch.src,
-                                   static_cast<std::uint8_t>(ch.src_port),
-                                   static_cast<std::uint8_t>(c.vc)});
+        staged_credits_[box(shard, shard_of(ch.src))].push_back(
+            {ch.src, static_cast<std::uint8_t>(ch.src_port),
+             static_cast<std::uint8_t>(c.vc)});
       }
 
       const bool is_tail = flit.is_tail();  // stamped at injection
       if (out_port == Port::local) {
-        staged_departures_.push_back({node, flit, /*to_rc=*/false});
+        staged_ejections_[box(shard, shard)].push_back({node, flit});
       } else if (out_port == Port::rc) {
         --out.credits;
-        staged_departures_.push_back({node, flit, /*to_rc=*/true});
+        rc_departures_[static_cast<std::size_t>(shard)].push_back(
+            {node, flit});
       } else {
         const ChannelId out_ch = topo_->out_channel(node, out_port);
         check(out_ch != kInvalidChannel, "Network: route into missing port");
@@ -403,10 +511,9 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
         }
         --out.credits;
         const Channel& ch = topo_->channel(out_ch);
-        staged_arrivals_.push_back({ch.dst,
-                                    static_cast<std::uint8_t>(ch.dst_port),
-                                    static_cast<std::uint8_t>(c.out_vc),
-                                    flit});
+        staged_arrivals_[box(shard, shard_of(ch.dst))].push_back(
+            {ch.dst, static_cast<std::uint8_t>(ch.dst_port),
+             static_cast<std::uint8_t>(c.out_vc), flit});
         sink.traverse(out_ch, c.out_vc);
       }
 
@@ -423,33 +530,42 @@ void Network::process_router(NodeId node, Cycle now, Sink& sink) {
 }
 
 template <class Sink>
-void Network::apply(Cycle now, Sink& sink) {
-  for (const Arrival& a : staged_arrivals_) {
-    RouterState& r = routers_[static_cast<std::size_t>(a.node)];
-    const int lane = FlitStore::lane_of(a.port, a.vc);
-    check(r.flits.size(lane) < buffer_depth_, "Network: buffer overflow");
-    r.flits.push(lane, a.flit);
-    ++flits_buffered_;
-    r.occupancy |= std::uint64_t{1} << lane;
-    active_[static_cast<std::size_t>(a.node) / 64] |=
-        std::uint64_t{1} << (static_cast<std::size_t>(a.node) % 64);
-  }
-  staged_arrivals_.clear();
-
-  for (const CreditReturn& c : staged_credits_) {
-    if (static_cast<Port>(c.port) == Port::local) {
-      ++local_credit_[index(c.node, c.vc)];
-    } else if (static_cast<Port>(c.port) == Port::rc) {
-      ++rc_in_credit_[index(c.node, c.vc)];
-    } else {
-      ++routers_[static_cast<std::size_t>(c.node)]
-            .out[static_cast<std::size_t>(FlitStore::lane_of(c.port, c.vc))]
-            .credits;
+void Network::commit_shard(int shard, Cycle now, Sink& sink) {
+  ShardLane& lane = lanes_[static_cast<std::size_t>(shard)];
+  for (int p = 0; p < num_shards_; ++p) {
+    std::vector<Arrival>& arrivals = staged_arrivals_[box(p, shard)];
+    for (const Arrival& a : arrivals) {
+      RouterState& r = routers_[static_cast<std::size_t>(a.node)];
+      const int lane_idx = FlitStore::lane_of(a.port, a.vc);
+      check(r.flits.size(lane_idx) < buffer_depth_,
+            "Network: buffer overflow");
+      r.flits.push(lane_idx, a.flit);
+      ++lane.flits_buffered;
+      r.occupancy |= std::uint64_t{1} << lane_idx;
+      lane.active[static_cast<std::size_t>(a.node) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(a.node) % 64);
     }
+    arrivals.clear();
   }
-  staged_credits_.clear();
 
-  for (const auto& [node, credits] : staged_rc_out_credits_) {
+  for (int p = 0; p < num_shards_; ++p) {
+    std::vector<CreditReturn>& credits = staged_credits_[box(p, shard)];
+    for (const CreditReturn& c : credits) {
+      if (static_cast<Port>(c.port) == Port::local) {
+        ++local_credit_[index(c.node, c.vc)];
+      } else if (static_cast<Port>(c.port) == Port::rc) {
+        ++rc_in_credit_[index(c.node, c.vc)];
+      } else {
+        ++routers_[static_cast<std::size_t>(c.node)]
+              .out[static_cast<std::size_t>(FlitStore::lane_of(c.port, c.vc))]
+              .credits;
+      }
+    }
+    credits.clear();
+  }
+
+  for (const auto& [node, credits] :
+       staged_rc_out_credits_[static_cast<std::size_t>(shard)]) {
     // The RC output port is modelled with a single shared credit pool on
     // VC 0 (the RC unit ignores VCs).
     routers_[static_cast<std::size_t>(node)]
@@ -457,16 +573,15 @@ void Network::apply(Cycle now, Sink& sink) {
             FlitStore::lane_of(port_index(Port::rc), 0))]
         .credits += static_cast<std::int16_t>(credits);
   }
-  staged_rc_out_credits_.clear();
+  staged_rc_out_credits_[static_cast<std::size_t>(shard)].clear();
 
-  for (const Departure& d : staged_departures_) {
-    if (d.to_rc) {
-      sink.rc_absorb(d.node, d.flit, now);
-    } else {
+  for (int p = 0; p < num_shards_; ++p) {
+    std::vector<Departure>& ejections = staged_ejections_[box(p, shard)];
+    for (const Departure& d : ejections) {
       sink.eject(d.node, d.flit, now);
     }
+    ejections.clear();
   }
-  staged_departures_.clear();
 }
 
 }  // namespace deft

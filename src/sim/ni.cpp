@@ -54,7 +54,9 @@ void NetworkInterface::materialize(Cycle now,
 
 void NetworkInterface::try_inject(Cycle now, Network& net,
                                   PacketTable& packets,
-                                  RcUnitManager& rc_units) {
+                                  RcUnitManager& rc_units,
+                                  std::vector<RcPermissionRequest>* staged_requests,
+                                  std::size_t ni_index) {
   if (active_ < 0) {
     if (queue_head_ == queue_.size()) {
       return;
@@ -64,7 +66,12 @@ void NetworkInterface::try_inject(Cycle now, Network& net,
     if (route.rc_unit != kInvalidNode) {
       // RC permission handshake for the head-of-queue packet.
       if (!perm_requested_) {
-        rc_units.request(route.rc_unit, node_, head, now);
+        if (staged_requests != nullptr) {
+          staged_requests->push_back(
+              {ni_index, route.rc_unit, node_, head, now});
+        } else {
+          rc_units.request(route.rc_unit, node_, head, now);
+        }
         perm_requested_ = true;
         return;
       }

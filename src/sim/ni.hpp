@@ -19,6 +19,21 @@ struct NiCounters {
   std::uint64_t dropped_unroutable = 0;
 };
 
+/// A permission request an NI would file with a (possibly remote) RC unit.
+/// The sharded core captures these during the parallel NI phase and
+/// delivers them serially in ascending NI order - the order the serial NI
+/// loop files them - before the next RC tick. Deferring delivery to the
+/// cycle boundary is exact: a request filed at cycle t cannot arrive at
+/// its unit before t + 2 (permission_latency >= 2), so no grant decision
+/// at cycle t or t + 1 can observe it.
+struct RcPermissionRequest {
+  std::size_t ni = 0;  ///< NI index (the delivery-order key)
+  NodeId unit_node = kInvalidNode;
+  NodeId requester = kInvalidNode;
+  PacketId packet = -1;
+  Cycle now = 0;  ///< cycle the request was filed
+};
+
 class NetworkInterface {
  public:
   NetworkInterface(NodeId node, Rng rng) : node_(node), rng_(rng) {}
@@ -68,9 +83,15 @@ class NetworkInterface {
                         bool in_measure_window, NiCounters& counters);
 
   /// Pushes at most one flit of the active packet into the router; handles
-  /// RC permission acquisition for the head-of-queue packet.
+  /// RC permission acquisition for the head-of-queue packet. When
+  /// `staged_requests` is non-null (the sharded core's parallel NI phase),
+  /// permission requests are appended there - tagged with `ni_index` -
+  /// instead of being filed with the manager directly; grant checks stay
+  /// read-only either way.
   void try_inject(Cycle now, Network& net, PacketTable& packets,
-                  RcUnitManager& rc_units);
+                  RcUnitManager& rc_units,
+                  std::vector<RcPermissionRequest>* staged_requests = nullptr,
+                  std::size_t ni_index = 0);
 
   /// Work still owned by this NI (queued or partially injected packets).
   bool busy() const { return active_ >= 0 || queue_head_ < queue_.size(); }

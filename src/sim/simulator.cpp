@@ -1,7 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <functional>
+#include <mutex>
 
 namespace deft {
 
@@ -244,6 +247,353 @@ void run_reference(LoopCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// The sharded (partitioned) core. Each cycle runs as two parallel phases
+// with a barrier after each:
+//
+//   front (per shard): scheduled wake-ups re-arm their next event, busy
+//     NIs inject (staging arrivals into the shard's own inbox and RC
+//     permission requests into the shard's batch), then step_shard()
+//     routes/arbitrates the shard's routers into the per-consumer
+//     outboxes.
+//   back (per shard): commit_shard() drains every inbox addressed to the
+//     shard (arrivals, credits, RC output credits, local ejections into
+//     the shard's private accumulators), then pre-draws the next cycle's
+//     wake set from the shard's event heap.
+//   completion (serial, inside the second barrier): RC absorptions drain,
+//     the watchdog and drain checks run on the summed counters, and -
+//     when the run continues - the next cycle is prepared: staged RC
+//     requests are delivered and pending injections materialized in
+//     ascending NI order (preserving the routing algorithm's shared RNG
+//     stream and the RC queue order of the serial loop), and the RC
+//     units tick.
+//
+// Why this is bit-identical to serial: step() never reads another
+// router's state, commits are order-independent within a cycle (one
+// arrival per buffer lane, additive credits, order-insensitive stat
+// merges), and every order-sensitive operation - packet creation, RC
+// request delivery, grants, watchdog decisions - happens in the serial
+// completion step in serial order. Deferring RC request delivery to the
+// cycle boundary is exact because the permission network's latency keeps
+// same-cycle requests invisible to same-cycle grant decisions (see
+// RcPermissionRequest).
+
+/// State shared by every shard worker; plain fields are published across
+/// threads by the two std::barrier synchronization points per cycle.
+struct ShardedState {
+  const SimKnobs* knobs = nullptr;
+  const Topology* topo = nullptr;
+  TrafficGenerator* traffic = nullptr;
+  RoutingAlgorithm* algorithm = nullptr;
+  PacketTable* packets = nullptr;
+  Network* net = nullptr;
+  RcUnitManager* rc_units = nullptr;
+  std::vector<NetworkInterface>* nis = nullptr;
+  std::vector<ShardRun>* shards = nullptr;
+  SimResults* results = nullptr;
+  NiCounters counters;
+
+  Cycle measure_end = 0;
+  Cycle hard_end = 0;
+  Cycle now = 0;
+  Cycle idle_cycles = 0;
+  bool in_window = false;
+  bool stop = false;
+  bool deadlock = false;
+  bool drained = false;
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  void record_failure() {
+    {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) {
+        error = std::current_exception();
+      }
+    }
+    failed.store(true, std::memory_order_relaxed);
+  }
+
+  void schedule(ShardRun& sh, std::size_t i, Cycle from) {
+    const Cycle c = (*nis)[i].schedule_next(*traffic, from, hard_end);
+    if (c < hard_end) {
+      sh.events.emplace_back(c, i);
+      std::push_heap(sh.events.begin(), sh.events.end(), std::greater<>{});
+    }
+  }
+
+  /// Pops shard events due at `next` into the wake set and the pending
+  /// materialization list (heap order yields ascending NI index).
+  static void draw(ShardRun& sh, Cycle next) {
+    while (!sh.events.empty() && sh.events.front().first == next) {
+      std::pop_heap(sh.events.begin(), sh.events.end(), std::greater<>{});
+      const std::size_t i = sh.events.back().second;
+      sh.events.pop_back();
+      sh.wake[i / 64] |= std::uint64_t{1} << (i % 64);
+      sh.pending.push_back(i);
+    }
+  }
+
+  /// Serial start-of-cycle work for cycle `now`: deliver staged RC
+  /// permission requests and materialize pending injections in ascending
+  /// NI order, then tick the RC units. Mirrors the serial loop's per-NI
+  /// order of commit_scheduled() and rc_units.request() calls.
+  void begin_cycle() {
+    const int num_shards = static_cast<int>(shards->size());
+    // K-way merges by NI index over the shards' (already ascending)
+    // lists; shard counts are small, so a linear min scan suffices.
+    std::size_t req_cursor[kMaxSimShards] = {};
+    for (;;) {
+      int best = -1;
+      std::size_t best_ni = 0;
+      for (int s = 0; s < num_shards; ++s) {
+        const auto& reqs = (*shards)[static_cast<std::size_t>(s)].rc_requests;
+        if (req_cursor[s] < reqs.size() &&
+            (best < 0 || reqs[req_cursor[s]].ni < best_ni)) {
+          best = s;
+          best_ni = reqs[req_cursor[s]].ni;
+        }
+      }
+      if (best < 0) {
+        break;
+      }
+      const RcPermissionRequest& r =
+          (*shards)[static_cast<std::size_t>(best)]
+              .rc_requests[req_cursor[best]++];
+      rc_units->request(r.unit_node, r.requester, r.packet, r.now);
+    }
+    std::size_t pend_cursor[kMaxSimShards] = {};
+    for (;;) {
+      int best = -1;
+      std::size_t best_ni = 0;
+      for (int s = 0; s < num_shards; ++s) {
+        const auto& pend = (*shards)[static_cast<std::size_t>(s)].pending;
+        if (pend_cursor[s] < pend.size() &&
+            (best < 0 || pend[pend_cursor[s]] < best_ni)) {
+          best = s;
+          best_ni = pend[pend_cursor[s]];
+        }
+      }
+      if (best < 0) {
+        break;
+      }
+      const std::size_t i =
+          (*shards)[static_cast<std::size_t>(best)].pending[pend_cursor[best]++];
+      (*nis)[i].commit_scheduled(now, *algorithm, *packets,
+                                 knobs->packet_size, in_window, counters);
+    }
+    for (ShardRun& sh : *shards) {
+      sh.rc_requests.clear();
+      sh.pending.clear();
+    }
+    rc_units->tick(now, *net, *packets);
+  }
+};
+
+/// Per-shard stats sink: the PhaseSink equivalent writing the shard's
+/// private accumulators. RC absorptions never reach it - the network
+/// routes them through the serial drain.
+template <bool InWindow>
+struct ShardPhaseSink {
+  ShardedState* st;
+  ShardRun* sh;
+
+  void traverse(ChannelId c, int vc) {
+    if constexpr (InWindow) {
+      const Channel& ch = st->topo->channel(c);
+      const int chiplet = st->topo->node(ch.src).chiplet;
+      const int region =
+          chiplet == kInterposer ? st->topo->num_chiplets() : chiplet;
+      ++sh->region_vc_flits[static_cast<std::size_t>(region)]
+                           [static_cast<std::size_t>(vc)];
+      if (ch.vl_channel >= 0) {
+        ++sh->vl_channel_flits[static_cast<std::size_t>(ch.vl_channel)];
+      }
+    } else {
+      (void)c;
+      (void)vc;
+    }
+  }
+
+  void rc_absorb(NodeId, const Flit&, Cycle) {
+    check(false, "Simulator: RC absorption reached a parallel sink");
+  }
+
+  void eject(NodeId node, const Flit& flit, Cycle now) {
+    if constexpr (InWindow) {
+      ++sh->flits_ejected_in_window;
+    }
+    if (flit.is_tail()) {
+      const PacketHot& hot = st->packets->hot(flit.packet);
+      check(node == st->packets->route_of(flit.packet).dst,
+            "Simulator: flit ejected at a wrong node");
+      PacketTimes& times = st->packets->times(flit.packet);
+      times.ejected = now;
+      if (hot.measured) {
+        ++sh->delivered_measured;
+        sh->net_latencies.push_back(
+            static_cast<std::uint32_t>(now - times.net_injected));
+        sh->total_latencies.push_back(
+            static_cast<std::uint32_t>(now - times.created));
+      }
+    }
+  }
+};
+
+/// Serial sink for the RC departure drain.
+struct RcDrainSink {
+  RcUnitManager* rc_units;
+  const PacketTable* packets;
+  void traverse(ChannelId, int) {
+    check(false, "Simulator: traversal reached the RC drain sink");
+  }
+  void eject(NodeId, const Flit&, Cycle) {
+    check(false, "Simulator: ejection reached the RC drain sink");
+  }
+  void rc_absorb(NodeId node, const Flit& flit, Cycle now) {
+    rc_units->absorb(node, flit, now, *packets);
+  }
+};
+
+/// Front phase for one shard: scheduled wake-ups re-arm, busy NIs inject,
+/// the shard's routers step.
+template <bool InWindow>
+void shard_front(ShardedState& st, int s) {
+  ShardRun& sh = (*st.shards)[static_cast<std::size_t>(s)];
+  const Cycle now = st.now;
+  for (std::size_t w = 0; w < sh.busy.size(); ++w) {
+    const std::uint64_t wake_word = sh.wake[w];
+    sh.wake[w] = 0;
+    std::uint64_t word = sh.busy[w] | wake_word;
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      word &= word - 1;
+      const std::size_t i = w * 64 + static_cast<std::size_t>(b);
+      NetworkInterface& ni = (*st.nis)[i];
+      if ((wake_word >> b) & 1) {
+        // The injection itself was materialized in the serial completion
+        // step; re-arm the NI's next scheduled event.
+        st.schedule(sh, i, now + 1);
+      }
+      if (ni.busy()) {
+        ni.try_inject(now, *st.net, *st.packets, *st.rc_units,
+                      &sh.rc_requests, i);
+      }
+      if (ni.busy()) {
+        sh.busy[w] |= std::uint64_t{1} << b;
+      } else {
+        sh.busy[w] &= ~(std::uint64_t{1} << b);
+      }
+    }
+  }
+  ShardPhaseSink<InWindow> sink{&st, &sh};
+  st.net->step_shard(s, now, sink);
+}
+
+/// Back phase for one shard: commit the shard's inboxes, pre-draw the
+/// next cycle's wake set.
+template <bool InWindow>
+void shard_back(ShardedState& st, int s) {
+  ShardRun& sh = (*st.shards)[static_cast<std::size_t>(s)];
+  ShardPhaseSink<InWindow> sink{&st, &sh};
+  st.net->commit_shard(s, st.now, sink);
+  ShardedState::draw(sh, st.now + 1);
+}
+
+/// End-of-cycle serial step (the second barrier's completion): drains RC
+/// absorptions, applies the watchdog and drain checks to the summed
+/// counters, and prepares the next cycle.
+void sharded_cycle_end(ShardedState& st) {
+  if (st.failed.load(std::memory_order_relaxed)) {
+    st.stop = true;
+    return;
+  }
+  try {
+    RcDrainSink rc_sink{st.rc_units, st.packets};
+    st.net->drain_rc_departures(st.now, rc_sink);
+
+    const std::uint64_t moves = st.net->moves_last_cycle();
+    st.results->flit_hops += moves;
+    const std::uint64_t progress = moves + st.rc_units->take_progress();
+    if (progress > 0) {
+      st.idle_cycles = 0;
+    } else if (st.net->flits_buffered() + st.rc_units->flits_held() > 0) {
+      if (++st.idle_cycles >= st.knobs->watchdog_cycles) {
+        st.deadlock = true;
+        st.stop = true;
+        return;
+      }
+    }
+
+    std::uint64_t delivered = 0;
+    for (const ShardRun& sh : *st.shards) {
+      delivered += sh.delivered_measured;
+    }
+    if (st.now + 1 >= st.measure_end &&
+        delivered == st.counters.created_measured) {
+      st.drained = true;
+      ++st.now;
+      st.stop = true;
+      return;
+    }
+
+    ++st.now;
+    if (st.now >= st.hard_end) {
+      st.stop = true;
+      return;
+    }
+    st.in_window =
+        st.now >= st.knobs->warmup && st.now < st.measure_end;
+    st.begin_cycle();
+  } catch (...) {
+    st.record_failure();
+    st.stop = true;
+  }
+}
+
+/// Runs the cycle loop across one worker per shard. The caller has
+/// already performed cycle 0's prologue (initial event scheduling, the
+/// cycle-0 draw/materialization, the first RC tick).
+void run_sharded(ShardedState& st, WorkerPool& pool) {
+  const int num_shards = static_cast<int>(st.shards->size());
+
+  const auto completion = [&st]() noexcept { sharded_cycle_end(st); };
+  std::barrier barrier_a(num_shards);
+  std::barrier<std::decay_t<decltype(completion)>> barrier_b(num_shards,
+                                                             completion);
+
+  pool.run(num_shards, [&st, &barrier_a, &barrier_b](int w) {
+    while (!st.stop) {
+      if (!st.failed.load(std::memory_order_relaxed)) {
+        try {
+          if (st.in_window) {
+            shard_front<true>(st, w);
+          } else {
+            shard_front<false>(st, w);
+          }
+        } catch (...) {
+          st.record_failure();
+        }
+      }
+      barrier_a.arrive_and_wait();
+      if (!st.failed.load(std::memory_order_relaxed)) {
+        try {
+          if (st.in_window) {
+            shard_back<true>(st, w);
+          } else {
+            shard_back<false>(st, w);
+          }
+        } catch (...) {
+          st.record_failure();
+        }
+      }
+      barrier_b.arrive_and_wait();  // completion: sharded_cycle_end
+    }
+  });
+}
+
 /// Resets the workspace-owned results in place: scalar fields zeroed,
 /// vector fields assigned to this run's dimensions - never replaced, so a
 /// reused workspace keeps their capacity.
@@ -280,6 +630,8 @@ Simulator::Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
   require(knobs_.packet_size >= 1, "Simulator: bad packet size");
   require(knobs_.warmup >= 0 && knobs_.measure > 0 && knobs_.drain_max >= 0,
           "Simulator: bad phase lengths");
+  require(knobs_.shards >= 1 && knobs_.shards <= kMaxSimShards,
+          "Simulator: bad shard count");
 }
 
 SimResults Simulator::run() {
@@ -291,10 +643,22 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
   require(!ran_, "Simulator::run may only be called once");
   ran_ = true;
 
+  // Sharded execution needs the active-set core (the full scan is the
+  // serial reference) and a lookahead-capable generator: lookahead is the
+  // generator's declaration that sources draw independently, which is
+  // exactly what the parallel NI phase requires. Everything else runs
+  // serially through the trivial partition.
+  bool sharded = knobs_.core == SimCore::active_set && knobs_.shards > 1 &&
+                 traffic_->supports_lookahead();
+  if (sharded) {
+    ws.partition_.build(*topo_, knobs_.shards);
+    sharded = ws.partition_.num_shards() > 1;
+  }
+
   ws.packets_.clear();
   ws.net_.reset(*topo_, *algorithm_, ws.packets_, knobs_.num_vcs,
                 knobs_.buffer_depth, faults_, knobs_.vl_serialization,
-                knobs_.core);
+                knobs_.core, sharded ? &ws.partition_ : nullptr);
   ws.rc_units_.reset(*topo_, knobs_.packet_size);
   ws.rc_units_.publish_initial_credits(ws.net_);
 
@@ -328,6 +692,96 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
   ctx.busy = &ws.busy_;
   ctx.wake = &ws.wake_;
   ctx.events = &ws.events_;
+
+  if (sharded) {
+    const int num_shards = ws.partition_.num_shards();
+    ws.shard_runs_.resize(static_cast<std::size_t>(num_shards));
+    const std::size_t ni_words = (ws.nis_.size() + 63) / 64;
+    for (ShardRun& sh : ws.shard_runs_) {
+      sh.busy.assign(ni_words, 0);
+      sh.wake.assign(ni_words, 0);
+      sh.events.clear();
+      sh.pending.clear();
+      sh.rc_requests.clear();
+      sh.net_latencies.clear();
+      sh.total_latencies.clear();
+      sh.region_vc_flits.assign(
+          static_cast<std::size_t>(topo_->num_chiplets()) + 1, {});
+      sh.vl_channel_flits.assign(
+          static_cast<std::size_t>(topo_->num_vl_channels()), 0);
+      sh.flits_ejected_in_window = 0;
+      sh.delivered_measured = 0;
+    }
+    if (!ws.pool_ || ws.pool_->threads() < num_shards - 1) {
+      ws.pool_ = std::make_unique<WorkerPool>(num_shards - 1);
+    }
+
+    ShardedState st;
+    st.knobs = &knobs_;
+    st.topo = topo_;
+    st.traffic = traffic_;
+    st.algorithm = algorithm_;
+    st.packets = &ws.packets_;
+    st.net = &ws.net_;
+    st.rc_units = &ws.rc_units_;
+    st.nis = &ws.nis_;
+    st.shards = &ws.shard_runs_;
+    st.results = &ws.results_;
+    st.measure_end = knobs_.warmup + knobs_.measure;
+    st.hard_end = st.measure_end + knobs_.drain_max;
+
+    // Cycle-0 prologue (serial): arm every NI's first scheduled event in
+    // its owner shard's heap, pre-draw cycle 0's wake set, materialize
+    // its injections and run the first RC tick - the same work the
+    // completion step performs at every later cycle boundary.
+    for (std::size_t i = 0; i < ws.nis_.size(); ++i) {
+      const int s = ws.partition_.shard_of(endpoints[i]);
+      st.schedule(ws.shard_runs_[static_cast<std::size_t>(s)], i, 0);
+    }
+    for (ShardRun& sh : ws.shard_runs_) {
+      ShardedState::draw(sh, 0);
+    }
+    st.now = 0;
+    st.in_window = knobs_.warmup <= 0;
+    st.begin_cycle();
+
+    run_sharded(st, *ws.pool_);
+    if (st.error) {
+      std::rethrow_exception(st.error);
+    }
+
+    // Merge the per-shard measurement slices. Every counter is additive
+    // and the latency summaries sort their samples, so the merge order
+    // cannot influence the results.
+    SimResults& results = ws.results_;
+    for (const ShardRun& sh : ws.shard_runs_) {
+      results.flits_ejected_in_window += sh.flits_ejected_in_window;
+      results.packets_delivered_measured += sh.delivered_measured;
+      for (std::size_t r = 0; r < results.region_vc_flits.size(); ++r) {
+        for (std::size_t v = 0; v < results.region_vc_flits[r].size(); ++v) {
+          results.region_vc_flits[r][v] += sh.region_vc_flits[r][v];
+        }
+      }
+      for (std::size_t c = 0; c < results.vl_channel_flits.size(); ++c) {
+        results.vl_channel_flits[c] += sh.vl_channel_flits[c];
+      }
+      ws.net_latencies_.insert(ws.net_latencies_.end(),
+                               sh.net_latencies.begin(),
+                               sh.net_latencies.end());
+      ws.total_latencies_.insert(ws.total_latencies_.end(),
+                                 sh.total_latencies.begin(),
+                                 sh.total_latencies.end());
+    }
+    results.cycles_run = st.now;
+    results.deadlock_detected = st.deadlock;
+    results.drained = st.drained;
+    results.packets_created = st.counters.created;
+    results.packets_created_measured = st.counters.created_measured;
+    results.packets_dropped_unroutable = st.counters.dropped_unroutable;
+    results.network_latency = LatencySummary::from_samples(ws.net_latencies_);
+    results.total_latency = LatencySummary::from_samples(ws.total_latencies_);
+    return results;
+  }
 
   if (knobs_.core == SimCore::full_scan) {
     run_reference(ctx);

@@ -24,16 +24,33 @@
 // makes sweeps of many short runs cheap: after the first run on a given
 // topology the workspace's buffers are warm and a steady-state run
 // performs zero heap allocations (asserted by tests/test_workspace.cpp).
+// Sharded execution: with SimKnobs::shards > 1 (and the active-set core
+// plus a lookahead-capable traffic generator) the run executes across one
+// worker thread per shard of a chiplet-granular Partition. Every phase of
+// a cycle that touches per-router or per-NI state runs shard-parallel;
+// the order-sensitive slivers - packet materialization (the routing
+// algorithm's shared RNG stream), RC permission delivery and the RC-unit
+// tick, and the end-of-cycle watchdog/drain decisions - run serially in
+// the barrier's completion step, in exactly the order the serial loop
+// performs them. Results are bit-identical to shards = 1 for any shard
+// count (tests/test_sim_sharded.cpp); configurations sharding cannot
+// serve (full-scan core, non-lookahead traffic, single-shard partitions)
+// silently execute serially.
 #pragma once
 
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/worker_pool.hpp"
 #include "sim/ni.hpp"
 #include "stats/stats.hpp"
 
 namespace deft {
+
+/// Upper bound on SimKnobs::shards (the serial merge steps of the
+/// partitioned core use fixed per-shard cursors).
+inline constexpr int kMaxSimShards = 64;
 
 struct SimKnobs {
   int num_vcs = 2;       ///< paper: two VCs for all algorithms
@@ -51,6 +68,35 @@ struct SimKnobs {
   /// Simulation core: the active-set worklists (default) or the reference
   /// full scan. Results are bit-identical; only wall clock differs.
   SimCore core = SimCore::active_set;
+  /// Shard / worker-thread count for the partitioned core: > 1 splits the
+  /// run across that many threads (capped by the partition's unit count).
+  /// Results are bit-identical for every value; only wall clock differs.
+  /// Sharding requires the active-set core and a lookahead-capable
+  /// traffic generator - other configurations run serially.
+  int shards = 1;
+};
+
+/// One shard's slice of the per-run state: the NI worklist (busy/wake
+/// bitmasks over the global NI index space, plus the scheduled-injection
+/// heap), the staged RC permission requests, and the shard's private
+/// measurement accumulators (merged order-insensitively after the run -
+/// latency summaries sort their samples, every counter is additive).
+struct ShardRun {
+  std::vector<std::uint64_t> busy;
+  std::vector<std::uint64_t> wake;
+  std::vector<std::pair<Cycle, std::size_t>> events;
+  /// NIs whose scheduled injection fires next cycle (ascending), awaiting
+  /// the serial materialization step.
+  std::vector<std::size_t> pending;
+  std::vector<RcPermissionRequest> rc_requests;
+
+  // Measurement slice (PhaseSink-equivalent, per shard).
+  std::vector<std::uint32_t> net_latencies;
+  std::vector<std::uint32_t> total_latencies;
+  std::vector<std::array<std::uint64_t, kMaxVcsStats>> region_vc_flits;
+  std::vector<std::uint64_t> vl_channel_flits;
+  std::uint64_t flits_ejected_in_window = 0;
+  std::uint64_t delivered_measured = 0;
 };
 
 /// Reusable arena owning every piece of per-run simulation state: the
@@ -87,6 +133,12 @@ class SimWorkspace {
   Network net_;
   RcUnitManager rc_units_;
   std::vector<NetworkInterface> nis_;
+  /// Partitioned-core state: the router partition, one ShardRun slice per
+  /// shard, and the persistent worker pool (threads survive across runs,
+  /// so a workspace reused for many sharded runs spawns them once).
+  Partition partition_;
+  std::vector<ShardRun> shard_runs_;
+  std::unique_ptr<WorkerPool> pool_;
   /// Pending-NI worklist state (active-set core with lookahead traffic).
   std::vector<std::uint64_t> busy_;
   std::vector<std::uint64_t> wake_;

@@ -1,0 +1,100 @@
+#include "topology/partition.hpp"
+
+#include <algorithm>
+
+namespace deft {
+
+void Partition::build(const Topology& topo, int target_shards) {
+  num_shards_ = 1;
+  shard_of_.clear();
+  node_count_.assign(1, topo.num_nodes());
+  if (target_shards <= 1 || topo.num_nodes() <= 1) {
+    return;
+  }
+
+  // --- Units: one per chiplet mesh, plus the interposer split into
+  // contiguous row bands when it exceeds the per-shard node budget.
+  int interposer_nodes = 0;
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    if (topo.node(n).chiplet == kInterposer) {
+      ++interposer_nodes;
+    }
+  }
+  const int ideal =
+      (topo.num_nodes() + target_shards - 1) / target_shards;
+  const int height = topo.spec().interposer_height;
+  int bands = interposer_nodes == 0
+                  ? 0
+                  : std::clamp((interposer_nodes + ideal - 1) / ideal, 1,
+                               std::min(target_shards, height));
+
+  units_.clear();
+  for (int c = 0; c < topo.num_chiplets(); ++c) {
+    units_.push_back(
+        {static_cast<int>(topo.chiplet_nodes(c).size()), c, 0});
+  }
+  // Band b covers interposer rows [b*H/bands, (b+1)*H/bands).
+  const auto band_of_row = [&](int y) { return y * bands / height; };
+  for (int b = 0; b < bands; ++b) {
+    units_.push_back({0, kInterposer, b});
+  }
+  if (bands > 0) {
+    for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+      const Node& node = topo.node(n);
+      if (node.chiplet == kInterposer) {
+        ++units_[static_cast<std::size_t>(topo.num_chiplets() +
+                                          band_of_row(node.global.y))]
+              .size;
+      }
+    }
+  }
+
+  // --- Deterministic LPT bin packing: largest unit first onto the
+  // least-loaded shard (ties: earlier unit, lower shard index).
+  const int shards =
+      std::min<int>(target_shards, static_cast<int>(units_.size()));
+  if (shards <= 1) {
+    return;
+  }
+  std::vector<std::size_t> order(units_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return units_[a].size > units_[b].size;
+                   });
+  node_count_.assign(static_cast<std::size_t>(shards), 0);
+  unit_shard_.assign(units_.size(), 0);
+  for (std::size_t i : order) {
+    int best = 0;
+    for (int s = 1; s < shards; ++s) {
+      if (node_count_[static_cast<std::size_t>(s)] <
+          node_count_[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    unit_shard_[i] = best;
+    node_count_[static_cast<std::size_t>(best)] += units_[i].size;
+  }
+
+  num_shards_ = shards;
+  shard_of_.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const Node& node = topo.node(n);
+    const std::size_t unit =
+        node.chiplet == kInterposer
+            ? static_cast<std::size_t>(topo.num_chiplets() +
+                                       band_of_row(node.global.y))
+            : static_cast<std::size_t>(node.chiplet);
+    shard_of_[static_cast<std::size_t>(n)] = unit_shard_[unit];
+  }
+}
+
+Partition make_partition(const Topology& topo, int target_shards) {
+  Partition p;
+  p.build(topo, target_shards);
+  return p;
+}
+
+}  // namespace deft

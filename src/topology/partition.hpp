@@ -1,0 +1,69 @@
+// Router partition for the sharded simulation core.
+//
+// A Partition assigns every router to one of `num_shards()` shards. The
+// sharded Network/Simulator give each shard a private slice of the
+// per-cycle state (router worklist, staging boxes, NI lists), run the
+// step and commit passes shard-parallel, and exchange only the staged
+// cross-shard arrivals and credit returns - so the partition's job is to
+// keep shards balanced while cutting few channels.
+//
+// The default construction is chiplet-granular, which the 2.5D structure
+// makes natural: each chiplet mesh is one unit (all cross-boundary
+// traffic funnels through its handful of vertical links), and the
+// interposer mesh is split into one or more contiguous row bands when it
+// is large relative to the per-shard budget. Units are packed onto shards
+// with a deterministic longest-processing-time greedy, so the same
+// (topology, target) pair always produces the same partition - a
+// prerequisite for the sharded core's bit-identical-to-serial contract,
+// which holds for *any* partition; balance only affects wall clock.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace deft {
+
+class Partition {
+ public:
+  /// A trivial single-shard partition (what serial execution uses).
+  Partition() = default;
+
+  /// (Re)computes the partition for `topo` with at most `target_shards`
+  /// shards, reusing prior allocations. The effective shard count may be
+  /// lower: it never exceeds the number of units (chiplets + interposer
+  /// bands), and a target of <= 1 yields the trivial partition.
+  void build(const Topology& topo, int target_shards);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Shard owning router `node` (0 for the trivial partition).
+  int shard_of(NodeId node) const {
+    return num_shards_ == 1 ? 0
+                            : shard_of_[static_cast<std::size_t>(node)];
+  }
+
+  /// Routers owned by shard `s` (balance introspection).
+  int shard_node_count(int s) const {
+    return node_count_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  int num_shards_ = 1;
+  std::vector<int> shard_of_;    ///< node -> shard (empty when trivial)
+  std::vector<int> node_count_;  ///< shard -> owned routers
+
+  // build() scratch, kept for allocation-free rebuilds.
+  struct Unit {
+    int size = 0;      ///< routers in the unit
+    int chiplet = 0;   ///< chiplet index, or kInterposer for a band
+    int band = 0;      ///< band index within the interposer split
+  };
+  std::vector<Unit> units_;
+  std::vector<int> unit_shard_;
+};
+
+/// Convenience wrapper over Partition::build.
+Partition make_partition(const Topology& topo, int target_shards);
+
+}  // namespace deft

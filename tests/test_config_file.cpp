@@ -1,8 +1,11 @@
 // Configuration-file parser tests and VL-serialization knob tests.
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "core/config_file.hpp"
 #include "topology/builder.hpp"
+#include "traffic/trace.hpp"
 
 namespace deft {
 namespace {
@@ -101,6 +104,91 @@ TEST(ConfigFile, BuildsEveryTrafficPattern) {
   SimulationConfig bad;
   bad.traffic = "nonsense";
   EXPECT_THROW(bad.make_traffic(topo), std::invalid_argument);
+}
+
+TEST(ConfigFile, ParsesShardsAndPerfMatrixHooks) {
+  const SimulationConfig c = parse_simulation_config(std::string(R"(
+    shards    = 4
+    scenario  = ref4/uniform/f0/DeFT
+    repeats   = 5
+    perf_json = out.json
+  )"));
+  EXPECT_EQ(c.knobs.shards, 4);
+  EXPECT_EQ(c.scenario, "ref4/uniform/f0/DeFT");
+  EXPECT_EQ(c.repeats, 5);
+  EXPECT_EQ(c.perf_json, "out.json");
+  const Topology topo(make_reference_spec(4));
+  EXPECT_EQ(c.scenario_key(topo), "ref4/uniform/f0/DeFT");
+  EXPECT_THROW(parse_simulation_config(std::string("shards = 0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(parse_simulation_config(std::string("repeats = 0\n")),
+               std::invalid_argument);
+}
+
+TEST(ConfigFile, DerivesTheScenarioKeyFromTheConfiguration) {
+  const SimulationConfig c = parse_simulation_config(std::string(
+      "chiplets = 6\nalgorithm = mtr\ntraffic = hotspot\nfaults = 0v 3^\n"));
+  const Topology topo(make_reference_spec(6));
+  EXPECT_EQ(c.scenario_key(topo), "6c/hotspot/f2/MTR");
+}
+
+TEST(ConfigFile, BuildsSyntheticTraceReplayWorkloads) {
+  // traffic = trace with trace_cycles records a uniform workload at
+  // `rate` and replays it - the perf matrix's construction, so a config
+  // file can reproduce those scenarios.
+  const SimulationConfig c = parse_simulation_config(
+      std::string("traffic = trace\nrate = 0.02\ntrace_cycles = 300\n"));
+  const Topology topo(make_reference_spec(4));
+  const auto gen = c.make_traffic(topo);
+  EXPECT_EQ(std::string(gen->name()), "trace");
+  EXPECT_TRUE(gen->supports_lookahead());
+
+  // Without a source the trace workload is rejected loudly.
+  const SimulationConfig bad =
+      parse_simulation_config(std::string("traffic = trace\n"));
+  EXPECT_THROW(bad.make_traffic(topo), std::invalid_argument);
+}
+
+TEST(ConfigFile, LoadsTraceReplayFromAFile) {
+  const Topology topo(make_reference_spec(4));
+  const std::string path =
+      ::testing::TempDir() + "/config_file_test.trace";
+  const std::vector<TraceRecord> records =
+      record_uniform_trace(topo, 0.02, 200);
+  ASSERT_FALSE(records.empty());
+  {
+    TraceRecorder recorder;
+    for (const TraceRecord& r : records) {
+      recorder.record(r.cycle, r.src, r.dst, r.app);
+    }
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    recorder.write(out);
+  }
+
+  SimulationConfig c = parse_simulation_config(
+      std::string("traffic = trace\ntrace_file = ") + path + "\n");
+  const auto gen = c.make_traffic(topo);
+  EXPECT_EQ(std::string(gen->name()), "trace");
+
+  // A replayed file workload must inject exactly the recorded stream:
+  // run the same short simulation from the file-backed and the in-memory
+  // generator and compare.
+  const ExperimentContext ctx(make_reference_spec(4));
+  SimKnobs knobs;
+  knobs.warmup = 50;
+  knobs.measure = 200;
+  knobs.drain_max = 2000;
+  const auto from_file = c.make_traffic(topo);
+  TraceReplayGenerator from_memory(records);
+  const SimResults a =
+      run_sim(ctx, Algorithm::deft, *from_file, knobs);
+  const SimResults b = run_sim(ctx, Algorithm::deft, from_memory, knobs);
+  EXPECT_EQ(a.packets_created, b.packets_created);
+  EXPECT_EQ(a.network_latency.mean, b.network_latency.mean);
+
+  c.trace_file = "/nonexistent/path.trace";
+  EXPECT_THROW(c.make_traffic(topo), std::invalid_argument);
 }
 
 class SerializationTest : public ::testing::Test {

@@ -118,6 +118,53 @@ TEST(SweepRunner, ParallelMatchesSerialBitExactly) {
   }
 }
 
+TEST(SweepRunner, CapsPoolWidthForShardedRuns) {
+  // A sweep of sharded simulations must not oversubscribe silently: with
+  // knobs.shards = S each concurrent point occupies S threads, so the
+  // sweep runs at most max(1, hardware / S) points at once (never more
+  // than the configured width, and always at least one - a single
+  // sharded run may own the whole machine).
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  for (int threads : {1, 2, 8}) {
+    const SweepRunner runner(threads);
+    EXPECT_EQ(runner.effective_workers(1), threads);
+    for (int shards : {2, 4, 64}) {
+      const int workers = runner.effective_workers(shards);
+      EXPECT_GE(workers, 1);
+      EXPECT_LE(workers, threads);
+      // The cap: beyond the single-run floor, shards x workers fits the
+      // hardware.
+      if (workers > 1) {
+        EXPECT_LE(workers * shards, hw);
+      }
+    }
+  }
+}
+
+TEST(SweepRunner, ShardedSweepMatchesSerialBitExactly) {
+  // Sharded grid points through the capped pool must reproduce the
+  // serial unsharded sweep bit for bit (the sharded core's contract,
+  // composed with the sweep runner's).
+  const ExperimentContext ctx = ExperimentContext::reference(4);
+  ExperimentGrid grid;
+  grid.algorithms = {Algorithm::deft, Algorithm::rc};
+  grid.traffic_patterns = {"uniform"};
+  grid.fault_counts = {0, 2};
+  grid.injection_rates = {0.006};
+  const SimKnobs serial_knobs = fast_knobs();
+  SimKnobs sharded_knobs = fast_knobs();
+  sharded_knobs.shards = 2;
+
+  const auto serial = SweepRunner(1).run(ctx, grid, serial_knobs);
+  const auto sharded = SweepRunner(4).run(ctx, grid, sharded_knobs);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i].results, sharded[i].results);
+  }
+}
+
 TEST(SweepRunner, ParallelMapOrdersResultsAndPropagatesExceptions) {
   const SweepRunner runner(4);
   const auto values = runner.parallel_map<std::size_t>(

@@ -1,0 +1,364 @@
+// Sharded-core contract tests.
+//
+// The partitioned simulation core's promise is bit-identical results to
+// serial execution for every shard count, algorithm, traffic pattern and
+// fault scenario - arbitration, RNG consumption and RC permission order
+// all unchanged. Three layers of protection:
+//
+//  1. Partition sanity: the chiplet-granular partition is deterministic,
+//     covers every router exactly once, balances within a unit, and
+//     degrades to the trivial partition when asked for one shard.
+//
+//  2. Golden digests: sharded runs must reproduce the exact digests the
+//     pre-rewrite simulator produced (the same constants
+//     test_sim_equivalence.cpp pins the serial cores to), for shard
+//     counts {2, P} - so sharding is pinned to the historical semantics,
+//     not merely to today's serial core.
+//
+//  3. Cross-shard-count equality on wider configurations (every
+//     algorithm, VL strategy, traffic pattern, fault count, serialized
+//     VLs, the 6-chiplet system), including SimWorkspace reuse across
+//     *differing* shard counts and the serial fallbacks (full-scan core,
+//     non-lookahead traffic).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/runner.hpp"
+#include "topology/partition.hpp"
+#include "traffic/app_profiles.hpp"
+#include "traffic/trace.hpp"
+
+namespace deft {
+namespace {
+
+/// FNV-1a over the SimResults fields that predate flit_hops (matching
+/// test_sim_equivalence.cpp, whose golden constants this file reuses).
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void mix(double d) { mix(std::bit_cast<std::uint64_t>(d)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+std::uint64_t digest(const SimResults& r) {
+  Digest d;
+  for (const LatencySummary* l : {&r.network_latency, &r.total_latency}) {
+    d.mix(l->count);
+    d.mix(l->mean);
+    d.mix(l->min);
+    d.mix(l->max);
+    d.mix(l->p50);
+    d.mix(l->p95);
+    d.mix(l->p99);
+  }
+  d.mix(r.packets_created);
+  d.mix(r.packets_created_measured);
+  d.mix(r.packets_delivered_measured);
+  d.mix(r.packets_dropped_unroutable);
+  d.mix(r.flits_ejected_in_window);
+  d.mix(static_cast<std::uint64_t>(r.cycles_run));
+  d.mix(static_cast<std::uint64_t>(r.measure_cycles));
+  d.mix(r.deadlock_detected ? std::uint64_t{1} : 0);
+  d.mix(r.drained ? std::uint64_t{1} : 0);
+  for (const auto& region : r.region_vc_flits) {
+    for (std::uint64_t v : region) {
+      d.mix(v);
+    }
+  }
+  for (std::uint64_t v : r.vl_channel_flits) {
+    d.mix(v);
+  }
+  return d.value();
+}
+
+void expect_identical(const SimResults& a, const SimResults& b) {
+  for (int which = 0; which < 2; ++which) {
+    const LatencySummary& la =
+        which == 0 ? a.network_latency : a.total_latency;
+    const LatencySummary& lb =
+        which == 0 ? b.network_latency : b.total_latency;
+    EXPECT_EQ(la.count, lb.count);
+    EXPECT_EQ(la.mean, lb.mean);
+    EXPECT_EQ(la.min, lb.min);
+    EXPECT_EQ(la.max, lb.max);
+    EXPECT_EQ(la.p50, lb.p50);
+    EXPECT_EQ(la.p95, lb.p95);
+    EXPECT_EQ(la.p99, lb.p99);
+  }
+  EXPECT_EQ(a.packets_created, b.packets_created);
+  EXPECT_EQ(a.packets_created_measured, b.packets_created_measured);
+  EXPECT_EQ(a.packets_delivered_measured, b.packets_delivered_measured);
+  EXPECT_EQ(a.packets_dropped_unroutable, b.packets_dropped_unroutable);
+  EXPECT_EQ(a.flits_ejected_in_window, b.flits_ejected_in_window);
+  EXPECT_EQ(a.flit_hops, b.flit_hops);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_EQ(a.measure_cycles, b.measure_cycles);
+  EXPECT_EQ(a.deadlock_detected, b.deadlock_detected);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.region_vc_flits, b.region_vc_flits);
+  EXPECT_EQ(a.vl_channel_flits, b.vl_channel_flits);
+}
+
+SimKnobs golden_knobs(int shards) {
+  SimKnobs k;
+  k.warmup = 500;
+  k.measure = 1500;
+  k.drain_max = 3000;
+  k.seed = 7;
+  k.shards = shards;
+  return k;
+}
+
+const ExperimentContext& ctx4() {
+  static const ExperimentContext ctx = ExperimentContext::reference(4);
+  return ctx;
+}
+
+const ExperimentContext& ctx6() {
+  static const ExperimentContext ctx = ExperimentContext::reference(6);
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Partition sanity.
+
+TEST(Partition, TrivialWhenOneShardRequested) {
+  Partition p;
+  p.build(ctx4().topo(), 1);
+  EXPECT_EQ(p.num_shards(), 1);
+  EXPECT_EQ(p.shard_of(0), 0);
+  EXPECT_EQ(p.shard_node_count(0), ctx4().topo().num_nodes());
+}
+
+TEST(Partition, CoversEveryRouterAndBalancesTheReferenceSystem) {
+  // The 4-chiplet system: 4 chiplets x 16 routers + an 8x8 interposer.
+  // At 4 shards the interposer splits into two 32-router bands and LPT
+  // packs everything into four 32-router shards.
+  const Topology& topo = ctx4().topo();
+  const Partition p = make_partition(topo, 4);
+  ASSERT_EQ(p.num_shards(), 4);
+  std::vector<int> counted(4, 0);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    const int s = p.shard_of(n);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    ++counted[static_cast<std::size_t>(s)];
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(counted[static_cast<std::size_t>(s)], p.shard_node_count(s));
+    EXPECT_EQ(p.shard_node_count(s), topo.num_nodes() / 4);
+  }
+}
+
+TEST(Partition, IsChipletGranularAndDeterministic) {
+  const Topology& topo = ctx6().topo();
+  const Partition a = make_partition(topo, 3);
+  const Partition b = make_partition(topo, 3);
+  ASSERT_EQ(a.num_shards(), 3);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_EQ(a.shard_of(n), b.shard_of(n));
+  }
+  // Chiplet granularity: all routers of one chiplet share a shard.
+  for (int c = 0; c < topo.num_chiplets(); ++c) {
+    const auto& nodes = topo.chiplet_nodes(c);
+    for (NodeId n : nodes) {
+      EXPECT_EQ(a.shard_of(n), a.shard_of(nodes.front()));
+    }
+  }
+}
+
+TEST(Partition, CapsShardsAtTheUnitCount) {
+  // The heterogeneous two-chiplet system has 2 chiplets + a small
+  // interposer: far fewer units than 16 requested shards.
+  const Topology topo(make_two_chiplet_spec());
+  const Partition p = make_partition(topo, 16);
+  EXPECT_GT(p.num_shards(), 1);
+  EXPECT_LE(p.num_shards(), 2 + topo.spec().interposer_height);
+  int total = 0;
+  for (int s = 0; s < p.num_shards(); ++s) {
+    total += p.shard_node_count(s);
+  }
+  EXPECT_EQ(total, topo.num_nodes());
+}
+
+// ---------------------------------------------------------------------------
+// Golden digests: sharded runs reproduce the pre-rewrite constants.
+
+struct GoldenConfig {
+  const char* name;
+  Algorithm algorithm;
+  VlStrategy strategy;
+  int fault_count;
+  std::uint64_t expected_digest;  ///< test_sim_equivalence.cpp constants
+};
+
+const GoldenConfig kGoldens[] = {
+    {"deft_table", Algorithm::deft, VlStrategy::table, 0,
+     0xaeb4ff9aedc7445eULL},
+    {"deft_random", Algorithm::deft, VlStrategy::random, 0,
+     0x0112fd2b81d6daf1ULL},
+    {"mtr", Algorithm::mtr, VlStrategy::table, 0, 0x336aabf23e3f7c66ULL},
+    {"rc", Algorithm::rc, VlStrategy::table, 0, 0x38e4d1328d56a047ULL},
+    {"deft_table_f4", Algorithm::deft, VlStrategy::table, 4,
+     0x9efd33fa70237ed8ULL},
+};
+
+SimResults run_config(const GoldenConfig& cfg, int shards) {
+  UniformTraffic traffic(ctx4().topo(), 0.02);
+  VlFaultSet faults;
+  if (cfg.fault_count > 0) {
+    faults = grid_fault_pattern(ctx4(), cfg.fault_count);
+  }
+  return run_sim(ctx4(), cfg.algorithm, traffic, golden_knobs(shards),
+                 faults, cfg.strategy);
+}
+
+TEST(SimSharded, ShardedRunsReproduceThePreRewriteGoldens) {
+  for (const GoldenConfig& cfg : kGoldens) {
+    for (int shards : {2, 4}) {
+      SCOPED_TRACE(::testing::Message() << cfg.name << "/shards" << shards);
+      const SimResults r = run_config(cfg, shards);
+      EXPECT_EQ(digest(r), cfg.expected_digest);
+    }
+  }
+}
+
+TEST(SimSharded, FieldIdenticalToSerialAcrossShardCounts) {
+  for (const GoldenConfig& cfg : kGoldens) {
+    SCOPED_TRACE(cfg.name);
+    const SimResults serial = run_config(cfg, 1);
+    for (int shards : {2, 4}) {
+      SCOPED_TRACE(shards);
+      expect_identical(serial, run_config(cfg, shards));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wider configuration sweep: patterns, faults, serialization, 6 chiplets.
+
+TEST(SimSharded, MatchesSerialAcrossTrafficPatternsAndFaults) {
+  struct Config {
+    const char* pattern;
+    int fault_count;
+    int vl_serialization;
+  };
+  const Config configs[] = {
+      {"localized", 0, 1},
+      {"hotspot", 2, 1},
+      {"transpose", 0, 1},
+      {"bit-complement", 0, 1},
+      {"uniform", 6, 2},
+  };
+  for (const Config& cfg : configs) {
+    SCOPED_TRACE(cfg.pattern);
+    VlFaultSet faults;
+    if (cfg.fault_count > 0) {
+      faults = grid_fault_pattern(ctx4(), cfg.fault_count);
+    }
+    SimResults serial;
+    for (int shards : {1, 3}) {
+      const auto traffic = make_traffic(ctx4().topo(), cfg.pattern, 0.015);
+      SimKnobs knobs = golden_knobs(shards);
+      knobs.vl_serialization = cfg.vl_serialization;
+      const SimResults r =
+          run_sim(ctx4(), Algorithm::deft, *traffic, knobs, faults);
+      if (shards == 1) {
+        serial = r;
+      } else {
+        expect_identical(serial, r);
+      }
+    }
+  }
+}
+
+TEST(SimSharded, SixChipletTraceReplayMatchesSerial) {
+  const std::vector<TraceRecord> records =
+      record_uniform_trace(ctx6().topo(), 0.02, 1500);
+  for (Algorithm algorithm : {Algorithm::deft, Algorithm::mtr}) {
+    SCOPED_TRACE(algorithm_name(algorithm));
+    const VlFaultSet faults = grid_fault_pattern(ctx6(), 2);
+    SimResults serial;
+    for (int shards : {1, 4}) {
+      TraceReplayGenerator traffic(records);
+      const SimResults r = run_sim(ctx6(), algorithm, traffic,
+                                   golden_knobs(shards), faults);
+      if (shards == 1) {
+        serial = r;
+      } else {
+        expect_identical(serial, r);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace reuse and serial fallbacks.
+
+TEST(SimSharded, WorkspaceReuseAcrossDifferingShardCounts) {
+  // One workspace hops 1 -> 4 -> 2 -> 1 shards (and between systems);
+  // every run must equal a fresh serial Simulator's results. This is the
+  // reset-correctness trap for the per-shard planes: stale staging boxes,
+  // worklists or accumulators from a wider partition must not leak.
+  struct Step {
+    const ExperimentContext* ctx;
+    int shards;
+  };
+  const Step steps[] = {
+      {&ctx4(), 1}, {&ctx4(), 4}, {&ctx6(), 2}, {&ctx4(), 2}, {&ctx4(), 1},
+  };
+  SimWorkspace ws;
+  for (const Step& step : steps) {
+    SCOPED_TRACE(step.shards);
+    const auto traffic_ws = make_traffic(step.ctx->topo(), "uniform", 0.015);
+    const SimResults& reused =
+        run_sim(ws, *step.ctx, Algorithm::deft, *traffic_ws,
+                golden_knobs(step.shards));
+    const auto traffic_fresh =
+        make_traffic(step.ctx->topo(), "uniform", 0.015);
+    const SimResults fresh = run_sim(*step.ctx, Algorithm::deft,
+                                     *traffic_fresh, golden_knobs(1));
+    expect_identical(reused, fresh);
+    EXPECT_GT(fresh.packets_created, 0u);
+  }
+}
+
+TEST(SimSharded, FullScanCoreIgnoresShardKnob) {
+  UniformTraffic a(ctx4().topo(), 0.02);
+  UniformTraffic b(ctx4().topo(), 0.02);
+  SimKnobs serial_knobs = golden_knobs(1);
+  serial_knobs.core = SimCore::full_scan;
+  SimKnobs sharded_knobs = golden_knobs(4);
+  sharded_knobs.core = SimCore::full_scan;
+  expect_identical(run_sim(ctx4(), Algorithm::deft, a, serial_knobs),
+                   run_sim(ctx4(), Algorithm::deft, b, sharded_knobs));
+}
+
+TEST(SimSharded, NonLookaheadTrafficFallsBackToSerial) {
+  // Application traffic couples sources through request/reply flows and
+  // so declines lookahead - the sharded core cannot draw its sources in
+  // parallel. The shards knob must degrade to serial execution, not
+  // change results or crash.
+  const AppProfile& app = profile_by_code("BL");
+  SimResults results[2];
+  for (int shards : {1, 4}) {
+    AppTrafficGenerator traffic(ctx4().topo(),
+                                {{app, ctx4().topo().core_endpoints()}});
+    ASSERT_FALSE(traffic.supports_lookahead());
+    results[shards > 1] =
+        run_sim(ctx4(), Algorithm::deft, traffic, golden_knobs(shards));
+  }
+  expect_identical(results[0], results[1]);
+}
+
+}  // namespace
+}  // namespace deft

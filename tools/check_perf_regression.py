@@ -18,6 +18,13 @@ printed but not gated.
 fresh run against an arbitrary recorded file, e.g. a previous PR's
 artifact, without reordering arguments in CI).
 
+Sharded-scenario keys ("<scenario>/shardsN") are wall-clock ratios of a
+serial run over an N-thread run, so they are only comparable between
+hosts that can actually run N threads in parallel. When the fresh run's
+recorded "hardware_concurrency" (in its "config" object) is below N, the
+key is skipped with a note instead of gated - a 1-core container cannot
+regress (or satisfy) a 4-shard speedup.
+
 A geomean summary line over the scenarios common to both runs is printed
 at the end ("overall"-style aggregate keys are excluded from it).
 
@@ -28,12 +35,22 @@ JSON, or a JSON document without the expected "speedup" table).
 import argparse
 import json
 import math
+import re
 import sys
 
 #: Aggregate keys that may appear in a "speedup" table alongside the
 #: per-scenario ratios; they are gated like any other key but excluded
 #: from the geomean summary (they are already aggregates).
 AGGREGATE_KEYS = {"overall", "geomean"}
+
+#: Suffix of shard-count-dependent scenario keys.
+SHARDS_KEY_RE = re.compile(r"/shards(\d+)$")
+
+
+def shards_of_key(key: str):
+    """Shard count of a "<scenario>/shardsN" key, or None."""
+    match = SHARDS_KEY_RE.search(key)
+    return int(match.group(1)) if match else None
 
 
 def die_malformed(message: str) -> None:
@@ -86,9 +103,19 @@ def main() -> int:
     baseline = load_speedups(baseline_path)
     fresh = load_speedups(args.fresh)
 
+    config = fresh.get("config")
+    fresh_hw = config.get("hardware_concurrency") if isinstance(config, dict) \
+        else None
+
     failures = []
     for key, base_value in sorted(baseline["speedup"].items()):
         new_value = fresh["speedup"].get(key)
+        shards = shards_of_key(key)
+        if (shards is not None and isinstance(fresh_hw, int)
+                and fresh_hw < shards):
+            print(f"skip speedup[{key}]: host has {fresh_hw} hardware "
+                  f"threads, cannot express a {shards}-shard ratio")
+            continue
         if new_value is None:
             print(f"FAIL speedup[{key}]: missing from fresh run")
             failures.append(
