@@ -289,6 +289,16 @@ constexpr double kPr3CyclesPerSec[kNumScenarios] = {
 };
 
 // --------------------------------------------------------------------------
+// Dynamic-fault scenario: the f2 pattern applied as a mid-run fail +
+// repair timeline (reroute policy) instead of a static pre-installed
+// set, so the timed path covers the fault surgeon - incremental table
+// invalidation, in-flight extraction, NI-order rerouting - under both
+// cores. Same gating as the matrix scenarios: the active-set/full-scan
+// ratio within one process.
+
+constexpr char kDynScenario[] = "ref4/uniform/dynfault/DeFT";
+
+// --------------------------------------------------------------------------
 // Short-run sweep scenario: the Fig. 7/8-shaped workload of many 1k-cycle
 // fault points, where per-run state construction dominates and the
 // reusable SimWorkspace matters most. The in-binary ratio compares the
@@ -476,6 +486,50 @@ PerfPoint measure_point(const Scenario& s, SimCore core, SimWorkspace* ws) {
   return best;
 }
 
+/// Times the dynamic-fault scenario under `core` (see kDynScenario).
+PerfPoint measure_dyn_point(SimCore core, SimWorkspace* ws) {
+  const ExperimentContext& ctx = perf_ctx(4);
+  const VlFaultSet pattern = grid_fault_pattern(ctx, 2);
+  FaultTimeline timeline;
+  for (int c = 0; c < ctx.topo().num_vl_channels(); ++c) {
+    if (pattern.is_faulty(c)) {
+      timeline.add_transient(c, kPerfWarmup + kPerfMeasure / 3,
+                             kPerfWarmup + 2 * kPerfMeasure / 3);
+    }
+  }
+  SimKnobs knobs;
+  knobs.warmup = kPerfWarmup;
+  knobs.measure = kPerfMeasure;
+  knobs.drain_max = kPerfDrainMax;
+  knobs.core = core;
+  PerfPoint best;
+  for (int rep = 0; rep < kPerfRepeats; ++rep) {
+    UniformTraffic traffic(ctx.topo(), 0.010);
+    Cycle cycles = 0;
+    std::uint64_t flit_hops = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (ws != nullptr) {
+      const SimResults& r =
+          run_sim(*ws, ctx, Algorithm::deft, traffic, knobs, {},
+                  VlStrategy::table, &timeline, InFlightPolicy::reroute);
+      cycles = r.cycles_run;
+      flit_hops = r.flit_hops;
+    } else {
+      const SimResults r =
+          run_sim(ctx, Algorithm::deft, traffic, knobs, {},
+                  VlStrategy::table, &timeline, InFlightPolicy::reroute);
+      cycles = r.cycles_run;
+      flit_hops = r.flit_hops;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || seconds < best.seconds) {
+      best = {cycles, flit_hops, seconds};
+    }
+  }
+  return best;
+}
+
 /// Times one grid scenario at one shard count. The workspace is reused
 /// across repeats, shard counts and scenarios (its worker pool persists),
 /// matching how a long-lived service would run the partitioned core.
@@ -520,6 +574,15 @@ int run_perf_core(const std::string& json_path) {
                 static_cast<double>(active[i].cycles) / active[i].seconds,
                 full[i].seconds / active[i].seconds);
   }
+
+  const PerfPoint dyn_full = measure_dyn_point(SimCore::full_scan, nullptr);
+  const PerfPoint dyn_active = measure_dyn_point(SimCore::active_set, &ws);
+  std::printf("%-22s %7lld cycles  full %9.0f cyc/s  active %9.0f cyc/s "
+              " (%.2fx)\n",
+              kDynScenario, static_cast<long long>(dyn_active.cycles),
+              static_cast<double>(dyn_full.cycles) / dyn_full.seconds,
+              static_cast<double>(dyn_active.cycles) / dyn_active.seconds,
+              dyn_full.seconds / dyn_active.seconds);
 
   const SweepMeasure sweep_fresh = measure_sweep(/*workspace=*/false);
   const SweepMeasure sweep_ws = measure_sweep(/*workspace=*/true);
@@ -624,6 +687,21 @@ int run_perf_core(const std::string& json_path) {
           static_cast<double>(p.flit_hops) / p.seconds);
     }
   }
+  for (const char* core : {"full_scan", "active_set"}) {
+    const PerfPoint& p =
+        std::string_view(core) == "full_scan" ? dyn_full : dyn_active;
+    std::fprintf(
+        out,
+        "    {\"scenario\": \"%s\", \"system\": \"reference-4\", "
+        "\"traffic\": \"uniform\", \"faults\": 2, \"fault_events\": true, "
+        "\"algorithm\": \"DeFT\", \"rate\": 0.010, \"core\": \"%s\", "
+        "\"cycles\": %lld, \"flit_hops\": %llu, \"seconds\": %.6f, "
+        "\"cycles_per_sec\": %.0f, \"flit_hops_per_sec\": %.0f},\n",
+        kDynScenario, core, static_cast<long long>(p.cycles),
+        static_cast<unsigned long long>(p.flit_hops), p.seconds,
+        static_cast<double>(p.cycles) / p.seconds,
+        static_cast<double>(p.flit_hops) / p.seconds);
+  }
   for (const char* mode : {"fresh_sim", "workspace"}) {
     const SweepMeasure& m =
         std::string_view(mode) == "fresh_sim" ? sweep_fresh : sweep_ws;
@@ -652,6 +730,8 @@ int run_perf_core(const std::string& json_path) {
     std::fprintf(out, "    \"%s\": %.3f,\n", kScenarios[i].name,
                  full[i].seconds / active[i].seconds);
   }
+  std::fprintf(out, "    \"%s\": %.3f,\n", kDynScenario,
+               dyn_full.seconds / dyn_active.seconds);
   std::fprintf(out, "    \"%s\": %.3f,\n", kSweepScenario,
                sweep_fresh.seconds / sweep_ws.seconds);
   // Grid shard ratios: serial wall clock over N-shard wall clock within
@@ -716,6 +796,7 @@ int list_scenarios() {
   for (const Scenario& s : kScenarios) {
     std::printf("%s\n", s.name);
   }
+  std::printf("%s\n", kDynScenario);
   std::printf("%s\n", kSweepScenario);
   for (const GridScenario& s : kGridScenarios) {
     for (int c : grid_shard_counts()) {

@@ -40,6 +40,8 @@ drain_max  = 100000
 seed       = 1
 shards     = 1          # worker threads of the partitioned core
 faults     =            # e.g.: 0v 3^ 12v  (<vl>v = down half, <vl>^ = up)
+fault_events =          # mid-run events, e.g.: 15000:2v 25000:2v:repair
+fault_policy = drop     # drop | reroute (in-flight packets on a fail event)
 trace_file =            # traffic = trace: replay this `cycle src dst app` file
 trace_cycles =          # ... or record a uniform workload over N cycles
 scenario   =            # perf hook: scenario key (default: derived)
@@ -89,6 +91,14 @@ int main(int argc, char** argv) {
                               config.knobs.seed);
   const Topology& topo = ctx.topo();
   const VlFaultSet faults = config.faults(topo);
+  FaultTimeline timeline;
+  try {
+    timeline = config.fault_events(topo);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const FaultTimeline* timeline_ptr = timeline.empty() ? nullptr : &timeline;
   std::printf("deft_sim: %d chiplets, %s routing (%s VL selection), %s "
               "traffic @ %.4f pkt/cyc/core",
               config.chiplets, algorithm_name(config.algorithm),
@@ -99,6 +109,10 @@ int main(int argc, char** argv) {
   }
   if (!faults.empty()) {
     std::printf(", faults %s", faults.to_string().c_str());
+  }
+  if (timeline_ptr != nullptr) {
+    std::printf(", %zu fault events (policy %s)", timeline.size(),
+                in_flight_policy_name(config.fault_policy));
   }
   std::puts("");
 
@@ -112,7 +126,7 @@ int main(int argc, char** argv) {
     const auto traffic = config.make_traffic(topo);
     const auto t0 = std::chrono::steady_clock::now();
     r = run_sim(ctx, config.algorithm, *traffic, config.knobs, faults,
-                config.vl_strategy);
+                config.vl_strategy, timeline_ptr, config.fault_policy);
     const auto t1 = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     if (rep == 0 || seconds < best_seconds) {
@@ -158,6 +172,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.packets_delivered_measured));
   std::printf("unroutable packets:   %llu\n",
               static_cast<unsigned long long>(r.packets_dropped_unroutable));
+  if (timeline_ptr != nullptr || !faults.empty()) {
+    std::printf("fault window:         %llu lost, %.4f delivery ratio",
+                static_cast<unsigned long long>(r.packets_lost),
+                r.fault_window_delivery_ratio());
+    if (r.reconvergence_latency >= 0) {
+      std::printf(", reconverged in %lld cycles",
+                  static_cast<long long>(r.reconvergence_latency));
+    }
+    std::puts("");
+  }
   std::printf("network latency:      %.2f avg / %.1f p50 / %.1f p95 / %.0f "
               "max (cycles)\n",
               r.network_latency.mean, r.network_latency.p50,

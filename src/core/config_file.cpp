@@ -74,6 +74,13 @@ VlFaultSet SimulationConfig::faults(const Topology& topo) const {
   return set;
 }
 
+FaultTimeline SimulationConfig::fault_events(const Topology& topo) const {
+  if (fault_events_spec.empty()) {
+    return {};
+  }
+  return FaultTimeline::parse(fault_events_spec, topo);
+}
+
 std::unique_ptr<TrafficGenerator> SimulationConfig::make_traffic(
     const Topology& topo) const {
   if (traffic == "trace") {
@@ -178,6 +185,17 @@ SimulationConfig parse_simulation_config(std::istream& in) {
           parse_int(key, value, 0, std::numeric_limits<long>::max()));
     } else if (key == "faults") {
       config.fault_spec = value;
+    } else if (key == "fault_events") {
+      config.fault_events_spec = value;
+    } else if (key == "fault_policy") {
+      if (value == "drop") {
+        config.fault_policy = InFlightPolicy::drop;
+      } else if (value == "reroute") {
+        config.fault_policy = InFlightPolicy::reroute;
+      } else {
+        require(false, "config: fault_policy must be drop or reroute, got '" +
+                           value + "'");
+      }
     } else if (key == "shards") {
       config.knobs.shards =
           static_cast<int>(parse_int(key, value, 1, kMaxSimShards));

@@ -21,6 +21,11 @@
 //   faults     = 0v 3^       # faulty VL channels: <vl>v (down) / <vl>^ (up)
 //   vl_serialization = 1
 //
+// Dynamic fault events (fault/scenario.hpp's FaultTimeline syntax) layer
+// mid-run link failures and repairs on top of `faults`:
+//   fault_events = 1000:2v 3000:2v:repair   # CYCLE:<vl>v|^[:fail|:repair]
+//   fault_policy = drop      # drop | reroute (in-flight resolution)
+//
 // Trace-replay workloads (`traffic = trace`) come from one of:
 //   trace_file   = path/to.trace   # `cycle src dst app` lines (trace.hpp)
 //   trace_cycles = 11000           # or: record a uniform workload at
@@ -54,6 +59,10 @@ struct SimulationConfig {
   double rate = 0.008;
   SimKnobs knobs;
   std::string fault_spec;  ///< raw channel list, resolved against the topo
+  /// Raw dynamic fault-event list, resolved against the topology by
+  /// fault_events(); empty = no timeline.
+  std::string fault_events_spec;
+  InFlightPolicy fault_policy = InFlightPolicy::drop;
 
   // Trace-replay workload source (traffic == "trace"): a trace file, or -
   // when empty - a uniform workload at `rate` recorded over trace_cycles.
@@ -67,6 +76,10 @@ struct SimulationConfig {
 
   /// Resolves the fault channel list ("0v 3^ ...") for a topology.
   VlFaultSet faults(const Topology& topo) const;
+
+  /// Resolves the dynamic fault-event list ("1000:2v 3000:2v:repair ...")
+  /// for a topology; empty timeline when fault_events_spec is empty.
+  FaultTimeline fault_events(const Topology& topo) const;
 
   /// Builds the configured traffic generator. Trace replay consumes its
   /// cursors, so perf repeats must call this once per run.

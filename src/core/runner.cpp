@@ -71,20 +71,22 @@ std::unique_ptr<RoutingAlgorithm> ExperimentContext::make_algorithm(
 
 SimResults run_sim(const ExperimentContext& ctx, Algorithm algorithm,
                    TrafficGenerator& traffic, const SimKnobs& knobs,
-                   VlFaultSet faults, VlStrategy strategy) {
+                   VlFaultSet faults, VlStrategy strategy,
+                   const FaultTimeline* timeline, InFlightPolicy policy) {
   const auto alg = ctx.make_algorithm(algorithm, faults, knobs.num_vcs,
                                       strategy);
-  Simulator sim(ctx.topo(), *alg, traffic, knobs, faults);
+  Simulator sim(ctx.topo(), *alg, traffic, knobs, faults, timeline, policy);
   return sim.run();
 }
 
 const SimResults& run_sim(SimWorkspace& ws, const ExperimentContext& ctx,
                           Algorithm algorithm, TrafficGenerator& traffic,
                           const SimKnobs& knobs, VlFaultSet faults,
-                          VlStrategy strategy) {
+                          VlStrategy strategy, const FaultTimeline* timeline,
+                          InFlightPolicy policy) {
   const auto alg = ctx.make_algorithm(algorithm, faults, knobs.num_vcs,
                                       strategy);
-  Simulator sim(ctx.topo(), *alg, traffic, knobs, faults);
+  Simulator sim(ctx.topo(), *alg, traffic, knobs, faults, timeline, policy);
   return sim.run(ws);
 }
 
@@ -112,7 +114,8 @@ std::unique_ptr<TrafficGenerator> make_traffic(const Topology& topo,
 
 std::size_t ExperimentGrid::size() const {
   return algorithms.size() * vl_strategies.size() * traffic_patterns.size() *
-         fault_counts.size() * injection_rates.size();
+         fault_counts.size() * injection_rates.size() *
+         fault_timelines.size();
 }
 
 VlFaultSet grid_fault_pattern(const ExperimentContext& ctx, int fault_count) {
@@ -135,7 +138,7 @@ std::vector<ExperimentPoint> expand_grid(const ExperimentContext& ctx,
                                          const ExperimentGrid& grid) {
   require(!grid.algorithms.empty() && !grid.vl_strategies.empty() &&
               !grid.traffic_patterns.empty() && !grid.fault_counts.empty() &&
-              !grid.injection_rates.empty(),
+              !grid.injection_rates.empty() && !grid.fault_timelines.empty(),
           "expand_grid: every grid axis must be non-empty");
 
   // Fault patterns are sampled once per distinct fault count, up front and
@@ -163,21 +166,24 @@ std::vector<ExperimentPoint> expand_grid(const ExperimentContext& ctx,
       for (const std::string& pattern : grid.traffic_patterns) {
         for (int fault_count : grid.fault_counts) {
           for (double rate : grid.injection_rates) {
-            ExperimentPoint point;
-            point.index = points.size();
-            point.algorithm = algorithm;
-            point.vl_strategy = strategy;
-            point.traffic_pattern = pattern;
-            point.fault_count = fault_count;
-            point.injection_rate = rate;
-            point.faults = pattern_for(fault_count);
-            // Per-point simulation seed via SplitMix64 (common/rng): a
-            // pure function of (context seed, grid index), never of the
-            // worker that happens to execute the point.
-            std::uint64_t state =
-                ctx.seed() ^ (0x9e3779b97f4a7c15ULL * (point.index + 1));
-            point.sim_seed = split_mix64(state);
-            points.push_back(std::move(point));
+            for (const FaultTimeline* timeline : grid.fault_timelines) {
+              ExperimentPoint point;
+              point.index = points.size();
+              point.algorithm = algorithm;
+              point.vl_strategy = strategy;
+              point.traffic_pattern = pattern;
+              point.fault_count = fault_count;
+              point.injection_rate = rate;
+              point.faults = pattern_for(fault_count);
+              point.timeline = timeline;
+              // Per-point simulation seed via SplitMix64 (common/rng): a
+              // pure function of (context seed, grid index), never of the
+              // worker that happens to execute the point.
+              std::uint64_t state =
+                  ctx.seed() ^ (0x9e3779b97f4a7c15ULL * (point.index + 1));
+              point.sim_seed = split_mix64(state);
+              points.push_back(std::move(point));
+            }
           }
         }
       }
@@ -229,7 +235,8 @@ std::vector<SweepResult> SweepRunner::run(const ExperimentContext& ctx,
         point_knobs.seed = point.sim_seed;
         return run_sim(workspaces[static_cast<std::size_t>(worker)], ctx,
                        point.algorithm, *traffic, point_knobs, point.faults,
-                       point.vl_strategy);
+                       point.vl_strategy, point.timeline,
+                       grid.in_flight_policy);
       });
 
   std::vector<SweepResult> sweep;

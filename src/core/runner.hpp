@@ -38,6 +38,7 @@
 
 #include "core/config.hpp"
 #include "core/worker_pool.hpp"
+#include "fault/scenario.hpp"
 #include "routing/mtr_routing.hpp"
 #include "routing/rc_routing.hpp"
 #include "topology/builder.hpp"
@@ -77,11 +78,15 @@ class ExperimentContext {
   mutable std::shared_ptr<const MtrPlan> mtr_plan_;
 };
 
-/// Builds the algorithm and runs one simulation.
+/// Builds the algorithm and runs one simulation. A non-null `timeline`
+/// schedules dynamic fault events on top of the static `faults` set,
+/// resolved under `policy` (see FaultTimeline / FaultSurgeon).
 SimResults run_sim(const ExperimentContext& ctx, Algorithm algorithm,
                    TrafficGenerator& traffic, const SimKnobs& knobs,
                    VlFaultSet faults = {},
-                   VlStrategy strategy = VlStrategy::table);
+                   VlStrategy strategy = VlStrategy::table,
+                   const FaultTimeline* timeline = nullptr,
+                   InFlightPolicy policy = InFlightPolicy::drop);
 
 /// Workspace-reusing variant: bit-identical results to the allocating
 /// overload, but the simulation state lives in `ws` (warm buffers run
@@ -90,7 +95,9 @@ SimResults run_sim(const ExperimentContext& ctx, Algorithm algorithm,
 const SimResults& run_sim(SimWorkspace& ws, const ExperimentContext& ctx,
                           Algorithm algorithm, TrafficGenerator& traffic,
                           const SimKnobs& knobs, VlFaultSet faults = {},
-                          VlStrategy strategy = VlStrategy::table);
+                          VlStrategy strategy = VlStrategy::table,
+                          const FaultTimeline* timeline = nullptr,
+                          InFlightPolicy policy = InFlightPolicy::drop);
 
 /// Builds a synthetic traffic generator by pattern name: "uniform",
 /// "localized", "hotspot", "transpose" or "bit-complement". Throws on an
@@ -101,16 +108,22 @@ std::unique_ptr<TrafficGenerator> make_traffic(const Topology& topo,
 
 /// The cross product of experiment axes a sweep covers. Every axis must be
 /// non-empty. Expansion order (outermost to innermost loop): algorithm,
-/// VL strategy, traffic pattern, fault count, injection rate - so for a
-/// grid with R rates, point index a*S*P*F*R + s*P*F*R + p*F*R + f*R + r
-/// holds (algorithms[a], vl_strategies[s], traffic_patterns[p],
-/// fault_counts[f], injection_rates[r]).
+/// VL strategy, traffic pattern, fault count, injection rate, fault
+/// timeline - the timeline axis is innermost (and defaults to the single
+/// static-faults-only entry), so grids that do not sweep timelines keep
+/// the historical point indices and per-point seeds.
 struct ExperimentGrid {
   std::vector<Algorithm> algorithms = {Algorithm::deft};
   std::vector<VlStrategy> vl_strategies = {VlStrategy::table};
   std::vector<std::string> traffic_patterns = {"uniform"};
   std::vector<int> fault_counts = {0};  ///< faulty VL channels; 0 = none
   std::vector<double> injection_rates = {0.01};
+  /// Dynamic fault-event timelines layered on top of each point's static
+  /// fault pattern; nullptr = static faults only. Pointees must outlive
+  /// the sweep.
+  std::vector<const FaultTimeline*> fault_timelines = {nullptr};
+  /// In-flight resolution policy for every timeline point of the grid.
+  InFlightPolicy in_flight_policy = InFlightPolicy::drop;
 
   std::size_t size() const;
 };
@@ -125,6 +138,8 @@ struct ExperimentPoint {
   int fault_count = 0;
   double injection_rate = 0.0;
   VlFaultSet faults;       ///< sampled representative pattern (empty if 0)
+  /// Dynamic fault-event timeline of this point (nullptr = static only).
+  const FaultTimeline* timeline = nullptr;
   std::uint64_t sim_seed = 0;  ///< per-point seed fed to SimKnobs::seed
 };
 

@@ -1,5 +1,9 @@
 #include "fault/scenario.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
 #include "common/combinatorics.hpp"
 
 namespace deft {
@@ -74,6 +78,103 @@ std::uint64_t visit_fault_scenarios(
     }
   }
   return visited;
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic fault timelines.
+
+const char* in_flight_policy_name(InFlightPolicy policy) {
+  switch (policy) {
+    case InFlightPolicy::drop:
+      return "drop";
+    case InFlightPolicy::reroute:
+      return "reroute";
+  }
+  return "?";
+}
+
+void FaultTimeline::validate(const Topology& topo,
+                             const VlFaultSet& initial) const {
+  // Replay the events in application order (cycle, then insertion order -
+  // a stable sort by cycle, done here over indices so validate() stays
+  // const and cheap) against the evolving fault set.
+  std::vector<std::size_t> order(events_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return events_[a].cycle != events_[b].cycle
+               ? events_[a].cycle < events_[b].cycle
+               : a < b;
+  });
+  VlFaultSet faults = initial;
+  for (std::size_t i : order) {
+    const FaultEvent& ev = events_[i];
+    require(ev.cycle >= 0, "FaultTimeline: event before cycle 0");
+    require(ev.channel >= 0 && ev.channel < topo.num_vl_channels(),
+            "FaultTimeline: VL channel out of range");
+    if (ev.kind == FaultEventKind::fail) {
+      require(!faults.is_faulty(ev.channel),
+              "FaultTimeline: failing an already-faulty channel " +
+                  std::to_string(ev.channel));
+      faults.set_faulty(ev.channel);
+    } else {
+      require(faults.is_faulty(ev.channel),
+              "FaultTimeline: repairing a healthy channel " +
+                  std::to_string(ev.channel));
+      faults.clear(ev.channel);
+    }
+  }
+}
+
+FaultTimeline FaultTimeline::parse(const std::string& spec,
+                                   const Topology& topo) {
+  FaultTimeline timeline;
+  std::istringstream in(spec);
+  std::string token;
+  while (in >> token) {
+    // "CYCLE:<vl>v" / "CYCLE:<vl>^", optional ":fail" / ":repair" suffix.
+    const std::size_t first = token.find(':');
+    require(first != std::string::npos && first > 0,
+            "fault_events: expected CYCLE:<vl>v|^[:fail|:repair], got \"" +
+                token + "\"");
+    char* end = nullptr;
+    const long long cycle = std::strtoll(token.c_str(), &end, 10);
+    require(end == token.c_str() + first && cycle >= 0,
+            "fault_events: bad cycle in \"" + token + "\"");
+    std::size_t second = token.find(':', first + 1);
+    if (second == std::string::npos) {
+      second = token.size();
+    }
+    const std::string link = token.substr(first + 1, second - first - 1);
+    require(link.size() >= 2, "fault_events: bad link in \"" + token + "\"");
+    const char dir = link.back();
+    require(dir == 'v' || dir == '^',
+            "fault_events: link must end in 'v' (down) or '^' (up) in \"" +
+                token + "\"");
+    const long long vl = std::strtoll(link.c_str(), &end, 10);
+    require(end == link.c_str() + link.size() - 1 && vl >= 0 &&
+                vl < static_cast<long long>(topo.vls().size()),
+            "fault_events: bad VL index in \"" + token + "\"");
+    const VlChannelId channel = dir == 'v'
+                                    ? topo.vl(static_cast<VlId>(vl))
+                                          .down_vl_channel()
+                                    : topo.vl(static_cast<VlId>(vl))
+                                          .up_vl_channel();
+    FaultEventKind kind = FaultEventKind::fail;
+    if (second < token.size()) {
+      const std::string suffix = token.substr(second + 1);
+      if (suffix == "repair") {
+        kind = FaultEventKind::repair;
+      } else {
+        require(suffix == "fail",
+                "fault_events: kind must be fail or repair in \"" + token +
+                    "\"");
+      }
+    }
+    timeline.add(static_cast<Cycle>(cycle), channel, kind);
+  }
+  return timeline;
 }
 
 }  // namespace deft

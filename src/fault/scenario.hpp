@@ -43,4 +43,78 @@ std::uint64_t visit_fault_scenarios(
     std::uint64_t samples, Rng& rng,
     const std::function<void(const VlFaultSet&)>& visit);
 
+// ---------------------------------------------------------------------------
+// Dynamic fault timelines: faults as runtime events instead of a static
+// per-run scenario. The simulator applies due events at the start-of-cycle
+// serial point (identical in the serial and sharded cores), updates the
+// routing algorithm's fault set in place via set_faults(), and resolves
+// in-flight packets under an explicit policy.
+
+enum class FaultEventKind : std::uint8_t {
+  fail,    ///< the VL channel becomes faulty at `cycle`
+  repair,  ///< the VL channel becomes usable again at `cycle`
+};
+
+/// One scheduled fault transition of a unidirectional VL channel.
+struct FaultEvent {
+  Cycle cycle = 0;   ///< applied at the start of this cycle
+  int channel = -1;  ///< unidirectional VL channel id (VlFaultSet bit)
+  FaultEventKind kind = FaultEventKind::fail;
+};
+
+/// What happens to packets whose route crosses a link that just failed.
+/// Packets with flits already in the network that still need the dead
+/// channel are extracted and counted lost under both policies (a wormhole
+/// committed toward a dead link cannot be salvaged); the policy decides
+/// the fate of affected packets still queued at their source NI.
+enum class InFlightPolicy : std::uint8_t {
+  drop,     ///< queued affected packets are dropped (counted lost)
+  reroute,  ///< queued affected packets get a fresh route (NI order);
+            ///< packets with no fault-free route left are dropped
+};
+
+const char* in_flight_policy_name(InFlightPolicy policy);
+
+/// An ordered list of fault events. Transient faults are a fail/repair
+/// pair on the same channel. Events are applied sorted by cycle; events
+/// sharing a cycle apply in insertion order.
+class FaultTimeline {
+ public:
+  FaultTimeline() = default;
+
+  void add(Cycle cycle, int channel, FaultEventKind kind) {
+    events_.push_back(FaultEvent{cycle, channel, kind});
+  }
+  void add_fail(Cycle cycle, int channel) {
+    add(cycle, channel, FaultEventKind::fail);
+  }
+  void add_repair(Cycle cycle, int channel) {
+    add(cycle, channel, FaultEventKind::repair);
+  }
+  /// A transient fault: fails at `fail_at`, repaired at `repair_at`.
+  void add_transient(int channel, Cycle fail_at, Cycle repair_at) {
+    add_fail(fail_at, channel);
+    add_repair(repair_at, channel);
+  }
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Throws when the timeline is ill-formed against `initial`: a channel
+  /// out of range, an event before cycle 0, a fail of an already-faulty
+  /// channel or a repair of a healthy one (replaying events in cycle
+  /// order, insertion order within a cycle).
+  void validate(const Topology& topo, const VlFaultSet& initial) const;
+
+  /// Parses a whitespace-separated list of "CYCLE:<vl>v" / "CYCLE:<vl>^"
+  /// tokens (v = down half, ^ = up half, as in the static fault syntax),
+  /// each optionally suffixed ":fail" (default) or ":repair". Example:
+  /// "1000:2v 3000:2v:repair" is a transient down-fault of VL 2.
+  static FaultTimeline parse(const std::string& spec, const Topology& topo);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
 }  // namespace deft

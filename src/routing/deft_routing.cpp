@@ -28,23 +28,45 @@ DeftRouting::DeftRouting(const Topology& topo,
           "DeftRouting: num_vcs must be even (one VC set per VN)");
   require(strategy_ != VlStrategy::table || tables_ != nullptr,
           "DeftRouting: table strategy requires SystemVlTables");
+  const std::size_t chiplets =
+      static_cast<std::size_t>(topo_->num_chiplets());
+  down_mask_.resize(chiplets);
+  up_mask_.resize(chiplets);
+  alive_down_.resize(chiplets);
+  alive_up_.resize(chiplets);
+  DeftRouting::set_faults(faults);
+}
+
+void DeftRouting::set_faults(const VlFaultSet& faults) {
+  // In-place incremental rebuild: exactly the state the constructor
+  // builds for `faults`, reusing every vector's capacity (clear +
+  // push_back never exceeds a previous build on the same topology) and
+  // never touching rng_, so a mid-run fault event is indistinguishable
+  // from having constructed with the new fault set.
+  faults_ = faults;
   for (int c = 0; c < topo_->num_chiplets(); ++c) {
-    down_mask_.push_back(faults_.chiplet_down_mask(*topo_, c));
-    up_mask_.push_back(faults_.chiplet_up_mask(*topo_, c));
-    std::vector<int> down;
-    std::vector<int> up;
+    const std::size_t ci = static_cast<std::size_t>(c);
+    down_mask_[ci] = faults_.chiplet_down_mask(*topo_, c);
+    up_mask_[ci] = faults_.chiplet_up_mask(*topo_, c);
+    std::vector<int>& down = alive_down_[ci];
+    std::vector<int>& up = alive_up_[ci];
+    down.clear();
+    up.clear();
     const auto& vls = topo_->chiplet_vls(c);
     for (std::size_t i = 0; i < vls.size(); ++i) {
-      if ((down_mask_.back() & (1u << i)) == 0) {
+      if ((down_mask_[ci] & (1u << i)) == 0) {
         down.push_back(static_cast<int>(i));
       }
-      if ((up_mask_.back() & (1u << i)) == 0) {
+      if ((up_mask_[ci] & (1u << i)) == 0) {
         up.push_back(static_cast<int>(i));
       }
     }
-    alive_down_.push_back(std::move(down));
-    alive_up_.push_back(std::move(up));
   }
+}
+
+bool DeftRouting::hop_viable(NodeId node, Port /*in_port*/,
+                             const PacketRoute& rt) const {
+  return route_hop_viable(*topo_, faults_, node, rt);
 }
 
 VcMask DeftRouting::vn_vcs(int vn) const {

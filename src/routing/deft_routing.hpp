@@ -57,6 +57,11 @@ class DeftRouting final : public RoutingAlgorithm {
   /// DeFT's per-hop decision is oblivious: a pure function of the packet
   /// route and the VN carried by the input VC.
   bool uses_router_view() const override { return false; }
+  /// Dynamic fault events: in-place rebuild of the per-chiplet masks and
+  /// alive-VL lists (capacity-reusing, rng_ untouched).
+  void set_faults(const VlFaultSet& faults) override;
+  bool hop_viable(NodeId node, Port in_port,
+                  const PacketRoute& rt) const override;
 
   const VlFaultSet& faults() const { return faults_; }
   VlStrategy strategy() const { return strategy_; }

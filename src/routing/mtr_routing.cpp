@@ -497,7 +497,7 @@ MtrRouting::MtrRouting(std::shared_ptr<const MtrPlan> plan, VlFaultSet faults,
   set_faults(faults);
 }
 
-void MtrRouting::set_faults(VlFaultSet faults) {
+void MtrRouting::set_faults(const VlFaultSet& faults) {
   faults_ = faults;
   const Topology& topo = plan_->topo();
   alive_down_.clear();
@@ -525,13 +525,15 @@ void MtrRouting::rebuild_fault_tables() {
     // reuses one frontier buffer - no per-node heap vectors.
     const LineGraph& graph = plan_->line_graph();
     const std::size_t n = static_cast<std::size_t>(graph.size());
-    std::vector<char> faulty(n, 0);
+    std::vector<char>& faulty = scratch_faulty_;
+    faulty.assign(n, 0);
     for (ChannelId c = 0; c < topo.num_channels(); ++c) {
       const VlChannelId vc = topo.channel(c).vl_channel;
       faulty[static_cast<std::size_t>(c)] =
           vc >= 0 && faults_.is_faulty(vc) ? 1 : 0;
     }
-    std::vector<std::size_t> pred_off(n + 1, 0);
+    std::vector<std::size_t>& pred_off = scratch_pred_off_;
+    pred_off.assign(n + 1, 0);
     for (std::size_t l = 0; l < n; ++l) {
       if (faulty[l]) {
         continue;
@@ -545,8 +547,10 @@ void MtrRouting::rebuild_fault_tables() {
     for (std::size_t l = 0; l < n; ++l) {
       pred_off[l + 1] += pred_off[l];
     }
-    std::vector<int> pred(pred_off.back());
-    std::vector<std::size_t> fill = pred_off;
+    std::vector<int>& pred = scratch_pred_;
+    pred.assign(pred_off.back(), 0);
+    std::vector<std::size_t>& fill = scratch_fill_;
+    fill.assign(pred_off.begin(), pred_off.end());
     for (std::size_t l = 0; l < n; ++l) {
       if (faulty[l]) {
         continue;
@@ -558,7 +562,7 @@ void MtrRouting::rebuild_fault_tables() {
       }
     }
     fault_dist_.assign(topo.endpoints().size() * n, MtrPlan::kUnreachable);
-    std::vector<int> frontier;
+    std::vector<int>& frontier = scratch_frontier_;
     frontier.reserve(n);
     for (std::size_t d = 0; d < topo.endpoints().size(); ++d) {
       std::uint16_t* dist = fault_dist_.data() + d * n;
@@ -724,6 +728,20 @@ RouteDecision MtrRouting::route(NodeId node, Port in_port, int in_vc,
   }
   decision.out_port = static_cast<Port>(entry.ports[winner]);
   return decision;
+}
+
+bool MtrRouting::hop_viable(NodeId node, Port in_port,
+                            const PacketRoute& rt) const {
+  const LineGraph& graph = plan_->line_graph();
+  int line_node;
+  if (in_port == Port::local) {
+    line_node = graph.injection_node(node);
+  } else {
+    const ChannelId in = plan_->topo().in_channel(node, in_port);
+    check(in != kInvalidChannel, "MtrRouting: no channel on input port");
+    line_node = graph.channel_node(in);
+  }
+  return dist(line_node, rt.dst) != MtrPlan::kUnreachable;
 }
 
 std::uint64_t MtrRouting::pair_combo_mask(NodeId src, NodeId dst) const {

@@ -131,8 +131,18 @@ class MtrRouting final : public RoutingAlgorithm {
   /// the fault-aware distance tables and invalidating + rebuilding the
   /// memoized route-candidate cache. Equivalent to constructing a fresh
   /// instance with the same plan (asserted by the routing tests); lets
-  /// sweep drivers reuse one instance across scenarios.
-  void set_faults(VlFaultSet faults);
+  /// sweep drivers reuse one instance across scenarios and the simulator
+  /// apply mid-run fault events. All rebuild scratch and the tables
+  /// themselves reuse capacity: after a first build at a given topology,
+  /// later calls are allocation-free.
+  void set_faults(const VlFaultSet& faults) override;
+
+  /// MTR carries no per-packet route state (down_node/up_exit are
+  /// invalid), so viability is positional: can the fault-aware tables
+  /// still steer a packet at `node` (arrived through `in_port`) to
+  /// rt.dst's ejection?
+  bool hop_viable(NodeId node, Port in_port,
+                  const PacketRoute& rt) const override;
 
  private:
   /// Memoized route decision for one (line node, destination endpoint):
@@ -179,6 +189,14 @@ class MtrRouting final : public RoutingAlgorithm {
   std::vector<std::uint16_t> fault_dist_;
   /// route_cache_[dst_endpoint_index * line_graph.size() + line_node].
   std::vector<RouteEntry> route_cache_;
+  /// rebuild_fault_tables() scratch, kept as members so repeated
+  /// set_faults() calls (sweep re-targeting, mid-run fault events on a
+  /// warm workspace) reuse capacity instead of reallocating per call.
+  std::vector<char> scratch_faulty_;
+  std::vector<std::size_t> scratch_pred_off_;
+  std::vector<int> scratch_pred_;
+  std::vector<std::size_t> scratch_fill_;
+  std::vector<int> scratch_frontier_;
 };
 
 }  // namespace deft

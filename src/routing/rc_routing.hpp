@@ -41,6 +41,14 @@ class RcRouting final : public RoutingAlgorithm {
   std::uint64_t pair_combo_mask(NodeId src, NodeId dst) const override;
   /// RC's per-hop decision is oblivious (fixed VLs, minimal XY legs).
   bool uses_router_view() const override { return false; }
+  /// Dynamic fault events: RC keeps no fault-derived tables (its VL choice
+  /// is design-time and fault-oblivious), so only the set itself changes.
+  void set_faults(const VlFaultSet& faults) override { faults_ = faults; }
+  bool hop_viable(NodeId node, Port in_port,
+                  const PacketRoute& rt) const override {
+    (void)in_port;
+    return route_hop_viable(*topo_, faults_, node, rt);
+  }
 
   /// The fixed ascending VL for packets destined to `dst` (design-time,
   /// fault-oblivious): the VL closest to `dst` on its chiplet.

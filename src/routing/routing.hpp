@@ -110,6 +110,31 @@ class RoutingAlgorithm {
     return uses_router_view();
   }
 
+  /// Replaces the algorithm's fault set in place (dynamic fault events).
+  /// Implementations must rebuild exactly the state the constructor would
+  /// have built for this fault set - reusing capacity rather than
+  /// reallocating, and leaving any RNG stream untouched - so constructing
+  /// with faults F is indistinguishable from constructing fault-free and
+  /// then calling set_faults(F).
+  virtual void set_faults(const VlFaultSet& faults) {
+    (void)faults;
+    require(false, std::string(name()) + ": dynamic faults not supported");
+  }
+
+  /// True when a packet currently at `node` (head flit arrived through
+  /// `in_port`) can still reach rt.dst without traversing a faulty
+  /// channel, given its immutable route. Position-aware: a packet past
+  /// its vertical crossings no longer needs them. Used by the dynamic
+  /// fault machinery to decide which in-flight packets a fail event
+  /// dooms; only meaningful for algorithms that override set_faults().
+  virtual bool hop_viable(NodeId node, Port in_port,
+                          const PacketRoute& rt) const {
+    (void)node;
+    (void)in_port;
+    (void)rt;
+    return true;
+  }
+
   /// True when the algorithm can deliver src -> dst under the fault set it
   /// was constructed with (used by the reachability analyzer).
   virtual bool pair_reachable(NodeId src, NodeId dst) const = 0;
@@ -135,5 +160,11 @@ Port xy_step(const Topology& topo, NodeId cur, NodeId target);
 /// All minimal next-hop ports from `cur` toward `target` on the same mesh
 /// (both X and Y moves when both remain); used by adaptive baselines.
 VcMask all_vcs_mask(int num_vcs);
+
+/// Position-aware viability of a route-carrying packet (DeFT/RC): true
+/// when the journey from `node` no longer needs a faulty vertical crossing
+/// recorded in rt.down_node / rt.up_exit. Shared hop_viable() backend.
+bool route_hop_viable(const Topology& topo, const VlFaultSet& faults,
+                      NodeId node, const PacketRoute& rt);
 
 }  // namespace deft

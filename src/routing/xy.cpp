@@ -25,4 +25,30 @@ VcMask all_vcs_mask(int num_vcs) {
   return static_cast<VcMask>((1u << num_vcs) - 1u);
 }
 
+bool route_hop_viable(const Topology& topo, const VlFaultSet& faults,
+                      NodeId node, const PacketRoute& rt) {
+  const Node& src = topo.node(rt.src);
+  const Node& dst = topo.node(rt.dst);
+  if (src.chiplet == dst.chiplet) {
+    return true;  // never crosses a vertical link
+  }
+  const Node& here = topo.node(node);
+  // Journey phases: source chiplet (descends at rt.down_node), interposer
+  // (ascends at rt.up_exit), destination chiplet. A packet only needs the
+  // crossings still ahead of its position.
+  if (src.chiplet != kInterposer && here.chiplet == src.chiplet) {
+    const VlId vl = topo.node(rt.down_node).vl;
+    if (faults.is_faulty(topo.vl(vl).down_vl_channel())) {
+      return false;
+    }
+  }
+  if (dst.chiplet != kInterposer && here.chiplet != dst.chiplet) {
+    const VlId vl = topo.node(rt.up_exit).vl;
+    if (faults.is_faulty(topo.vl(vl).up_vl_channel())) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace deft

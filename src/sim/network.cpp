@@ -90,6 +90,13 @@ void Network::reset(const Topology& topo, RoutingAlgorithm& algorithm,
       static_cast<std::size_t>(topo.num_nodes()) * num_vcs_, buffer_depth_);
 }
 
+void Network::set_vl_channel_faulty(VlChannelId vl_channel, bool faulty) {
+  require(vl_channel >= 0 && vl_channel < topo_->num_vl_channels(),
+          "Network: fault event on an out-of-range vertical channel");
+  channel_faulty_[static_cast<std::size_t>(
+      topo_->vl_channel_to_channel(vl_channel))] = faulty ? 1 : 0;
+}
+
 Flit Network::stamp_kind(const Flit& flit) const {
   // The kind byte is the single injection-time PacketTable access that
   // lets every later pipeline stage answer head/tail queries from the

@@ -63,6 +63,8 @@
 
 namespace deft {
 
+class FaultSurgeon;
+
 /// Which simulation core drives step(): the incremental active-router
 /// worklist or the reference full scan (kept for equivalence testing and
 /// as the perf baseline).
@@ -217,7 +219,18 @@ class Network {
     return routers_[static_cast<std::size_t>(node)];
   }
 
+  // --- Dynamic fault events ------------------------------------------------
+  /// Marks one vertical channel (un)usable mid-run. Serial contexts only
+  /// (a fault-event boundary); the caller is responsible for having
+  /// extracted every in-flight flit that would otherwise traverse the
+  /// channel - step() checks and refuses to cross a faulty channel.
+  void set_vl_channel_faulty(VlChannelId vl_channel, bool faulty);
+
  private:
+  /// The fault-event surgeon extracts doomed in-flight flits and restores
+  /// the mirrored credits; it runs only at serial points and mutates the
+  /// same state apply() commits into.
+  friend class FaultSurgeon;
   struct Arrival {
     NodeId node;
     std::uint8_t port;

@@ -101,6 +101,10 @@ class NetworkInterface {
   NodeId node() const { return node_; }
 
  private:
+  /// The fault-event surgeon inspects/edits queued and active packet state
+  /// at event boundaries (serial points only).
+  friend class FaultSurgeon;
+
   /// Shared tail of generate()/commit_scheduled(): route preparation,
   /// packet creation and counter updates for one batch of requests.
   void materialize(Cycle now, const std::vector<PacketRequest>& requests,

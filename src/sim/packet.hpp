@@ -143,6 +143,21 @@ class PacketTable {
     return hot_[static_cast<std::size_t>(id)];
   }
 
+  RouteId route_id(PacketId id) const {
+    return hot_[static_cast<std::size_t>(id)].route;
+  }
+
+  /// The dense interned-route plane (fault surgery scans it to find the
+  /// route ids that cross a newly failed channel).
+  const RouteStore& route_store() const { return routes_; }
+
+  /// Re-targets a packet at a new route (mid-run reroute after a fault
+  /// event). Interns like create(); the old route stays interned so
+  /// other packets sharing it are unaffected.
+  void set_route(PacketId id, const PacketRoute& route) {
+    hot_[static_cast<std::size_t>(id)].route = routes_.intern(route);
+  }
+
   PacketTimes& times(PacketId id) {
     return times_[static_cast<std::size_t>(id)];
   }

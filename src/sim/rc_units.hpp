@@ -72,6 +72,11 @@ class RcUnitManager {
   }
 
  private:
+  /// The fault-event surgeon purges a doomed packet's requests,
+  /// reservation and buffered flits at event boundaries (serial points
+  /// only), mirroring this manager's busy/held bookkeeping.
+  friend class FaultSurgeon;
+
   struct Request {
     NodeId requester;
     PacketId packet;

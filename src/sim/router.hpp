@@ -74,6 +74,14 @@ class FlitStore {
     return slots_[slot(l, 0)].kind;
   }
 
+  /// Reads the flit at ring `offset` behind the front (0 = front) without
+  /// popping; `offset` must be < size(lane). Off the per-cycle path: fault
+  /// surgery scans lanes for in-flight packet heads.
+  Flit peek(int lane, int offset) const {
+    const std::size_t l = static_cast<std::size_t>(lane);
+    return slots_[slot(l, static_cast<std::uint32_t>(offset))];
+  }
+
   Flit pop(int lane) {
     const std::size_t l = static_cast<std::size_t>(lane);
     const Flit flit = slots_[slot(l, 0)];

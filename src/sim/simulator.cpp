@@ -86,6 +86,7 @@ struct LoopCtx {
   Network* net;
   RcUnitManager* rc_units;
   std::vector<NetworkInterface>* nis;
+  FaultSurgeon* surgeon = nullptr;
   RunAccum* acc;
   NiCounters counters;
 
@@ -127,6 +128,14 @@ bool run_phase(LoopCtx& ctx) {
   PhaseSink<InWindow> sink{ctx.acc};
   for (; ctx.now < phase_end; ++ctx.now) {
     const Cycle now = ctx.now;
+
+    // Dynamic fault events apply at the cycle boundary, before this
+    // cycle's packet creation - the same serial point the sharded core
+    // uses (ShardedState::begin_cycle), so surgery is shard-invariant.
+    if (ctx.surgeon->pending(now)) {
+      ctx.surgeon->apply_due(now, *ctx.net, *ctx.algorithm, *ctx.packets,
+                             *ctx.nis, *ctx.rc_units);
+    }
 
     if (!ctx.lookahead) {
       for (NetworkInterface& ni : *ctx.nis) {
@@ -189,8 +198,10 @@ bool run_phase(LoopCtx& ctx) {
     }
 
     if constexpr (DrainCheck) {
+      // Lost packets can never drain; they count as resolved.
       if (now + 1 >= ctx.measure_end &&
-          ctx.acc->delivered_measured == ctx.counters.created_measured) {
+          ctx.acc->delivered_measured + ctx.surgeon->lost_measured() ==
+              ctx.counters.created_measured) {
         ctx.drained = true;
         ++ctx.now;
         return false;
@@ -209,6 +220,11 @@ void run_reference(LoopCtx& ctx) {
     const Cycle now = ctx.now;
     const bool in_window =
         now >= ctx.knobs->warmup && now < ctx.measure_end;
+
+    if (ctx.surgeon->pending(now)) {
+      ctx.surgeon->apply_due(now, *ctx.net, *ctx.algorithm, *ctx.packets,
+                             *ctx.nis, *ctx.rc_units);
+    }
 
     for (NetworkInterface& ni : *ctx.nis) {
       ni.generate(now, *ctx.traffic, *ctx.algorithm, *ctx.packets,
@@ -239,7 +255,8 @@ void run_reference(LoopCtx& ctx) {
     }
 
     if (now + 1 >= ctx.measure_end &&
-        ctx.acc->delivered_measured == ctx.counters.created_measured) {
+        ctx.acc->delivered_measured + ctx.surgeon->lost_measured() ==
+            ctx.counters.created_measured) {
       ctx.drained = true;
       ++ctx.now;
       break;
@@ -291,6 +308,7 @@ struct ShardedState {
   std::vector<NetworkInterface>* nis = nullptr;
   std::vector<ShardRun>* shards = nullptr;
   SimResults* results = nullptr;
+  FaultSurgeon* surgeon = nullptr;
   NiCounters counters;
 
   Cycle measure_end = 0;
@@ -363,6 +381,12 @@ struct ShardedState {
           (*shards)[static_cast<std::size_t>(best)]
               .rc_requests[req_cursor[best]++];
       rc_units->request(r.unit_node, r.requester, r.packet, r.now);
+    }
+    // Fault events apply after the staged RC requests are delivered and
+    // before pending injections materialize - the same relative point the
+    // serial loop reaches at the top of its cycle body.
+    if (surgeon->pending(now)) {
+      surgeon->apply_due(now, *net, *algorithm, *packets, *nis, *rc_units);
     }
     std::size_t pend_cursor[kMaxSimShards] = {};
     for (;;) {
@@ -532,7 +556,8 @@ void sharded_cycle_end(ShardedState& st) {
       delivered += sh.delivered_measured;
     }
     if (st.now + 1 >= st.measure_end &&
-        delivered == st.counters.created_measured) {
+        delivered + st.surgeon->lost_measured() ==
+            st.counters.created_measured) {
       st.drained = true;
       ++st.now;
       st.stop = true;
@@ -611,6 +636,11 @@ void reset_results(SimResults& results, const Topology& topo,
   results.measure_cycles = measure_cycles;
   results.deadlock_detected = false;
   results.drained = false;
+  results.packets_lost = 0;
+  results.packets_lost_measured = 0;
+  results.fault_window_created = 0;
+  results.fault_window_delivered = 0;
+  results.reconvergence_latency = -1;
   results.region_vc_flits.assign(
       static_cast<std::size_t>(topo.num_chiplets()) + 1, {});
   results.vl_channel_flits.assign(
@@ -621,17 +651,23 @@ void reset_results(SimResults& results, const Topology& topo,
 
 Simulator::Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
                      TrafficGenerator& traffic, SimKnobs knobs,
-                     VlFaultSet faults)
+                     VlFaultSet faults, const FaultTimeline* timeline,
+                     InFlightPolicy policy)
     : topo_(&topo),
       algorithm_(&algorithm),
       traffic_(&traffic),
       knobs_(knobs),
-      faults_(faults) {
+      faults_(faults),
+      timeline_(timeline),
+      policy_(policy) {
   require(knobs_.packet_size >= 1, "Simulator: bad packet size");
   require(knobs_.warmup >= 0 && knobs_.measure > 0 && knobs_.drain_max >= 0,
           "Simulator: bad phase lengths");
   require(knobs_.shards >= 1 && knobs_.shards <= kMaxSimShards,
           "Simulator: bad shard count");
+  if (timeline_ != nullptr) {
+    timeline_->validate(*topo_, faults_);
+  }
 }
 
 SimResults Simulator::run() {
@@ -669,6 +705,7 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
     const NodeId n = endpoints[i];
     ws.nis_[i].reset(n, root.fork(static_cast<std::uint64_t>(n)));
   }
+  ws.surgeon_.reset(*topo_, timeline_, policy_, faults_, ws.nis_);
 
   ws.net_latencies_.clear();
   ws.total_latencies_.clear();
@@ -692,6 +729,7 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
   ctx.busy = &ws.busy_;
   ctx.wake = &ws.wake_;
   ctx.events = &ws.events_;
+  ctx.surgeon = &ws.surgeon_;
 
   if (sharded) {
     const int num_shards = ws.partition_.num_shards();
@@ -727,6 +765,7 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
     st.nis = &ws.nis_;
     st.shards = &ws.shard_runs_;
     st.results = &ws.results_;
+    st.surgeon = &ws.surgeon_;
     st.measure_end = knobs_.warmup + knobs_.measure;
     st.hard_end = st.measure_end + knobs_.drain_max;
 
@@ -780,6 +819,7 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
     results.packets_dropped_unroutable = st.counters.dropped_unroutable;
     results.network_latency = LatencySummary::from_samples(ws.net_latencies_);
     results.total_latency = LatencySummary::from_samples(ws.total_latencies_);
+    ws.surgeon_.finalize(results, ws.packets_);
     return results;
   }
 
@@ -815,6 +855,7 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
   results.packets_dropped_unroutable = ctx.counters.dropped_unroutable;
   results.network_latency = LatencySummary::from_samples(ws.net_latencies_);
   results.total_latency = LatencySummary::from_samples(ws.total_latencies_);
+  ws.surgeon_.finalize(results, ws.packets_);
   return results;
 }
 

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/worker_pool.hpp"
+#include "sim/fault_events.hpp"
 #include "sim/ni.hpp"
 #include "stats/stats.hpp"
 
@@ -132,6 +133,7 @@ class SimWorkspace {
   PacketTable packets_;
   Network net_;
   RcUnitManager rc_units_;
+  FaultSurgeon surgeon_;
   std::vector<NetworkInterface> nis_;
   /// Partitioned-core state: the router partition, one ShardRun slice per
   /// shard, and the persistent worker pool (threads survive across runs,
@@ -154,10 +156,18 @@ class SimWorkspace {
 
 class Simulator {
  public:
-  /// The topology, algorithm and traffic objects must outlive run().
+  /// The topology, algorithm, traffic - and, when given, timeline -
+  /// objects must outlive run(). `faults` is the fault set active at
+  /// cycle 0 and must match the set `algorithm` currently holds. A
+  /// non-null `timeline` (validated against `faults` here) schedules
+  /// dynamic fault events: the run applies them at their cycle boundary
+  /// through the algorithm's set_faults() - which therefore ends the run
+  /// holding the timeline's final fault set - and resolves affected
+  /// in-flight packets under `policy` (see FaultSurgeon).
   Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
-            TrafficGenerator& traffic, SimKnobs knobs,
-            VlFaultSet faults = {});
+            TrafficGenerator& traffic, SimKnobs knobs, VlFaultSet faults = {},
+            const FaultTimeline* timeline = nullptr,
+            InFlightPolicy policy = InFlightPolicy::drop);
 
   /// Runs the full simulation and returns its statistics. Can be called
   /// once per Simulator instance. Allocating wrapper over run(ws).
@@ -175,6 +185,8 @@ class Simulator {
   TrafficGenerator* traffic_;
   SimKnobs knobs_;
   VlFaultSet faults_;
+  const FaultTimeline* timeline_;
+  InFlightPolicy policy_;
   bool ran_ = false;
 };
 

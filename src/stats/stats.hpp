@@ -53,6 +53,34 @@ struct SimResults {
   /// Flits forwarded per unidirectional VL channel during the window.
   std::vector<std::uint64_t> vl_channel_flits;
 
+  // Dynamic-fault metrics (fault-event timelines; docs/architecture.md).
+  // All zero / -1 for runs without a timeline, except the fault-window
+  // counters, which also cover static fault sets (the window is every
+  // cycle with a non-empty current fault set, so a static faulty run's
+  // window is the whole run).
+  /// Packets extracted or dropped by fault events (all phases).
+  std::uint64_t packets_lost = 0;
+  /// ...of which created inside the measurement window.
+  std::uint64_t packets_lost_measured = 0;
+  /// Packets created while at least one channel was faulty.
+  std::uint64_t fault_window_created = 0;
+  /// ...of which delivered by the end of the run.
+  std::uint64_t fault_window_delivered = 0;
+  /// Cycles from the first fail event to the first tail delivery of a
+  /// packet on an affected route at or after that event; -1 when the run
+  /// had no fail events or no affected route delivered again.
+  Cycle reconvergence_latency = -1;
+
+  /// Delivered / created among packets created during the fault window;
+  /// 1.0 when the window saw no packets.
+  double fault_window_delivery_ratio() const {
+    if (fault_window_created == 0) {
+      return 1.0;
+    }
+    return static_cast<double>(fault_window_delivered) /
+           static_cast<double>(fault_window_created);
+  }
+
   /// Fraction of flit traffic in `region` carried by VC `vc` (Fig. 5).
   double vc_utilization(int region, int vc) const;
 

@@ -100,6 +100,77 @@ TEST_P(TopologyFamilyTest, ShortSimulationDrainsClean) {
   EXPECT_EQ(r.packets_delivered_measured, r.packets_created_measured);
 }
 
+// Randomized dynamic-fault sweep: sample a non-disconnecting fault set,
+// scatter its failures across the measurement window (repairing a random
+// subset later), and require the run to stay deadlock-free, account for
+// every measured packet, and reproduce bit-identically under sharding.
+TEST_P(TopologyFamilyTest, RandomFaultTimelineKeepsInvariants) {
+  Rng rng(29);
+  const int max_k = std::max(1, ctx_.topo().num_vl_channels() / 4);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int k = 1 + static_cast<int>(
+                          rng.uniform(static_cast<std::uint64_t>(max_k)));
+    const auto faults = sample_fault_scenario(ctx_.topo(), k, rng);
+    ASSERT_TRUE(faults.has_value());
+
+    FaultTimeline timeline;
+    for (VlChannelId c : faults->channels()) {
+      const Cycle fail_at = 350 + static_cast<Cycle>(rng.uniform(900));
+      if (rng.uniform(2) == 0) {
+        timeline.add_transient(c, fail_at,
+                               fail_at + 200 + static_cast<Cycle>(
+                                                   rng.uniform(400)));
+      } else {
+        timeline.add_fail(fail_at, c);
+      }
+    }
+    timeline.validate(ctx_.topo(), VlFaultSet{});
+
+    for (InFlightPolicy policy :
+         {InFlightPolicy::drop, InFlightPolicy::reroute}) {
+      SCOPED_TRACE(std::string("trial") + std::to_string(trial) + "/" +
+                   in_flight_policy_name(policy));
+      UniformTraffic traffic(ctx_.topo(), 0.004);
+      SimKnobs knobs;
+      knobs.warmup = 300;
+      knobs.measure = 1200;
+      knobs.drain_max = 15000;
+      knobs.seed = 101 + trial;
+      const SimResults serial =
+          run_sim(ctx_, Algorithm::deft, traffic, knobs, {},
+                  VlStrategy::table, &timeline, policy);
+      EXPECT_FALSE(serial.deadlock_detected);
+      EXPECT_TRUE(serial.drained);
+      EXPECT_EQ(serial.packets_delivered_measured + serial.packets_lost_measured,
+                serial.packets_created_measured);
+      EXPECT_GE(serial.packets_lost, serial.packets_lost_measured);
+      EXPECT_LE(serial.fault_window_delivered, serial.fault_window_created);
+
+      for (int shards : {2, 4}) {
+        SimKnobs sharded_knobs = knobs;
+        sharded_knobs.shards = shards;
+        const SimResults sharded =
+            run_sim(ctx_, Algorithm::deft, traffic, sharded_knobs, {},
+                    VlStrategy::table, &timeline, policy);
+        EXPECT_EQ(sharded.packets_created, serial.packets_created);
+        EXPECT_EQ(sharded.packets_delivered_measured,
+                  serial.packets_delivered_measured);
+        EXPECT_EQ(sharded.packets_lost, serial.packets_lost);
+        EXPECT_EQ(sharded.packets_lost_measured, serial.packets_lost_measured);
+        EXPECT_EQ(sharded.fault_window_created, serial.fault_window_created);
+        EXPECT_EQ(sharded.fault_window_delivered,
+                  serial.fault_window_delivered);
+        EXPECT_EQ(sharded.reconvergence_latency, serial.reconvergence_latency);
+        EXPECT_EQ(sharded.cycles_run, serial.cycles_run);
+        EXPECT_DOUBLE_EQ(sharded.network_latency.mean,
+                         serial.network_latency.mean);
+        EXPECT_DOUBLE_EQ(sharded.total_latency.mean,
+                         serial.total_latency.mean);
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     GridFamily, TopologyFamilyTest,
     ::testing::Values(TopologyCase{"grid2x1_4x4", 2, 1, 4, 4},

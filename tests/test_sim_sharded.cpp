@@ -104,6 +104,11 @@ void expect_identical(const SimResults& a, const SimResults& b) {
   EXPECT_EQ(a.measure_cycles, b.measure_cycles);
   EXPECT_EQ(a.deadlock_detected, b.deadlock_detected);
   EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.packets_lost_measured, b.packets_lost_measured);
+  EXPECT_EQ(a.fault_window_created, b.fault_window_created);
+  EXPECT_EQ(a.fault_window_delivered, b.fault_window_delivered);
+  EXPECT_EQ(a.reconvergence_latency, b.reconvergence_latency);
   EXPECT_EQ(a.region_vc_flits, b.region_vc_flits);
   EXPECT_EQ(a.vl_channel_flits, b.vl_channel_flits);
 }

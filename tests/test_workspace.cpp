@@ -120,6 +120,11 @@ void expect_identical(const SimResults& a, const SimResults& b) {
   EXPECT_EQ(a.measure_cycles, b.measure_cycles);
   EXPECT_EQ(a.deadlock_detected, b.deadlock_detected);
   EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.packets_lost_measured, b.packets_lost_measured);
+  EXPECT_EQ(a.fault_window_created, b.fault_window_created);
+  EXPECT_EQ(a.fault_window_delivered, b.fault_window_delivered);
+  EXPECT_EQ(a.reconvergence_latency, b.reconvergence_latency);
   EXPECT_EQ(a.region_vc_flits, b.region_vc_flits);
   EXPECT_EQ(a.vl_channel_flits, b.vl_channel_flits);
 }
@@ -302,6 +307,42 @@ TEST(SimWorkspace, SecondIdenticalRunPerformsZeroHeapAllocations) {
   expect_identical(first, second);
   EXPECT_GT(second.packets_created, 0u);  // the run did real work
   EXPECT_EQ(allocs, 0u) << "steady-state run(workspace) touched the heap";
+}
+
+TEST(SimWorkspace, WarmFaultEventApplicationPerformsZeroHeapAllocations) {
+  // Dynamic fault surgery rides the same steady-state guarantee: applying
+  // a fail and a repair event mid-run - fault-table rebuild, head-route
+  // invalidation, doomed-packet extraction, in-flight policy resolution -
+  // must reuse the surgeon's grow-only scratch, not the heap. The
+  // transient repairs inside the run, so the second run starts from the
+  // same (empty) fault set and must be field-identical to the first.
+  const auto alg = ctx4().make_algorithm(Algorithm::deft);
+  SimKnobs knobs = short_knobs();
+  FaultTimeline timeline;
+  timeline.add_transient(ctx4().topo().vl(2).down_vl_channel(), 350, 550);
+  SimWorkspace ws;
+
+  SimResults first;
+  {
+    UniformTraffic traffic(ctx4().topo(), 0.01);
+    Simulator sim(ctx4().topo(), *alg, traffic, knobs, {}, &timeline,
+                  InFlightPolicy::drop);
+    first = sim.run(ws);  // warms every buffer, surgeon scratch included
+  }
+  EXPECT_GT(first.fault_window_created, 0u);  // the events really fired
+
+  UniformTraffic traffic(ctx4().topo(), 0.01);
+  Simulator sim(ctx4().topo(), *alg, traffic, knobs, {}, &timeline,
+                InFlightPolicy::drop);
+  g_alloc_calls.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  const SimResults& second = sim.run(ws);
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  const std::uint64_t allocs = g_alloc_calls.load(std::memory_order_relaxed);
+
+  expect_identical(first, second);
+  EXPECT_GT(second.packets_created, 0u);
+  EXPECT_EQ(allocs, 0u) << "warm fault-event surgery touched the heap";
 }
 
 TEST(SimWorkspace, DistinctRoutesStayFarBelowPacketCount) {

@@ -28,8 +28,12 @@ regress (or satisfy) a 4-shard speedup.
 A geomean summary line over the scenarios common to both runs is printed
 at the end ("overall"-style aggregate keys are excluded from it).
 
-Exits 1 on regressions and 2 on malformed input (unreadable file, invalid
-JSON, or a JSON document without the expected "speedup" table).
+Exit codes: 0 when every gated scenario passes, 1 on regressions, 2 on
+malformed input (unreadable file, invalid JSON, or a JSON document
+without the expected "speedup" table), and 3 when the host filter
+skipped *every* baseline scenario - nothing was actually gated, so a
+success banner would be a lie (e.g. a baseline containing only shard
+ratios checked on a 1-core container).
 """
 
 import argparse
@@ -108,6 +112,8 @@ def main() -> int:
         else None
 
     failures = []
+    gated = 0
+    skipped = 0
     for key, base_value in sorted(baseline["speedup"].items()):
         new_value = fresh["speedup"].get(key)
         shards = shards_of_key(key)
@@ -115,7 +121,9 @@ def main() -> int:
                 and fresh_hw < shards):
             print(f"skip speedup[{key}]: host has {fresh_hw} hardware "
                   f"threads, cannot express a {shards}-shard ratio")
+            skipped += 1
             continue
+        gated += 1
         if new_value is None:
             print(f"FAIL speedup[{key}]: missing from fresh run")
             failures.append(
@@ -160,6 +168,12 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
+    if gated == 0 and skipped > 0:
+        print(f"\nWARNING: all {skipped} baseline scenarios were skipped by "
+              f"the hardware_concurrency filter - nothing was gated. This "
+              f"is not a pass; run the check on a host with enough cores "
+              f"(or fix the baseline).", file=sys.stderr)
+        return 3
     print("\nNo perf regression against the committed baseline.")
     return 0
 
