@@ -151,10 +151,12 @@ int main(int argc, char** argv) {
         "  \"config\": {\"repeats\": %d, \"shards\": %d},\n"
         "  \"points\": [\n"
         "    {\"scenario\": \"%s\", \"core\": \"active_set\", "
+        "\"outcome\": \"%s\", \"drained\": %s, "
         "\"cycles\": %lld, \"flit_hops\": %llu, \"seconds\": %.6f, "
         "\"cycles_per_sec\": %.0f, \"flit_hops_per_sec\": %.0f}\n"
         "  ],\n  \"speedup\": {}\n}\n",
         repeats, config.knobs.shards, key.c_str(),
+        run_outcome_name(r.outcome), r.drained ? "true" : "false",
         static_cast<long long>(r.cycles_run),
         static_cast<unsigned long long>(r.flit_hops), best_seconds,
         static_cast<double>(r.cycles_run) / best_seconds,

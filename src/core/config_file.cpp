@@ -54,31 +54,57 @@ double parse_double(const std::string& key, const std::string& value,
   return parsed;
 }
 
+/// Rethrows `e` as "config: line N: <what>", dropping a leading
+/// "config: " from the inner message so the prefix never doubles up.
+[[noreturn]] void rethrow_with_line(int line_no, const std::exception& e) {
+  std::string what = e.what();
+  constexpr const char* kPrefix = "config: ";
+  if (what.rfind(kPrefix, 0) == 0) {
+    what.erase(0, std::string(kPrefix).size());
+  }
+  throw std::invalid_argument("config: line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
 }  // namespace
 
 VlFaultSet SimulationConfig::faults(const Topology& topo) const {
-  VlFaultSet set;
-  std::istringstream in(fault_spec);
-  std::string token;
-  while (in >> token) {
-    require(token.size() >= 2 &&
-                (token.back() == 'v' || token.back() == '^'),
-            "config: fault channel '" + token + "' must be <vl>v or <vl>^");
-    const long vl =
-        parse_int("faults", token.substr(0, token.size() - 1), 0,
-                  topo.num_vls() - 1);
-    set.set_faulty(token.back() == 'v'
-                       ? topo.vl(static_cast<VlId>(vl)).down_vl_channel()
-                       : topo.vl(static_cast<VlId>(vl)).up_vl_channel());
+  try {
+    VlFaultSet set;
+    std::istringstream in(fault_spec);
+    std::string token;
+    while (in >> token) {
+      require(token.size() >= 2 &&
+                  (token.back() == 'v' || token.back() == '^'),
+              "config: fault channel '" + token + "' must be <vl>v or <vl>^");
+      const long vl =
+          parse_int("faults", token.substr(0, token.size() - 1), 0,
+                    topo.num_vls() - 1);
+      set.set_faulty(token.back() == 'v'
+                         ? topo.vl(static_cast<VlId>(vl)).down_vl_channel()
+                         : topo.vl(static_cast<VlId>(vl)).up_vl_channel());
+    }
+    return set;
+  } catch (const std::exception& e) {
+    if (fault_spec_line > 0) {
+      rethrow_with_line(fault_spec_line, e);
+    }
+    throw;
   }
-  return set;
 }
 
 FaultTimeline SimulationConfig::fault_events(const Topology& topo) const {
   if (fault_events_spec.empty()) {
     return {};
   }
-  return FaultTimeline::parse(fault_events_spec, topo);
+  try {
+    return FaultTimeline::parse(fault_events_spec, topo);
+  } catch (const std::exception& e) {
+    if (fault_events_line > 0) {
+      rethrow_with_line(fault_events_line, e);
+    }
+    throw;
+  }
 }
 
 std::unique_ptr<TrafficGenerator> SimulationConfig::make_traffic(
@@ -153,6 +179,7 @@ SimulationConfig parse_simulation_config(std::istream& in) {
       continue;
     }
 
+    try {
     if (key == "chiplets") {
       config.chiplets = static_cast<int>(parse_int(key, value, 1, 64));
     } else if (key == "algorithm") {
@@ -185,8 +212,10 @@ SimulationConfig parse_simulation_config(std::istream& in) {
           parse_int(key, value, 0, std::numeric_limits<long>::max()));
     } else if (key == "faults") {
       config.fault_spec = value;
+      config.fault_spec_line = line_no;
     } else if (key == "fault_events") {
       config.fault_events_spec = value;
+      config.fault_events_line = line_no;
     } else if (key == "fault_policy") {
       if (value == "drop") {
         config.fault_policy = InFlightPolicy::drop;
@@ -210,8 +239,10 @@ SimulationConfig parse_simulation_config(std::istream& in) {
     } else if (key == "perf_json") {
       config.perf_json = value;
     } else {
-      require(false, "config: unknown key '" + key + "' on line " +
-                         std::to_string(line_no));
+      require(false, "config: unknown key '" + key + "'");
+    }
+    } catch (const std::exception& e) {
+      rethrow_with_line(line_no, e);
     }
   }
   return config;

@@ -63,6 +63,12 @@ struct SimulationConfig {
   /// fault_events(); empty = no timeline.
   std::string fault_events_spec;
   InFlightPolicy fault_policy = InFlightPolicy::drop;
+  /// Source line numbers of the raw `faults` / `fault_events` values (0 =
+  /// not set from a file). faults() and fault_events() resolve those
+  /// strings against a topology long after parsing, so they carry the
+  /// line here to keep *resolution* errors line-numbered too.
+  int fault_spec_line = 0;
+  int fault_events_line = 0;
 
   // Trace-replay workload source (traffic == "trace"): a trace file, or -
   // when empty - a uniform workload at `rate` recorded over trace_cycles.
@@ -91,7 +97,9 @@ struct SimulationConfig {
 };
 
 /// Parses `key = value` lines. Throws std::invalid_argument on malformed
-/// lines, unknown keys, or out-of-range values.
+/// lines, unknown keys, or out-of-range values; every message is
+/// line-numbered ("config: line N: ...", matching parse_trace's style) so
+/// a campaign request can be rejected with an actionable per-line error.
 SimulationConfig parse_simulation_config(std::istream& in);
 
 /// Convenience: parse from a string.

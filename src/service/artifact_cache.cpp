@@ -1,0 +1,127 @@
+#include "service/artifact_cache.hpp"
+
+#include <algorithm>
+
+#include "topology/builder.hpp"
+
+namespace deft {
+
+ArtifactCache::ArtifactCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::shared_ptr<const ExperimentContext> ArtifactCache::context(
+    int chiplets, std::uint64_t seed, bool* hit) {
+  const std::pair<int, std::uint64_t> key{chiplets, seed};
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = contexts_.find(key);
+    if (it != contexts_.end()) {
+      it->second.last_used = ++tick_;
+      ++counters_.context_hits;
+      if (hit != nullptr) {
+        *hit = true;
+      }
+      return it->second.ctx;
+    }
+    ++counters_.context_misses;
+  }
+  // Build outside the lock: a topology build (and the lazy artifacts that
+  // follow) must not serialize every other cache user.
+  auto built = std::make_shared<const ExperimentContext>(
+      make_reference_spec(chiplets), seed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = contexts_.try_emplace(key);
+  if (inserted) {
+    it->second.ctx = std::move(built);
+  }
+  it->second.last_used = ++tick_;
+  if (hit != nullptr) {
+    *hit = false;
+  }
+  evict_locked();
+  return it->second.ctx;
+}
+
+std::unique_ptr<RoutingAlgorithm> ArtifactCache::checkout_algorithm(
+    const DesignKey& key, const ExperimentContext& ctx,
+    const VlFaultSet& faults, bool* hit) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = designs_.find(key);
+    if (it != designs_.end() && !it->second.idle.empty()) {
+      std::unique_ptr<RoutingAlgorithm> algorithm =
+          std::move(it->second.idle.back());
+      it->second.idle.pop_back();
+      --idle_algorithms_;
+      it->second.last_used = ++tick_;
+      ++counters_.algorithm_hits;
+      if (hit != nullptr) {
+        *hit = true;
+      }
+      return algorithm;
+    }
+    ++counters_.algorithm_misses;
+  }
+  if (hit != nullptr) {
+    *hit = false;
+  }
+  // The build (for MTR under faults: the fault-aware distance rebuild)
+  // runs outside the lock for the same reason as context().
+  return ctx.make_algorithm(key.algorithm, faults, key.num_vcs,
+                            key.strategy);
+}
+
+void ArtifactCache::check_in(const DesignKey& key,
+                             std::unique_ptr<RoutingAlgorithm> algorithm) {
+  if (!algorithm) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  DesignEntry& entry = designs_[key];
+  entry.idle.push_back(std::move(algorithm));
+  entry.last_used = ++tick_;
+  ++idle_algorithms_;
+  evict_locked();
+}
+
+ArtifactCache::Counters ArtifactCache::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t ArtifactCache::cached_algorithms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return idle_algorithms_;
+}
+
+std::size_t ArtifactCache::cached_contexts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return contexts_.size();
+}
+
+void ArtifactCache::evict_locked() {
+  while (idle_algorithms_ > capacity_ && !designs_.empty()) {
+    auto victim = designs_.begin();
+    for (auto it = designs_.begin(); it != designs_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    idle_algorithms_ -= victim->second.idle.size();
+    designs_.erase(victim);
+    ++counters_.evictions;
+  }
+  while (contexts_.size() > capacity_) {
+    auto victim = contexts_.begin();
+    for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    // Leases elsewhere keep the shared_ptr alive; the cache just forgets.
+    contexts_.erase(victim);
+    ++counters_.evictions;
+  }
+}
+
+}  // namespace deft

@@ -1,0 +1,118 @@
+// Design-artifact cache for the campaign service.
+//
+// A fault-sweep campaign replays a small set of (topology, fault
+// scenario) design points thousands of times with different seeds, rates
+// and traffic. The expensive, request-independent work is two-tier:
+//
+//  * ExperimentContext - the topology plus DeFT's VL tables and MTR's
+//    turn-restriction plan (lazily built, immutable, shareable). Keyed by
+//    (chiplets, context seed).
+//  * RoutingAlgorithm instances - cheap for DeFT/RC, but MTR under a
+//    non-empty fault set rebuilds its fault-aware distance tables over
+//    the allowed-turn line graph. Keyed by the full DesignKey (topology
+//    key + algorithm + VL strategy + VC count + canonical fault set).
+//
+// Contexts are shared (shared_ptr, concurrent readers are safe: the lazy
+// artifact build is internally synchronized and everything after it is
+// const). Algorithm instances are mutable (set_faults), so they are
+// leased exclusively: checkout pops one off the design's free list or
+// builds a fresh one, check_in returns it. Both tiers are LRU-capped so
+// an adversarial campaign sweeping millions of distinct scenarios cannot
+// grow the cache without bound.
+//
+// The per-worker SimWorkspace (interned RouteStore population, Partition,
+// network storage) is the third cache tier; it lives in the engine, one
+// per pool worker, and is warmed by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace deft {
+
+/// Everything that determines the design-time build work for one request.
+/// `fault_spec` must be canonical (VlFaultSet::to_string of the resolved
+/// set) so syntactic variants of the same scenario share an entry.
+struct DesignKey {
+  int chiplets = 4;
+  std::uint64_t seed = 42;
+  Algorithm algorithm = Algorithm::deft;
+  VlStrategy strategy = VlStrategy::table;
+  int num_vcs = 2;
+  std::string fault_spec;
+
+  bool operator<(const DesignKey& o) const {
+    return std::tie(chiplets, seed, algorithm, strategy, num_vcs,
+                    fault_spec) < std::tie(o.chiplets, o.seed, o.algorithm,
+                                           o.strategy, o.num_vcs,
+                                           o.fault_spec);
+  }
+};
+
+class ArtifactCache {
+ public:
+  struct Counters {
+    std::uint64_t context_hits = 0;
+    std::uint64_t context_misses = 0;
+    std::uint64_t algorithm_hits = 0;
+    std::uint64_t algorithm_misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity` bounds each tier independently: at most `capacity` cached
+  /// contexts and at most `capacity` idle algorithm instances.
+  explicit ArtifactCache(std::size_t capacity = 32);
+
+  /// Shared design-time context for (chiplets, seed); builds (and caches)
+  /// it on a miss. `hit` (optional) reports whether it was cached.
+  /// Expensive builds run outside the cache lock, so concurrent misses on
+  /// the same key may build twice - the first insert wins and the losers
+  /// use the winner's copy.
+  std::shared_ptr<const ExperimentContext> context(int chiplets,
+                                                   std::uint64_t seed,
+                                                   bool* hit = nullptr);
+
+  /// Exclusive lease of a routing-algorithm instance for `key`: pops a
+  /// cached idle instance, or builds one via ctx.make_algorithm (the
+  /// MTR-under-faults rebuild this cache exists to avoid repeating).
+  std::unique_ptr<RoutingAlgorithm> checkout_algorithm(
+      const DesignKey& key, const ExperimentContext& ctx,
+      const VlFaultSet& faults, bool* hit = nullptr);
+
+  /// Returns a leased instance to `key`'s free list. Only check in an
+  /// instance that still holds the key's fault set (dynamic-timeline runs
+  /// end holding the timeline's final set - do not return those).
+  void check_in(const DesignKey& key,
+                std::unique_ptr<RoutingAlgorithm> algorithm);
+
+  Counters counters() const;
+  std::size_t cached_algorithms() const;
+  std::size_t cached_contexts() const;
+
+ private:
+  struct ContextEntry {
+    std::shared_ptr<const ExperimentContext> ctx;
+    std::uint64_t last_used = 0;
+  };
+  struct DesignEntry {
+    std::vector<std::unique_ptr<RoutingAlgorithm>> idle;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::map<std::pair<int, std::uint64_t>, ContextEntry> contexts_;
+  std::map<DesignKey, DesignEntry> designs_;
+  std::size_t idle_algorithms_ = 0;
+  Counters counters_;
+};
+
+}  // namespace deft

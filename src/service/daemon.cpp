@@ -1,0 +1,128 @@
+#include "service/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace deft {
+
+namespace fs = std::filesystem;
+
+CampaignDaemon::CampaignDaemon(DaemonOptions options)
+    : options_(std::move(options)), engine_(options_.engine) {
+  std::error_code ec;
+  fs::create_directories(options_.spool_dir, ec);
+  results_.open(options_.results_path, std::ios::app);
+  if (!results_.good()) {
+    throw std::runtime_error("campaignd: cannot open results stream " +
+                             options_.results_path.string());
+  }
+}
+
+void CampaignDaemon::emit(const ResultRow& row) {
+  results_ << row.to_json() << '\n';
+  results_.flush();
+  ++rows_written_;
+}
+
+std::size_t CampaignDaemon::run_pass() {
+  const std::size_t rows_before = rows_written_;
+
+  // Ingest: accept spool files up to the high-water mark; defer the rest
+  // with an explicit overloaded row (once per request). Transient read
+  // failures are retried with backoff inside read_file_with_retry; a
+  // file that stays unreadable is rejected as data, not thrown over.
+  for (const fs::path& file : scan_spool(options_.spool_dir)) {
+    const std::string path = file.string();
+    if (queued_paths_.count(path) != 0 || read_failed_.count(path) != 0) {
+      continue;
+    }
+    const std::string id = file.stem().string();
+    if (queue_.size() >= options_.queue_high_water) {
+      if (deferred_notified_.insert(path).second) {
+        ResultRow row;
+        row.id = id;
+        row.outcome = RequestOutcome::overloaded;
+        row.error = "queue high-water mark (" +
+                    std::to_string(options_.queue_high_water) +
+                    ") reached; request deferred";
+        emit(row);
+      }
+      continue;
+    }
+    std::optional<std::string> text = read_file_with_retry(
+        file, options_.read_attempts, options_.read_backoff_ms);
+    if (!text.has_value()) {
+      read_failed_.insert(path);
+      ResultRow row;
+      row.id = id;
+      row.outcome = RequestOutcome::rejected;
+      row.errors.push_back(
+          {0, "spool read failed after " +
+                  std::to_string(options_.read_attempts) + " attempts"});
+      emit(row);
+      continue;
+    }
+    deferred_notified_.erase(path);
+    queued_paths_.insert(path);
+    queue_.push_back(CampaignRequest{id, path, std::move(*text)});
+  }
+
+  // Run one batch. Requests leave the spool only after their row is
+  // safely flushed, so an interrupted daemon never loses work.
+  if (!queue_.empty()) {
+    std::vector<CampaignRequest> batch;
+    const std::size_t take =
+        std::min<std::size_t>(options_.batch_max, queue_.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const std::vector<ResultRow> rows = engine_.run_batch(batch);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      emit(rows[i]);
+      queued_paths_.erase(batch[i].path);
+      if (!batch[i].path.empty()) {
+        std::error_code ec;
+        fs::remove(batch[i].path, ec);  // best effort; dedupe via sets
+      }
+    }
+  }
+  return rows_written_ - rows_before;
+}
+
+void CampaignDaemon::shutdown() {
+  // Everything unstarted is still physically in the spool: the queued
+  // requests' files were never unlinked and deferred requests were never
+  // read. One scan is the complete resumable set.
+  std::vector<fs::path> unstarted;
+  for (const fs::path& file : scan_spool(options_.spool_dir)) {
+    if (read_failed_.count(file.string()) != 0) {
+      continue;  // already terminally rejected
+    }
+    unstarted.push_back(file);
+  }
+  write_manifest(options_.manifest_path, unstarted);
+  results_.flush();
+}
+
+std::size_t CampaignDaemon::run(const volatile std::sig_atomic_t* stop) {
+  while (stop == nullptr || *stop == 0) {
+    const std::size_t written = run_pass();
+    if (stop != nullptr && *stop != 0) {
+      break;  // drain check below; never sleep through a stop request
+    }
+    if (written == 0 && queue_.empty()) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.poll_ms));
+    }
+  }
+  // In-flight batches completed inside run_pass; what remains is queued
+  // or still spooled. Record it and go down clean.
+  shutdown();
+  return rows_written_;
+}
+
+}  // namespace deft

@@ -1,0 +1,98 @@
+// The campaign daemon loop: watch a spool directory, ingest requests up
+// to a bounded high-water mark, batch them through the CampaignEngine,
+// stream JSONL result rows, and shut down gracefully on SIGTERM.
+//
+// Lifecycle of one request file (see docs/operations.md):
+//
+//   spool/<id>.cfg            published atomically by a client
+//     -> queued               read (with retry/backoff) into memory; the
+//                             file STAYS in the spool until its row is
+//                             flushed, so a crash or SIGTERM never loses
+//                             an accepted-but-unfinished request
+//     -> batched              handed to CampaignEngine::run_batch
+//     -> row appended + flushed to the JSONL results stream
+//     -> file unlinked        the request is done
+//
+// Backpressure: once the in-memory queue holds `queue_high_water`
+// requests, further spool files are NOT ingested; each gets one explicit
+// `overloaded` row (so the submitter sees the deferral) and is picked up
+// by a later scan when the queue has drained.
+//
+// Graceful shutdown: when the stop flag goes nonzero the daemon finishes
+// the in-flight batch (never kills running simulations), flushes the
+// results stream, and writes a manifest listing every request file still
+// unstarted - all of which are still physically in the spool.
+#pragma once
+
+#include <csignal>
+#include <deque>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "service/campaign.hpp"
+#include "service/spool.hpp"
+
+namespace deft {
+
+struct DaemonOptions {
+  std::filesystem::path spool_dir;
+  std::filesystem::path results_path;   ///< JSONL, appended + flushed
+  std::filesystem::path manifest_path;  ///< written on shutdown
+  CampaignOptions engine;
+  /// Accepted-but-unstarted queue cap; beyond it requests are deferred
+  /// with an `overloaded` row instead of being silently queued.
+  std::size_t queue_high_water = 256;
+  /// Requests per pool dispatch (one engine batch).
+  std::size_t batch_max = 64;
+  /// Spool poll interval between passes.
+  int poll_ms = 50;
+  /// Spool-read retry knobs (transient I/O).
+  int read_attempts = 4;
+  int read_backoff_ms = 5;
+};
+
+class CampaignDaemon {
+ public:
+  /// Opens the results stream (append mode) and creates the spool
+  /// directory if missing. Throws std::runtime_error when the results
+  /// stream cannot be opened - the one failure a result-streaming daemon
+  /// cannot degrade around.
+  explicit CampaignDaemon(DaemonOptions options);
+
+  /// Runs until *stop becomes nonzero, then drains the in-flight batch,
+  /// flushes, and writes the shutdown manifest. Returns the number of
+  /// result rows written (including overloaded/rejected rows).
+  std::size_t run(const volatile std::sig_atomic_t* stop);
+
+  /// One scan-ingest-batch pass (no sleeping, no manifest); exposed so
+  /// tests can drive the loop deterministically. Returns rows written in
+  /// this pass.
+  std::size_t run_pass();
+
+  /// Writes the shutdown manifest of unstarted requests and flushes the
+  /// results stream. run() calls this; tests may call it directly.
+  void shutdown();
+
+  const CampaignEngine& engine() const { return engine_; }
+  std::size_t queue_size() const { return queue_.size(); }
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  void emit(const ResultRow& row);
+
+  DaemonOptions options_;
+  CampaignEngine engine_;
+  std::ofstream results_;
+  std::deque<CampaignRequest> queue_;
+  /// Spool paths currently queued (dedupe across scans).
+  std::set<std::string> queued_paths_;
+  /// Requests already given an `overloaded` row (one deferral notice per
+  /// request, not one per scan).
+  std::set<std::string> deferred_notified_;
+  /// Files whose read permanently failed and already got a rejected row.
+  std::set<std::string> read_failed_;
+  std::size_t rows_written_ = 0;
+};
+
+}  // namespace deft

@@ -1,0 +1,92 @@
+#include "service/spool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+namespace deft {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> scan_spool(const fs::path& dir) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return files;
+  }
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(dir, ec)) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) {
+      continue;
+    }
+    if (entry.path().extension() == kSpoolExtension) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::optional<std::string> read_file_with_retry(const fs::path& path,
+                                                int attempts,
+                                                int base_backoff_ms) {
+  int backoff_ms = base_backoff_ms;
+  for (int attempt = 0; attempt < std::max(1, attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      continue;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    if (in.bad()) {
+      continue;  // a failed read mid-stream is retried like a failed open
+    }
+    return content.str();
+  }
+  return std::nullopt;
+}
+
+bool atomic_write_file(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool write_manifest(const fs::path& manifest,
+                    const std::vector<fs::path>& unstarted) {
+  std::string content;
+  for (const fs::path& p : unstarted) {
+    content += p.string();
+    content += '\n';
+  }
+  return atomic_write_file(manifest, content);
+}
+
+}  // namespace deft

@@ -1,0 +1,47 @@
+// Spool-directory plumbing for the campaign daemon: request discovery,
+// transient-I/O-tolerant reads, atomic publication and the resumable
+// shutdown manifest.
+//
+// Protocol: one request per "<id>.cfg" file in the spool directory.
+// Producers publish atomically (write "<id>.cfg.tmp", then rename), so
+// the daemon never observes a half-written request. A request file stays
+// on disk until its result row has been flushed - the spool itself is the
+// durable queue, which is what makes the shutdown manifest resumable:
+// whatever the manifest lists is still sitting in the spool.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deft {
+
+/// Extension of ready request files.
+inline constexpr const char* kSpoolExtension = ".cfg";
+
+/// Sorted (by filename) list of ready request files in `dir`. A missing
+/// or unreadable directory yields an empty list - the daemon treats that
+/// as "nothing to do", not as a crash.
+std::vector<std::filesystem::path> scan_spool(
+    const std::filesystem::path& dir);
+
+/// Reads a whole file, retrying transient failures (`attempts` total
+/// tries) with exponential backoff starting at `base_backoff_ms`.
+/// Returns nullopt once every attempt failed.
+std::optional<std::string> read_file_with_retry(
+    const std::filesystem::path& path, int attempts = 4,
+    int base_backoff_ms = 5);
+
+/// Atomic publish: writes "<path>.tmp" and renames it over `path`.
+/// Returns false (never throws) when any step fails.
+bool atomic_write_file(const std::filesystem::path& path,
+                       const std::string& content);
+
+/// Writes the resumable shutdown manifest: one absolute request-file path
+/// per line, atomically. Re-submitting those files (or pointing a fresh
+/// daemon at the same spool) resumes the campaign.
+bool write_manifest(const std::filesystem::path& manifest,
+                    const std::vector<std::filesystem::path>& unstarted);
+
+}  // namespace deft

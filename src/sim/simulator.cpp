@@ -636,6 +636,7 @@ void reset_results(SimResults& results, const Topology& topo,
   results.measure_cycles = measure_cycles;
   results.deadlock_detected = false;
   results.drained = false;
+  results.outcome = RunOutcome::completed;
   results.packets_lost = 0;
   results.packets_lost_measured = 0;
   results.fault_window_created = 0;
@@ -813,6 +814,8 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
     }
     results.cycles_run = st.now;
     results.deadlock_detected = st.deadlock;
+    results.outcome =
+        st.deadlock ? RunOutcome::deadlocked : RunOutcome::completed;
     results.drained = st.drained;
     results.packets_created = st.counters.created;
     results.packets_created_measured = st.counters.created_measured;
@@ -848,6 +851,8 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
   SimResults& results = ws.results_;
   results.cycles_run = ctx.now;
   results.deadlock_detected = ctx.deadlock;
+  results.outcome =
+      ctx.deadlock ? RunOutcome::deadlocked : RunOutcome::completed;
   results.drained = ctx.drained;
   results.packets_created = ctx.counters.created;
   results.packets_created_measured = ctx.counters.created_measured;

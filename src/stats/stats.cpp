@@ -20,6 +20,16 @@ double percentile(const std::vector<std::uint32_t>& sorted, double q) {
 
 }  // namespace
 
+const char* run_outcome_name(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::completed:
+      return "completed";
+    case RunOutcome::deadlocked:
+      return "deadlocked";
+  }
+  return "unknown";
+}
+
 LatencySummary LatencySummary::from_samples(
     std::vector<std::uint32_t>& samples) {
   LatencySummary s;

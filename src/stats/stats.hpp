@@ -12,6 +12,20 @@ namespace deft {
 
 inline constexpr int kMaxVcsStats = 4;
 
+/// How a simulation run terminated, as data: `completed` covers every run
+/// that reached its configured end (including non-drained saturation
+/// runs - see SimResults::drained for that distinction); `deadlocked`
+/// means the no-progress watchdog tripped and the run was cut short.
+/// Downstream consumers (the campaign service, the CLI driver's JSON
+/// output) branch on this instead of re-deriving it from the flags.
+enum class RunOutcome : std::uint8_t {
+  completed,
+  deadlocked,
+};
+
+/// Stable lowercase name ("completed" / "deadlocked") for reports.
+const char* run_outcome_name(RunOutcome outcome);
+
 /// Order statistics over a sample of latencies.
 struct LatencySummary {
   std::uint64_t count = 0;
@@ -44,6 +58,9 @@ struct SimResults {
   Cycle measure_cycles = 0;
   bool deadlock_detected = false;
   bool drained = false;  ///< all measured packets were delivered
+  /// Structured termination state; always consistent with
+  /// deadlock_detected (the watchdog is the only deadlocked producer).
+  RunOutcome outcome = RunOutcome::completed;
 
   /// Flits forwarded per (region, VC) during the measurement window.
   /// Region r < num_chiplets is chiplet r; region num_chiplets is the

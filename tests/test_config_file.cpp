@@ -92,6 +92,70 @@ TEST(ConfigFile, RejectsBadFaultSpecs) {
   EXPECT_THROW(c2.faults(topo), std::invalid_argument);
 }
 
+/// Runs `fn` and returns the message of the std::invalid_argument it must
+/// throw.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return "";
+}
+
+TEST(ConfigFile, ErrorsAreLineNumbered) {
+  // Parse errors carry the 1-based source line, in parse_trace's
+  // "line N" style, so campaign rejections can point at the exact line.
+  const std::string unknown = thrown_message(
+      [] { parse_simulation_config(std::string("chiplets = 4\ntypo = 3\n")); });
+  EXPECT_NE(unknown.find("config: line 2:"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("unknown key 'typo'"), std::string::npos);
+
+  const std::string bad_value = thrown_message([] {
+    parse_simulation_config(
+        std::string("chiplets = 4\n\n# pad\nrate = fast\n"));
+  });
+  EXPECT_NE(bad_value.find("config: line 4:"), std::string::npos)
+      << bad_value;
+
+  const std::string bad_policy = thrown_message([] {
+    parse_simulation_config(std::string("fault_policy = panic\n"));
+  });
+  EXPECT_NE(bad_policy.find("config: line 1:"), std::string::npos)
+      << bad_policy;
+}
+
+TEST(ConfigFile, DeferredFaultResolutionKeepsTheSourceLine) {
+  // `faults` and `fault_events` are resolved against the topology long
+  // after parsing; their errors must still carry the original line.
+  const SimulationConfig c = parse_simulation_config(
+      std::string("chiplets = 4\nseed = 1\nfaults = 99v\n"));
+  EXPECT_EQ(c.fault_spec_line, 3);
+  const Topology topo(make_reference_spec(4));
+  const std::string out_of_range =
+      thrown_message([&] { c.faults(topo); });
+  EXPECT_NE(out_of_range.find("config: line 3:"), std::string::npos)
+      << out_of_range;
+
+  const SimulationConfig c2 = parse_simulation_config(
+      std::string("chiplets = 4\nfault_events = 10:zz\n"));
+  EXPECT_EQ(c2.fault_events_line, 2);
+  const std::string bad_event =
+      thrown_message([&] { c2.fault_events(topo); });
+  EXPECT_NE(bad_event.find("config: line 2:"), std::string::npos)
+      << bad_event;
+}
+
+TEST(ConfigFile, LineNumberedMessagesDoNotDoubleThePrefix) {
+  const std::string message = thrown_message(
+      [] { parse_simulation_config(std::string("vcs = 99\n")); });
+  EXPECT_NE(message.find("config: line 1:"), std::string::npos) << message;
+  // The inner "config: ..." prefix is stripped when the line is added.
+  EXPECT_EQ(message.find("config:", 1), std::string::npos) << message;
+}
+
 TEST(ConfigFile, BuildsEveryTrafficPattern) {
   const Topology topo(make_reference_spec(4));
   for (const char* name : {"uniform", "localized", "hotspot", "transpose",

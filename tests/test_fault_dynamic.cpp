@@ -105,6 +105,7 @@ void expect_identical(const SimResults& a, const SimResults& b) {
   EXPECT_EQ(a.cycles_run, b.cycles_run);
   EXPECT_EQ(a.measure_cycles, b.measure_cycles);
   EXPECT_EQ(a.deadlock_detected, b.deadlock_detected);
+  EXPECT_EQ(a.outcome, b.outcome);
   EXPECT_EQ(a.drained, b.drained);
   EXPECT_EQ(a.packets_lost, b.packets_lost);
   EXPECT_EQ(a.packets_lost_measured, b.packets_lost_measured);
@@ -237,6 +238,11 @@ TEST(FaultDynamicGolden, SerialRunsMatchPinnedDigests) {
     SCOPED_TRACE(dyn_name(g));
     const SimResults r = run_dyn(g.alg, g.repair, g.policy, 1);
     EXPECT_FALSE(r.deadlock_detected);
+    // Every golden ends `completed`, including the MTR wedges: they fail
+    // by exhausting the drain budget while background traffic keeps the
+    // watchdog fed, not by tripping it. `deadlocked` is strictly the
+    // no-progress watchdog.
+    EXPECT_EQ(r.outcome, RunOutcome::completed);
     EXPECT_EQ(r.drained, g.drained);
     EXPECT_EQ(digest(r), g.digest)
         << dyn_name(g) << ": digest 0x" << std::hex << digest(r);

@@ -1,0 +1,175 @@
+// deft_campaign_client: submit scenario requests to a deft_campaignd
+// spool and wait for their result rows.
+//
+//   $ deft_campaign_client submit --spool DIR FILE...
+//       Publishes each FILE atomically into the spool as "<stem>.cfg"
+//       (write .tmp, rename). Prints "submitted <id>" per file.
+//
+//   $ deft_campaign_client wait --results FILE --timeout SECONDS ID...
+//       Polls the JSONL results stream until every ID has a *terminal*
+//       row (ok|failed|deadlocked|timeout|rejected; `overloaded` rows are
+//       deferral notices, not terminal). Prints "<id> <outcome>" per ID
+//       and exits 0, or exits 2 on timeout listing the missing IDs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/campaign.hpp"
+#include "service/spool.hpp"
+
+namespace {
+
+using deft::RequestOutcome;
+
+// Pulls the string value of `"key": "..."` out of one JSONL row. The rows
+// are produced by ResultRow::to_json with known key order; this is a
+// client-side convenience, not a JSON parser.
+std::string json_string_field(const std::string& row, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = row.find(needle);
+  if (at == std::string::npos) {
+    return "";
+  }
+  std::string out;
+  for (std::size_t i = at + needle.size(); i < row.size(); ++i) {
+    if (row[i] == '\\' && i + 1 < row.size()) {
+      out += row[i + 1];
+      ++i;
+      continue;
+    }
+    if (row[i] == '"') {
+      break;
+    }
+    out += row[i];
+  }
+  return out;
+}
+
+bool outcome_terminal(const std::string& outcome) {
+  return outcome == "ok" || outcome == "failed" || outcome == "deadlocked" ||
+         outcome == "timeout" || outcome == "rejected";
+}
+
+int cmd_submit(int argc, char** argv) {
+  std::filesystem::path spool;
+  std::vector<std::filesystem::path> files;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spool") == 0 && i + 1 < argc) {
+      spool = argv[++i];
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (spool.empty() || files.empty()) {
+    std::fprintf(stderr,
+                 "usage: deft_campaign_client submit --spool DIR FILE...\n");
+    return 1;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(spool, ec);
+  for (const std::filesystem::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "error: cannot read %s\n", file.string().c_str());
+      return 1;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    const std::string id = file.stem().string();
+    const std::filesystem::path target =
+        spool / (id + deft::kSpoolExtension);
+    if (!deft::atomic_write_file(target, content.str())) {
+      std::fprintf(stderr, "error: cannot publish %s\n",
+                   target.string().c_str());
+      return 1;
+    }
+    std::printf("submitted %s\n", id.c_str());
+  }
+  return 0;
+}
+
+int cmd_wait(int argc, char** argv) {
+  std::filesystem::path results;
+  double timeout_s = 300.0;
+  bool quiet = false;
+  std::set<std::string> waiting;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--results") == 0 && i + 1 < argc) {
+      results = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      waiting.insert(argv[i]);
+    }
+  }
+  if (results.empty() || waiting.empty()) {
+    std::fprintf(stderr,
+                 "usage: deft_campaign_client wait --results FILE "
+                 "[--timeout SECONDS] ID...\n");
+    return 1;
+  }
+  std::map<std::string, std::string> outcomes;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (true) {
+    // Re-read from the top each poll: rows are append-only and small, and
+    // a full re-read keeps the client stateless across daemon restarts.
+    std::ifstream in(results);
+    std::string row;
+    while (std::getline(in, row)) {
+      const std::string id = json_string_field(row, "id");
+      const std::string outcome = json_string_field(row, "outcome");
+      if (waiting.count(id) != 0 && outcome_terminal(outcome)) {
+        outcomes[id] = outcome;
+      }
+    }
+    if (outcomes.size() == waiting.size()) {
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "error: timed out; missing terminal rows for:");
+      for (const std::string& id : waiting) {
+        if (outcomes.count(id) == 0) {
+          std::fprintf(stderr, " %s", id.c_str());
+        }
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!quiet) {
+    for (const auto& [id, outcome] : outcomes) {
+      std::printf("%s %s\n", id.c_str(), outcome.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: deft_campaign_client submit|wait [options]\n");
+    return 1;
+  }
+  if (std::strcmp(argv[1], "submit") == 0) {
+    return cmd_submit(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "wait") == 0) {
+    return cmd_wait(argc - 2, argv + 2);
+  }
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", argv[1]);
+  return 1;
+}
