@@ -11,7 +11,9 @@
 // active-set worklist core and the full-scan reference), plus a
 // short-run sweep scenario (many 1k-cycle fault points through the sweep
 // runner, where the reusable SimWorkspace matters most) timed with and
-// without workspace reuse, plus the many-chiplet grid scenarios (16- and
+// without workspace reuse and again batched through the BatchRunner at
+// several batch widths ("sweep1k/batchN" - see docs/throughput.md), plus
+// the many-chiplet grid scenarios (16- and
 // 36-chiplet make_grid_spec systems) timed under the partitioned core at
 // several shard counts - their "<scenario>/shardsN" ratios are serial
 // time over N-shard time, so they only exceed 1 on hosts with at least N
@@ -33,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "core/experiment.hpp"
 #include "routing/cdg.hpp"
 #include "traffic/trace.hpp"
@@ -308,6 +311,17 @@ constexpr char kDynScenario[] = "ref4/uniform/dynfault/DeFT";
 
 constexpr char kSweepScenario[] = "sweep1k/deft";
 
+/// Batched editions of the sweep scenario: the identical 30-point grid
+/// through SweepRunner with knobs.batch_size = N, so N runs stay resident
+/// per worker and interleave their cycle chunks (core/batch_runner.hpp).
+/// The recorded "sweep1k/batchN" ratio is fresh-Simulator serial wall
+/// clock over batched wall clock - the same denominator-free-of-workspace
+/// baseline as "sweep1k/deft", so the two keys are directly comparable
+/// (batchN / deft isolates the batching contribution on top of workspace
+/// reuse). Results are bit-identical in every mode (test_batch_runner).
+constexpr int kSweepBatchSizes[] = {4, 8};
+constexpr std::size_t kNumSweepBatch = std::size(kSweepBatchSizes);
+
 // --------------------------------------------------------------------------
 // Many-chiplet grid scenarios: the workload the partitioned core opens.
 // make_grid_spec systems far beyond the paper's 4-6 chiplets, DeFT under
@@ -426,6 +440,30 @@ SweepMeasure measure_sweep(bool workspace) {
                                      point.vl_strategy);
         m.cycles += r.cycles_run;
       }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    m.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || m.seconds < best.seconds) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+/// Times the batched edition of the sweep scenario at one batch width.
+SweepMeasure measure_sweep_batched(int batch_size) {
+  const ExperimentContext& ctx = perf_ctx(4);
+  const ExperimentGrid grid = sweep_grid();
+  SimKnobs knobs = sweep_knobs();
+  knobs.batch_size = batch_size;
+  SweepMeasure best;
+  for (int rep = 0; rep < kPerfRepeats; ++rep) {
+    SweepMeasure m;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sweep = SweepRunner(1).run(ctx, grid, knobs);
+    m.points = sweep.size();
+    for (const SweepResult& r : sweep) {
+      m.cycles += r.results.cycles_run;
     }
     const auto t1 = std::chrono::steady_clock::now();
     m.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -593,6 +631,18 @@ int run_perf_core(const std::string& json_path) {
               static_cast<double>(sweep_ws.points) / sweep_ws.seconds,
               sweep_fresh.seconds / sweep_ws.seconds);
 
+  SweepMeasure sweep_batch[kNumSweepBatch];
+  for (std::size_t b = 0; b < kNumSweepBatch; ++b) {
+    sweep_batch[b] = measure_sweep_batched(kSweepBatchSizes[b]);
+    std::printf(
+        "sweep1k/batch%-9d %5zu points  fresh %6.1f pts/s  batched %6.1f "
+        "pts/s  (%.2fx)\n",
+        kSweepBatchSizes[b], sweep_batch[b].points,
+        static_cast<double>(sweep_fresh.points) / sweep_fresh.seconds,
+        static_cast<double>(sweep_batch[b].points) / sweep_batch[b].seconds,
+        sweep_fresh.seconds / sweep_batch[b].seconds);
+  }
+
   // Many-chiplet grid scenarios under the partitioned core.
   const std::vector<int> shard_counts = grid_shard_counts();
   constexpr std::size_t kNumGrid = std::size(kGridScenarios);
@@ -629,9 +679,10 @@ int run_perf_core(const std::string& json_path) {
                "\"reference-6\"], \"traffics\": [\"uniform\", \"hotspot\", "
                "\"trace\"], \"fault_counts\": [0, 2, 4], \"warmup\": %lld, "
                "\"measure\": %lld, \"drain_max\": %lld, \"repeats\": %d, "
-               "\"hardware_concurrency\": %u, "
+               "\"hardware_concurrency\": %u, \"simd_backend\": \"%s\", "
                "\"sweep_scenario\": {\"name\": \"%s\", \"points\": %zu, "
-               "\"warmup\": %lld, \"measure\": %lld, \"drain_max\": %lld}, "
+               "\"warmup\": %lld, \"measure\": %lld, \"drain_max\": %lld, "
+               "\"batch_sizes\": [%d, %d]}, "
                "\"grid_scenarios\": {\"systems\": [\"grid-16\", "
                "\"grid-36\"], \"vl_strategy\": \"distance\", \"warmup\": "
                "%lld, \"measure\": %lld, \"drain_max\": %lld, "
@@ -639,11 +690,12 @@ int run_perf_core(const std::string& json_path) {
                static_cast<long long>(kPerfWarmup),
                static_cast<long long>(kPerfMeasure),
                static_cast<long long>(kPerfDrainMax), kPerfRepeats,
-               std::thread::hardware_concurrency(), kSweepScenario,
-               sweep_ws.points,
+               std::thread::hardware_concurrency(), simd::kBackendName,
+               kSweepScenario, sweep_ws.points,
                static_cast<long long>(sweep_knobs().warmup),
                static_cast<long long>(sweep_knobs().measure),
                static_cast<long long>(sweep_knobs().drain_max),
+               kSweepBatchSizes[0], kSweepBatchSizes[1],
                static_cast<long long>(kGridWarmup),
                static_cast<long long>(kGridMeasure),
                static_cast<long long>(kGridDrainMax), shard_counts.back());
@@ -709,11 +761,24 @@ int run_perf_core(const std::string& json_path) {
         out,
         "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"points\": %zu, "
         "\"cycles\": %lld, \"seconds\": %.6f, \"points_per_sec\": %.1f, "
-        "\"cycles_per_sec\": %.0f}%s\n",
+        "\"cycles_per_sec\": %.0f},\n",
         kSweepScenario, mode, m.points, static_cast<long long>(m.cycles),
         m.seconds, static_cast<double>(m.points) / m.seconds,
+        static_cast<double>(m.cycles) / m.seconds);
+  }
+  for (std::size_t b = 0; b < kNumSweepBatch; ++b) {
+    const SweepMeasure& m = sweep_batch[b];
+    std::fprintf(
+        out,
+        "    {\"scenario\": \"sweep1k/batch%d\", \"mode\": \"batched\", "
+        "\"batch_size\": %d, \"points\": %zu, \"cycles\": %lld, "
+        "\"seconds\": %.6f, \"points_per_sec\": %.1f, "
+        "\"cycles_per_sec\": %.0f}%s\n",
+        kSweepBatchSizes[b], kSweepBatchSizes[b], m.points,
+        static_cast<long long>(m.cycles), m.seconds,
+        static_cast<double>(m.points) / m.seconds,
         static_cast<double>(m.cycles) / m.seconds,
-        std::string_view(mode) == "fresh_sim" ? "," : "");
+        b + 1 < kNumSweepBatch ? "," : "");
   }
   // Per-scenario in-binary ratios: active-set/full-scan for the matrix,
   // workspace/fresh-Simulator for the sweep scenario. Both sides of each
@@ -734,6 +799,13 @@ int run_perf_core(const std::string& json_path) {
                dyn_full.seconds / dyn_active.seconds);
   std::fprintf(out, "    \"%s\": %.3f,\n", kSweepScenario,
                sweep_fresh.seconds / sweep_ws.seconds);
+  // Batched sweep ratios: fresh-Simulator serial over batched-resident
+  // wall clock, same single-worker process - machine-portable like the
+  // workspace ratio above, and gated through BENCH_PR8.json.
+  for (std::size_t b = 0; b < kNumSweepBatch; ++b) {
+    std::fprintf(out, "    \"sweep1k/batch%d\": %.3f,\n", kSweepBatchSizes[b],
+                 sweep_fresh.seconds / sweep_batch[b].seconds);
+  }
   // Grid shard ratios: serial wall clock over N-shard wall clock within
   // this run. Only meaningful on hosts with >= N cores; the gate script
   // reads hardware_concurrency and skips ratios the host cannot express.
@@ -798,6 +870,9 @@ int list_scenarios() {
   }
   std::printf("%s\n", kDynScenario);
   std::printf("%s\n", kSweepScenario);
+  for (int b : kSweepBatchSizes) {
+    std::printf("sweep1k/batch%d\n", b);
+  }
   for (const GridScenario& s : kGridScenarios) {
     for (int c : grid_shard_counts()) {
       if (c > 1) {

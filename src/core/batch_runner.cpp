@@ -1,0 +1,79 @@
+#include "core/batch_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace deft {
+
+BatchRunner::BatchRunner(int batch_size, Cycle chunk_cycles)
+    : batch_size_(std::clamp(batch_size, 1, kMaxBatchSize)),
+      chunk_cycles_(std::max<Cycle>(chunk_cycles, 1)),
+      workspaces_(static_cast<std::size_t>(batch_size_)),
+      slots_(static_cast<std::size_t>(batch_size_)) {}
+
+std::vector<BatchOutcome> BatchRunner::run(std::vector<BatchJob>& jobs) {
+  std::vector<BatchOutcome> outcomes(jobs.size());
+  std::size_t next_job = 0;
+  std::size_t active = 0;
+
+  // Admits jobs[next_job] into slot s. A throwing prologue (Simulator's
+  // constructor validates the timeline against the fault set) fails just
+  // that job; the slot stays free for the next one.
+  const auto admit = [&](std::size_t s) {
+    while (next_job < jobs.size()) {
+      const std::size_t j = next_job++;
+      BatchJob& job = jobs[j];
+      Slot& slot = slots_[s];
+      try {
+        slot.sim.emplace(*job.topo, *job.algorithm, *job.traffic, job.knobs,
+                         job.faults, job.timeline, job.policy);
+        slot.stepper = SimStepper{};
+        slot.stepper.start(*slot.sim, workspaces_[s]);
+        slot.job = j;
+        slot.active = true;
+        ++active;
+        return;
+      } catch (...) {
+        outcomes[j].error = std::current_exception();
+        slot.sim.reset();
+      }
+    }
+  };
+
+  for (std::size_t s = 0; s < slots_.size() && next_job < jobs.size(); ++s) {
+    admit(s);
+  }
+
+  while (active > 0) {
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      Slot& slot = slots_[s];
+      if (!slot.active) {
+        continue;
+      }
+      BatchOutcome& out = outcomes[slot.job];
+      bool done = false;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        done = slot.stepper.advance(slot.stepper.now() + chunk_cycles_);
+        if (done) {
+          out.results = slot.stepper.finish();
+        }
+      } catch (...) {
+        out.error = std::current_exception();
+        done = true;
+      }
+      out.seconds += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+      if (done) {
+        slot.active = false;
+        slot.sim.reset();
+        --active;
+        admit(s);
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace deft

@@ -228,6 +228,9 @@ SimulationConfig parse_simulation_config(std::istream& in) {
     } else if (key == "shards") {
       config.knobs.shards =
           static_cast<int>(parse_int(key, value, 1, kMaxSimShards));
+    } else if (key == "batch_size") {
+      config.knobs.batch_size =
+          static_cast<int>(parse_int(key, value, 1, kMaxBatchSize));
     } else if (key == "trace_file") {
       config.trace_file = value;
     } else if (key == "trace_cycles") {

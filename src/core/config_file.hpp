@@ -17,6 +17,7 @@
 //   measure    = 30000
 //   seed       = 1
 //   shards     = 1           # worker threads of the partitioned core
+//   batch_size = 1           # resident runs per sweep/campaign worker
 //   vl_strategy = table      # table | distance | random (DeFT only)
 //   faults     = 0v 3^       # faulty VL channels: <vl>v (down) / <vl>^ (up)
 //   vl_serialization = 1

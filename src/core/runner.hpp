@@ -181,7 +181,11 @@ class SweepRunner {
   /// results are still bit-identical to fresh-Simulator serial execution
   /// (tests/test_workspace.cpp). With knobs.shards > 1 the pool width is
   /// capped by effective_workers() so sharded points compose with the
-  /// sweep's own parallelism instead of oversubscribing the host.
+  /// sweep's own parallelism instead of oversubscribing the host. With
+  /// knobs.batch_size > 1 (and unsharded points) each worker instead runs
+  /// a BatchRunner that keeps batch_size points resident and interleaves
+  /// their cycle chunks - same results, higher short-run throughput
+  /// (core/batch_runner.hpp, docs/throughput.md).
   std::vector<SweepResult> run(const ExperimentContext& ctx,
                                const ExperimentGrid& grid,
                                const SimKnobs& knobs) const;

@@ -48,6 +48,14 @@ class MtrPlan {
   static constexpr std::uint16_t kUnreachable = 0xffff;
   std::uint16_t distance(int line_node, NodeId dst) const;
 
+  /// The full distance row of destination endpoint index `d` (one uint16
+  /// per line node): the contiguous storage distance() reads, exposed so
+  /// the route-cache rebuild can scan it with the SIMD row kernel
+  /// (common/simd.hpp) instead of one indexed call per line node.
+  const std::uint16_t* distance_row(std::size_t d) const {
+    return dist_[d].data();
+  }
+
   /// Endpoint pair -> bitmask of usable vertical combinations. For
   /// chiplet->chiplet pairs, bit (down_idx * 8 + up_idx); for
   /// chiplet->interposer, bit down_idx; for interposer->chiplet, bit

@@ -1,6 +1,7 @@
 #include "sim/fault_events.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace deft {
 
@@ -213,55 +214,65 @@ void FaultSurgeon::doom_scan(Network& net, const RoutingAlgorithm& alg,
   doomed_.assign(packets.size(), 0);
   doomed_list_.clear();
   pinned_empty_.clear();
-  const int num_vcs = net.num_vcs();
 
   for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
     RouterState& r = net.routers_[static_cast<std::size_t>(n)];
     if (r.occupancy == 0 && r.owned == 0) {
       continue;  // no flits, no pinned lanes
     }
-    for (int p = 0; p < kNumPorts; ++p) {
-      for (int v = 0; v < num_vcs; ++v) {
-        const int lane = FlitStore::lane_of(p, v);
-        const InputVcState& ivc = r.in[static_cast<std::size_t>(lane)];
-        const int held = r.flits.size(lane);
+    // Visit only lanes that can matter: occupied lanes (one SIMD pass
+    // over the ring fill counts) plus pinned-but-possibly-empty lanes
+    // (route_ready). Ascending bit order is the scalar (port, VC) nested
+    // loop order, and lanes above the configured VC count are never
+    // occupied or pinned, so the full 32-lane mask is safe.
+    std::uint32_t pinned = 0;
+    for (int lane = 0; lane < kNumLanes; ++lane) {
+      if (r.in[static_cast<std::size_t>(lane)].route_ready) {
+        pinned |= std::uint32_t{1} << lane;
+      }
+    }
+    for (std::uint32_t visit = r.flits.occupied_mask() | pinned; visit != 0;
+         visit &= visit - 1) {
+      const int lane = std::countr_zero(visit);
+      const int p = lane / kMaxVcs;
+      const InputVcState& ivc = r.in[static_cast<std::size_t>(lane)];
+      const int held = r.flits.size(lane);
 
-        // Established wormholes: a pinned lane's decision names the next
-        // channel its owner is committed to. If that channel just died,
-        // the owner's remaining flits would be forced across it - the
-        // packet cannot be salvaged, whatever its position.
-        if (ivc.route_ready) {
-          PacketId owner;
-          if (held > 0) {
-            owner = r.flits.front_packet(lane);
-          } else {
-            owner = upstream_owner(net, nis, n, lane);
-            if (owner >= 0) {
-              pinned_empty_.push_back({n, lane, owner});
-            }
-          }
-          if (owner >= 0 && ivc.decision.out_port != Port::local &&
-              ivc.decision.out_port != Port::rc) {
-            const ChannelId out_ch =
-                topo_->out_channel(n, ivc.decision.out_port);
-            if (out_ch != kInvalidChannel &&
-                net.channel_faulty_[static_cast<std::size_t>(out_ch)] != 0) {
-              doom(owner);
-            }
+      // Established wormholes: a pinned lane's decision names the next
+      // channel its owner is committed to. If that channel just died,
+      // the owner's remaining flits would be forced across it - the
+      // packet cannot be salvaged, whatever its position.
+      if (ivc.route_ready) {
+        PacketId owner;
+        if (held > 0) {
+          owner = r.flits.front_packet(lane);
+        } else {
+          owner = upstream_owner(net, nis, n, lane);
+          if (owner >= 0) {
+            pinned_empty_.push_back({n, lane, owner});
           }
         }
+        if (owner >= 0 && ivc.decision.out_port != Port::local &&
+            ivc.decision.out_port != Port::rc) {
+          const ChannelId out_ch =
+              topo_->out_channel(n, ivc.decision.out_port);
+          if (out_ch != kInvalidChannel &&
+              net.channel_faulty_[static_cast<std::size_t>(out_ch)] != 0) {
+            doom(owner);
+          }
+        }
+      }
 
-        // Unrouted heads anywhere in the lane: position-aware viability
-        // (the head will route at this node, arriving through port p).
-        for (int off = 0; off < held; ++off) {
-          const Flit f = r.flits.peek(lane, off);
-          if (!f.is_head() || doomed_[static_cast<std::size_t>(f.packet)] != 0) {
-            continue;
-          }
-          if (!alg.hop_viable(n, static_cast<Port>(p),
-                              packets.route_of(f.packet))) {
-            doom(f.packet);
-          }
+      // Unrouted heads anywhere in the lane: position-aware viability
+      // (the head will route at this node, arriving through port p).
+      for (int off = 0; off < held; ++off) {
+        const Flit f = r.flits.peek(lane, off);
+        if (!f.is_head() || doomed_[static_cast<std::size_t>(f.packet)] != 0) {
+          continue;
+        }
+        if (!alg.hop_viable(n, static_cast<Port>(p),
+                            packets.route_of(f.packet))) {
+          doom(f.packet);
         }
       }
     }
@@ -284,66 +295,65 @@ void FaultSurgeon::extract_doomed(Network& net, const PacketTable& packets,
   if (doomed_list_.empty()) {
     return;
   }
-  const int num_vcs = net.num_vcs();
-
   for (NodeId n = 0; n < topo_->num_nodes(); ++n) {
     RouterState& r = net.routers_[static_cast<std::size_t>(n)];
     if (r.occupancy == 0) {
       continue;
     }
-    for (int p = 0; p < kNumPorts; ++p) {
-      for (int v = 0; v < num_vcs; ++v) {
-        const int lane = FlitStore::lane_of(p, v);
-        const int held = r.flits.size(lane);
-        if (held == 0) {
+    // SIMD occupancy test over the lane fill counts: only non-empty lanes
+    // are filtered, in ascending lane order - the (port, VC) order of the
+    // scalar nested loops it replaces.
+    for (std::uint32_t visit = r.flits.occupied_mask(); visit != 0;
+         visit &= visit - 1) {
+      const int lane = std::countr_zero(visit);
+      const int p = lane / kMaxVcs;
+      const int v = lane % kMaxVcs;
+      const int held = r.flits.size(lane);
+      InputVcState& ivc = r.in[static_cast<std::size_t>(lane)];
+      if (ivc.route_ready &&
+          doomed_[static_cast<std::size_t>(r.flits.front_packet(lane))] !=
+              0) {
+        release_lane(r, lane);
+      }
+      // Filter the ring: pop everything, re-push the survivors. Each
+      // removed flit frees one slot of this lane, so one credit returns
+      // to whoever mirrors it (the NI, the RC unit, or the upstream
+      // router's output VC).
+      std::array<Flit, kMaxBufferDepth> keep;
+      int kept = 0;
+      int removed = 0;
+      for (int i = 0; i < held; ++i) {
+        const Flit f = r.flits.pop(lane);
+        if (doomed_[static_cast<std::size_t>(f.packet)] == 0) {
+          keep[static_cast<std::size_t>(kept++)] = f;
           continue;
         }
-        InputVcState& ivc = r.in[static_cast<std::size_t>(lane)];
-        if (ivc.route_ready &&
-            doomed_[static_cast<std::size_t>(r.flits.front_packet(lane))] !=
-                0) {
-          release_lane(r, lane);
+        ++removed;
+        if (static_cast<Port>(p) == Port::local) {
+          ++net.local_credit_[net.index(n, v)];
+        } else if (static_cast<Port>(p) == Port::rc) {
+          ++net.rc_in_credit_[net.index(n, v)];
+        } else {
+          const ChannelId in_ch = topo_->in_channel(n, static_cast<Port>(p));
+          check(in_ch != kInvalidChannel,
+                "FaultSurgeon: flit in a lane without an input channel");
+          const Channel& ch = topo_->channel(in_ch);
+          ++net.routers_[static_cast<std::size_t>(ch.src)]
+                .out[static_cast<std::size_t>(
+                    FlitStore::lane_of(port_index(ch.src_port), v))]
+                .credits;
         }
-        // Filter the ring: pop everything, re-push the survivors. Each
-        // removed flit frees one slot of this lane, so one credit returns
-        // to whoever mirrors it (the NI, the RC unit, or the upstream
-        // router's output VC).
-        std::array<Flit, kMaxBufferDepth> keep;
-        int kept = 0;
-        int removed = 0;
-        for (int i = 0; i < held; ++i) {
-          const Flit f = r.flits.pop(lane);
-          if (doomed_[static_cast<std::size_t>(f.packet)] == 0) {
-            keep[static_cast<std::size_t>(kept++)] = f;
-            continue;
-          }
-          ++removed;
-          if (static_cast<Port>(p) == Port::local) {
-            ++net.local_credit_[net.index(n, v)];
-          } else if (static_cast<Port>(p) == Port::rc) {
-            ++net.rc_in_credit_[net.index(n, v)];
-          } else {
-            const ChannelId in_ch = topo_->in_channel(n, static_cast<Port>(p));
-            check(in_ch != kInvalidChannel,
-                  "FaultSurgeon: flit in a lane without an input channel");
-            const Channel& ch = topo_->channel(in_ch);
-            ++net.routers_[static_cast<std::size_t>(ch.src)]
-                  .out[static_cast<std::size_t>(
-                      FlitStore::lane_of(port_index(ch.src_port), v))]
-                  .credits;
-          }
-        }
-        for (int i = 0; i < kept; ++i) {
-          r.flits.push(lane, keep[static_cast<std::size_t>(i)]);
-        }
-        if (removed > 0) {
-          net.lanes_[static_cast<std::size_t>(net.shard_of(n))]
-              .flits_buffered -= static_cast<std::uint64_t>(removed);
-          if (kept == 0) {
-            r.occupancy &= ~(std::uint64_t{1} << lane);
-            // The active-worklist bit clears itself lazily on the next
-            // step over an empty router.
-          }
+      }
+      for (int i = 0; i < kept; ++i) {
+        r.flits.push(lane, keep[static_cast<std::size_t>(i)]);
+      }
+      if (removed > 0) {
+        net.lanes_[static_cast<std::size_t>(net.shard_of(n))]
+            .flits_buffered -= static_cast<std::uint64_t>(removed);
+        if (kept == 0) {
+          r.occupancy &= ~(std::uint64_t{1} << lane);
+          // The active-worklist bit clears itself lazily on the next
+          // step over an empty router.
         }
       }
     }

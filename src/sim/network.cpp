@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <cstddef>
+
 namespace deft {
 
 void Network::reset(const Topology& topo, RoutingAlgorithm& algorithm,
@@ -130,15 +132,17 @@ void Network::add_rc_out_credits(NodeId node, int credits) {
 }
 
 RouterView Network::make_view(const RouterState& r) const {
+  // One SIMD pass over the lane-major OutputVc plane. The kernel sums all
+  // kMaxVcs lanes of each port, not just the configured num_vcs_; that is
+  // the same total because reset() zeroes the unconfigured lanes' credits
+  // and nothing ever writes them (the equivalence invariant simd.hpp and
+  // docs/throughput.md document).
+  static_assert(sizeof(OutputVc) == 4 && offsetof(OutputVc, credits) == 2,
+                "port_credit_sums reads 4-byte records, credits at +2");
+  static_assert(kNumLanes == kNumPorts * kMaxVcs && kMaxVcs == 4,
+                "port_credit_sums sums 4 consecutive records per port");
   RouterView view;
-  for (int p = 0; p < kNumPorts; ++p) {
-    int credits = 0;
-    for (int v = 0; v < num_vcs_; ++v) {
-      credits +=
-          r.out[static_cast<std::size_t>(FlitStore::lane_of(p, v))].credits;
-    }
-    view.free_credits[static_cast<std::size_t>(p)] = credits;
-  }
+  simd::port_credit_sums(r.out.data(), view.free_credits.data());
   return view;
 }
 

@@ -25,6 +25,7 @@
 
 #include <array>
 
+#include "common/simd.hpp"
 #include "sim/packet.hpp"
 
 namespace deft {
@@ -56,6 +57,18 @@ class FlitStore {
   bool empty(int lane) const { return count_[static_cast<std::size_t>(lane)] == 0; }
   int size(int lane) const {
     return static_cast<int>(count_[static_cast<std::size_t>(lane)]);
+  }
+
+  /// Bitmask of non-empty lanes (bit = lane index), read straight off the
+  /// dense count_ array in one SIMD pass. Ground truth - unlike
+  /// RouterState::occupancy it cannot go stale - and iterating its set
+  /// bits ascending visits lanes in exactly the scalar (port, VC) nested
+  /// loop order. Lanes above the configured VC count are never pushed to,
+  /// so their bits are always clear.
+  std::uint32_t occupied_mask() const {
+    static_assert(kNumLanes == 32,
+                  "occupied_mask packs one bit per lane into a uint32");
+    return simd::nonzero_mask32(count_.data());
   }
 
   void push(int lane, const Flit& flit) {

@@ -94,6 +94,9 @@ struct LoopCtx {
   Cycle hard_end = 0;
   Cycle now = 0;
   Cycle idle_cycles = 0;
+  /// Stepper pause point: loops stop before executing cycle `cap` (the
+  /// unstepped run leaves it unbounded, so the loops are untouched).
+  Cycle cap = SimStepper::kNoCycleCap;
   bool deadlock = false;
   bool drained = false;
 
@@ -116,17 +119,18 @@ struct LoopCtx {
   }
 };
 
-/// Runs cycles [ctx.now, phase_end) of the active-set core. Returns false
-/// when the run ended early (deadlock, or - with DrainCheck - all measured
-/// packets delivered).
+/// Runs cycles [ctx.now, phase_end) of the active-set core - capped at
+/// ctx.cap for stepped execution. Returns false when the run ended early
+/// (deadlock, or - with DrainCheck - all measured packets delivered).
 template <bool InWindow, bool DrainCheck>
 bool run_phase(LoopCtx& ctx) {
   const Cycle phase_end = DrainCheck
                               ? (InWindow ? ctx.measure_end : ctx.hard_end)
                               : (InWindow ? ctx.measure_end - 1
                                           : ctx.knobs->warmup);
+  const Cycle stop = std::min(phase_end, ctx.cap);
   PhaseSink<InWindow> sink{ctx.acc};
-  for (; ctx.now < phase_end; ++ctx.now) {
+  for (; ctx.now < stop; ++ctx.now) {
     const Cycle now = ctx.now;
 
     // Dynamic fault events apply at the cycle boundary, before this
@@ -216,7 +220,8 @@ bool run_phase(LoopCtx& ctx) {
 /// router scan. Kept as the executable specification the equivalence
 /// tests (and the perf harness baseline) compare the active-set core to.
 void run_reference(LoopCtx& ctx) {
-  for (; ctx.now < ctx.hard_end; ++ctx.now) {
+  const Cycle stop = std::min(ctx.hard_end, ctx.cap);
+  for (; ctx.now < stop; ++ctx.now) {
     const Cycle now = ctx.now;
     const bool in_window =
         now >= ctx.knobs->warmup && now < ctx.measure_end;
@@ -676,26 +681,11 @@ SimResults Simulator::run() {
   return run(ws);  // copied out before the private workspace dies
 }
 
-const SimResults& Simulator::run(SimWorkspace& ws) {
-  require(!ran_, "Simulator::run may only be called once");
-  ran_ = true;
-
-  // Sharded execution needs the active-set core (the full scan is the
-  // serial reference) and a lookahead-capable generator: lookahead is the
-  // generator's declaration that sources draw independently, which is
-  // exactly what the parallel NI phase requires. Everything else runs
-  // serially through the trivial partition.
-  bool sharded = knobs_.core == SimCore::active_set && knobs_.shards > 1 &&
-                 traffic_->supports_lookahead();
-  if (sharded) {
-    ws.partition_.build(*topo_, knobs_.shards);
-    sharded = ws.partition_.num_shards() > 1;
-  }
-
+void Simulator::prepare(SimWorkspace& ws, const Partition* partition) {
   ws.packets_.clear();
   ws.net_.reset(*topo_, *algorithm_, ws.packets_, knobs_.num_vcs,
                 knobs_.buffer_depth, faults_, knobs_.vl_serialization,
-                knobs_.core, sharded ? &ws.partition_ : nullptr);
+                knobs_.core, partition);
   ws.rc_units_.reset(*topo_, knobs_.packet_size);
   ws.rc_units_.publish_initial_credits(ws.net_);
 
@@ -712,27 +702,37 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
   ws.total_latencies_.clear();
   ws.events_.clear();
   reset_results(ws.results_, *topo_, knobs_.measure);
+}
 
-  RunAccum acc{topo_,        &ws.packets_,       &ws.rc_units_,
-               &ws.results_, &ws.net_latencies_, &ws.total_latencies_,
-               0};
-  LoopCtx ctx;
-  ctx.knobs = &knobs_;
-  ctx.traffic = traffic_;
-  ctx.algorithm = algorithm_;
-  ctx.packets = &ws.packets_;
-  ctx.net = &ws.net_;
-  ctx.rc_units = &ws.rc_units_;
-  ctx.nis = &ws.nis_;
-  ctx.acc = &acc;
-  ctx.measure_end = knobs_.warmup + knobs_.measure;
-  ctx.hard_end = ctx.measure_end + knobs_.drain_max;
-  ctx.busy = &ws.busy_;
-  ctx.wake = &ws.wake_;
-  ctx.events = &ws.events_;
-  ctx.surgeon = &ws.surgeon_;
-
+const SimResults& Simulator::run(SimWorkspace& ws) {
+  // Sharded execution needs the active-set core (the full scan is the
+  // serial reference) and a lookahead-capable generator: lookahead is the
+  // generator's declaration that sources draw independently, which is
+  // exactly what the parallel NI phase requires. Everything else runs
+  // serially through the trivial partition.
+  bool sharded = knobs_.core == SimCore::active_set && knobs_.shards > 1 &&
+                 traffic_->supports_lookahead();
   if (sharded) {
+    ws.partition_.build(*topo_, knobs_.shards);
+    sharded = ws.partition_.num_shards() > 1;
+  }
+
+  if (!sharded) {
+    // Serial path: the resumable stepper, run to completion in a single
+    // advance - what makes a batched (chunk-interleaved) run bit-identical
+    // to this one by construction.
+    SimStepper stepper;
+    stepper.start(*this, ws);
+    stepper.advance();
+    return stepper.finish();
+  }
+
+  require(!ran_, "Simulator::run may only be called once");
+  ran_ = true;
+  prepare(ws, &ws.partition_);
+  const std::vector<NodeId>& endpoints = topo_->endpoints();
+
+  {
     const int num_shards = ws.partition_.num_shards();
     ws.shard_runs_.resize(static_cast<std::size_t>(num_shards));
     const std::size_t ni_words = (ws.nis_.size() + 63) / 64;
@@ -825,12 +825,72 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
     ws.surgeon_.finalize(results, ws.packets_);
     return results;
   }
+}
 
-  if (knobs_.core == SimCore::full_scan) {
-    run_reference(ctx);
-  } else {
-    ctx.lookahead = traffic_->supports_lookahead();
-    if (ctx.lookahead) {
+// ------------------------------------------------------------- SimStepper
+//
+// The stepper is the serial run loop with its cycle cursor hoisted into a
+// member: every advance() rebuilds the same RunAccum/LoopCtx the one-shot
+// path would use, runs the phase chain up to `cap`, and round-trips the
+// loop scalars back out. Because run_phase/run_reference derive the phase
+// from ctx.now alone, pausing and resuming at any cycle boundary cannot
+// change what any cycle executes - the bit-identity argument for batched
+// execution (docs/throughput.md).
+
+void SimStepper::start(Simulator& sim, SimWorkspace& ws) {
+  require(!sim.ran_, "Simulator::run may only be called once");
+  sim.ran_ = true;
+  sim_ = &sim;
+  ws_ = &ws;
+  sim.prepare(ws, nullptr);
+  measure_end_ = sim.knobs_.warmup + sim.knobs_.measure;
+  hard_end_ = measure_end_ + sim.knobs_.drain_max;
+  lookahead_ = sim.knobs_.core == SimCore::active_set &&
+               sim.traffic_->supports_lookahead();
+  now_ = 0;
+  idle_cycles_ = 0;
+  primed_ = false;
+  deadlock_ = drained_ = done_ = finished_ = false;
+  counters_ = NiCounters{};
+  delivered_measured_ = 0;
+}
+
+bool SimStepper::advance(Cycle cap) {
+  require(sim_ != nullptr, "SimStepper::advance before start");
+  if (done_ || now_ >= cap) {
+    return done_;
+  }
+  Simulator& sim = *sim_;
+  SimWorkspace& ws = *ws_;
+  RunAccum acc{sim.topo_,          &ws.packets_,
+               &ws.rc_units_,      &ws.results_,
+               &ws.net_latencies_, &ws.total_latencies_,
+               delivered_measured_};
+  LoopCtx ctx;
+  ctx.knobs = &sim.knobs_;
+  ctx.traffic = sim.traffic_;
+  ctx.algorithm = sim.algorithm_;
+  ctx.packets = &ws.packets_;
+  ctx.net = &ws.net_;
+  ctx.rc_units = &ws.rc_units_;
+  ctx.nis = &ws.nis_;
+  ctx.surgeon = &ws.surgeon_;
+  ctx.acc = &acc;
+  ctx.counters = counters_;
+  ctx.measure_end = measure_end_;
+  ctx.hard_end = hard_end_;
+  ctx.now = now_;
+  ctx.idle_cycles = idle_cycles_;
+  ctx.cap = cap;
+  ctx.deadlock = deadlock_;
+  ctx.drained = drained_;
+  ctx.lookahead = lookahead_;
+  ctx.busy = &ws.busy_;
+  ctx.wake = &ws.wake_;
+  ctx.events = &ws.events_;
+  if (!primed_) {
+    primed_ = true;
+    if (lookahead_) {
       const std::size_t words = (ws.nis_.size() + 63) / 64;
       ws.busy_.assign(words, 0);
       ws.wake_.assign(words, 0);
@@ -838,26 +898,53 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
         ctx.schedule(i, 0);
       }
     }
-    // Phase-segmented loops: the window flag and the drain check are
-    // compile-time constants inside each phase; only the final measure
-    // cycle can complete the drain (now + 1 == measure_end), so it runs
-    // in its own one-cycle phase.
-    if (run_phase<false, false>(ctx) && run_phase<true, false>(ctx) &&
-        run_phase<true, true>(ctx)) {
-      run_phase<false, true>(ctx);
+  }
+  if (sim.knobs_.core == SimCore::full_scan) {
+    run_reference(ctx);
+  } else {
+    // The same phase chain as the one-shot path, re-entered by cycle
+    // cursor: each iteration picks the phase `ctx.now` falls in, so a
+    // capped run resumes mid-phase exactly where it stopped.
+    while (!ctx.deadlock && !ctx.drained && ctx.now < hard_end_ &&
+           ctx.now < cap) {
+      if (ctx.now < ctx.knobs->warmup) {
+        run_phase<false, false>(ctx);
+      } else if (ctx.now < measure_end_ - 1) {
+        run_phase<true, false>(ctx);
+      } else if (ctx.now < measure_end_) {
+        run_phase<true, true>(ctx);
+      } else {
+        run_phase<false, true>(ctx);
+      }
     }
   }
+  now_ = ctx.now;
+  idle_cycles_ = ctx.idle_cycles;
+  deadlock_ = ctx.deadlock;
+  drained_ = ctx.drained;
+  counters_ = ctx.counters;
+  delivered_measured_ = acc.delivered_measured;
+  done_ = deadlock_ || drained_ || now_ >= hard_end_;
+  return done_;
+}
 
+const SimResults& SimStepper::finish() {
+  require(sim_ != nullptr && done_, "SimStepper::finish before the run ended");
+  SimWorkspace& ws = *ws_;
   SimResults& results = ws.results_;
-  results.cycles_run = ctx.now;
-  results.deadlock_detected = ctx.deadlock;
+  if (finished_) {
+    return results;
+  }
+  finished_ = true;
+  results.cycles_run = now_;
+  results.deadlock_detected = deadlock_;
   results.outcome =
-      ctx.deadlock ? RunOutcome::deadlocked : RunOutcome::completed;
-  results.drained = ctx.drained;
-  results.packets_created = ctx.counters.created;
-  results.packets_created_measured = ctx.counters.created_measured;
-  results.packets_delivered_measured = acc.delivered_measured;
-  results.packets_dropped_unroutable = ctx.counters.dropped_unroutable;
+      deadlock_ ? RunOutcome::deadlocked : RunOutcome::completed;
+  results.drained = drained_;
+  results.packets_created = counters_.created;
+  results.packets_created_measured = counters_.created_measured;
+  results.packets_delivered_measured = delivered_measured_;
+  results.packets_dropped_unroutable = counters_.dropped_unroutable;
   results.network_latency = LatencySummary::from_samples(ws.net_latencies_);
   results.total_latency = LatencySummary::from_samples(ws.total_latencies_);
   ws.surgeon_.finalize(results, ws.packets_);

@@ -36,8 +36,14 @@
 // count (tests/test_sim_sharded.cpp); configurations sharding cannot
 // serve (full-scan core, non-lookahead traffic, single-shard partitions)
 // silently execute serially.
+// Batched execution: SimStepper exposes the serial loop as a resumable
+// start/advance/finish sequence - Simulator::run(ws)'s serial path is a
+// wrapper over it - so core/batch_runner.hpp can interleave cycle chunks
+// of many short runs per worker without touching results (bit-identical
+// by construction, tests/test_batch_runner.cpp; see docs/throughput.md).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -75,7 +81,19 @@ struct SimKnobs {
   /// Sharding requires the active-set core and a lookahead-capable
   /// traffic generator - other configurations run serially.
   int shards = 1;
+  /// Scenario batch width for throughput-oriented drivers (SweepRunner,
+  /// the campaign engine): > 1 keeps that many short runs resident per
+  /// worker and interleaves their cycle chunks through a BatchRunner
+  /// (core/batch_runner.hpp). A single Simulator::run ignores the knob -
+  /// batching is a property of executing *many* runs, not of one - and
+  /// results are bit-identical for every value; only wall clock differs.
+  /// Batching and sharding do not compose: sharded sweep points (shards >
+  /// 1 with the active-set core) run one at a time. docs/throughput.md.
+  int batch_size = 1;
 };
+
+/// Upper bound on SimKnobs::batch_size (resident workspaces per worker).
+inline constexpr int kMaxBatchSize = 64;
 
 /// One shard's slice of the per-run state: the NI worklist (busy/wake
 /// bitmasks over the global NI index space, plus the scheduled-injection
@@ -129,6 +147,7 @@ class SimWorkspace {
 
  private:
   friend class Simulator;
+  friend class SimStepper;
 
   PacketTable packets_;
   Network net_;
@@ -180,6 +199,13 @@ class Simulator {
   const SimResults& run(SimWorkspace& ws);
 
  private:
+  friend class SimStepper;
+
+  /// Resets every workspace plane for a fresh run (shared by the serial
+  /// stepper and the sharded driver). `partition` is non-null only for
+  /// sharded execution.
+  void prepare(SimWorkspace& ws, const Partition* partition);
+
   const Topology* topo_;
   RoutingAlgorithm* algorithm_;
   TrafficGenerator* traffic_;
@@ -188,6 +214,66 @@ class Simulator {
   const FaultTimeline* timeline_;
   InFlightPolicy policy_;
   bool ran_ = false;
+};
+
+/// Resumable serial execution of one simulation: start() performs the run
+/// prologue, advance(cap) executes cycles until `cap` (exclusive) or the
+/// run's natural end, finish() finalizes and returns the workspace-owned
+/// SimResults. Simulator::run(ws)'s serial path is exactly
+/// start + advance(unbounded) + finish, so a stepped run is bit-identical
+/// to an unstepped one by construction: the same phase loops execute the
+/// same cycles in the same order, merely pausing at advance() boundaries.
+/// All persistent loop state (cycle cursor, watchdog counter, injection
+/// counters) lives here; everything heavier stays in the SimWorkspace.
+///
+/// The stepper always executes serially, even for shard-eligible
+/// configurations (SimKnobs::shards > 1) - valid because sharded results
+/// are bit-identical to serial by the sharded core's own contract. The
+/// BatchRunner round-robins advance() calls over many steppers to keep a
+/// batch of short runs cache-resident (docs/throughput.md).
+class SimStepper {
+ public:
+  SimStepper() = default;
+
+  /// Binds the stepper to `sim`'s configuration and `ws`, consuming
+  /// `sim`'s single run() permit and resetting the workspace planes. The
+  /// Simulator, its referenced objects, and the workspace must outlive
+  /// the stepper's last call.
+  void start(Simulator& sim, SimWorkspace& ws);
+
+  /// Runs cycles [now(), cap) - fewer when the run ends first. Returns
+  /// done(). A cap at or below now() is a no-op; pass no argument to run
+  /// to the natural end of the simulation.
+  bool advance(Cycle cap = kNoCycleCap);
+
+  /// True once the run reached a terminal state (drained, deadlocked, or
+  /// the hard cycle budget); advance() is a no-op from then on.
+  bool done() const { return done_; }
+
+  /// The next cycle advance() would execute.
+  Cycle now() const { return now_; }
+
+  /// Finalizes the run's statistics into the workspace and returns them
+  /// (valid until the workspace's next run). Requires done(); call once.
+  const SimResults& finish();
+
+  static constexpr Cycle kNoCycleCap = std::numeric_limits<Cycle>::max();
+
+ private:
+  Simulator* sim_ = nullptr;
+  SimWorkspace* ws_ = nullptr;
+  Cycle measure_end_ = 0;
+  Cycle hard_end_ = 0;
+  Cycle now_ = 0;
+  Cycle idle_cycles_ = 0;
+  bool lookahead_ = false;
+  bool primed_ = false;  ///< initial injection events armed
+  bool deadlock_ = false;
+  bool drained_ = false;
+  bool done_ = false;
+  bool finished_ = false;
+  NiCounters counters_;
+  std::uint64_t delivered_measured_ = 0;
 };
 
 }  // namespace deft

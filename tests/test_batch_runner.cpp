@@ -1,0 +1,359 @@
+// BatchRunner contract tests.
+//
+// The throughput-mode guarantee (docs/throughput.md): interleaving N
+// resident short runs through one BatchRunner - or through a batched
+// SweepRunner - is an execution-schedule change only. Every per-scenario
+// result must be field-identical to running that scenario alone through a
+// fresh Simulator, for every batch size, ragged job counts, topology hops
+// across slot reuse, and per-job failures.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "core/runner.hpp"
+
+namespace deft {
+namespace {
+
+void expect_identical(const SimResults& a, const SimResults& b) {
+  for (int which = 0; which < 2; ++which) {
+    const LatencySummary& la =
+        which == 0 ? a.network_latency : a.total_latency;
+    const LatencySummary& lb =
+        which == 0 ? b.network_latency : b.total_latency;
+    EXPECT_EQ(la.count, lb.count);
+    EXPECT_EQ(la.mean, lb.mean);
+    EXPECT_EQ(la.min, lb.min);
+    EXPECT_EQ(la.max, lb.max);
+    EXPECT_EQ(la.p50, lb.p50);
+    EXPECT_EQ(la.p95, lb.p95);
+    EXPECT_EQ(la.p99, lb.p99);
+  }
+  EXPECT_EQ(a.packets_created, b.packets_created);
+  EXPECT_EQ(a.packets_created_measured, b.packets_created_measured);
+  EXPECT_EQ(a.packets_delivered_measured, b.packets_delivered_measured);
+  EXPECT_EQ(a.packets_dropped_unroutable, b.packets_dropped_unroutable);
+  EXPECT_EQ(a.flits_ejected_in_window, b.flits_ejected_in_window);
+  EXPECT_EQ(a.flit_hops, b.flit_hops);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_EQ(a.measure_cycles, b.measure_cycles);
+  EXPECT_EQ(a.deadlock_detected, b.deadlock_detected);
+  EXPECT_EQ(a.drained, b.drained);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.packets_lost_measured, b.packets_lost_measured);
+  EXPECT_EQ(a.fault_window_created, b.fault_window_created);
+  EXPECT_EQ(a.fault_window_delivered, b.fault_window_delivered);
+  EXPECT_EQ(a.reconvergence_latency, b.reconvergence_latency);
+  EXPECT_EQ(a.region_vc_flits, b.region_vc_flits);
+  EXPECT_EQ(a.vl_channel_flits, b.vl_channel_flits);
+}
+
+SimKnobs short_knobs() {
+  SimKnobs knobs;
+  knobs.warmup = 100;
+  knobs.measure = 600;
+  knobs.drain_max = 1'500;
+  knobs.seed = 11;
+  return knobs;
+}
+
+const ExperimentContext& ctx4() {
+  static const ExperimentContext ctx = ExperimentContext::reference(4);
+  return ctx;
+}
+
+const ExperimentContext& ctx6() {
+  static const ExperimentContext ctx = ExperimentContext::reference(6);
+  return ctx;
+}
+
+/// One scenario: enough degrees of freedom to exercise every algorithm,
+/// both reference topologies, and fault / fault-free table paths.
+struct Scenario {
+  const ExperimentContext* ctx;
+  Algorithm algorithm;
+  const char* pattern;
+  double rate;
+  int fault_count;
+  std::uint64_t seed;
+};
+
+std::vector<BatchJob> build_jobs(const std::vector<Scenario>& scenarios) {
+  std::vector<BatchJob> jobs;
+  for (const Scenario& s : scenarios) {
+    BatchJob job;
+    job.topo = &s.ctx->topo();
+    VlFaultSet faults;
+    if (s.fault_count > 0) {
+      faults = grid_fault_pattern(*s.ctx, s.fault_count);
+    }
+    job.algorithm = s.ctx->make_algorithm(s.algorithm, faults);
+    job.traffic = make_traffic(s.ctx->topo(), s.pattern, s.rate);
+    job.knobs = short_knobs();
+    job.knobs.seed = s.seed;
+    job.faults = faults;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+SimResults serial_reference(const Scenario& s) {
+  VlFaultSet faults;
+  if (s.fault_count > 0) {
+    faults = grid_fault_pattern(*s.ctx, s.fault_count);
+  }
+  const auto traffic = make_traffic(s.ctx->topo(), s.pattern, s.rate);
+  SimKnobs knobs = short_knobs();
+  knobs.seed = s.seed;
+  return run_sim(*s.ctx, s.algorithm, *traffic, knobs, faults);
+}
+
+// Mixed algorithms, both topologies (so slot workspaces hop between
+// 4- and 6-chiplet systems mid-batch), faults on and off, and distinct
+// seeds/rates so the runs drain at different cycles.
+std::vector<Scenario> mixed_scenarios() {
+  return {
+      {&ctx4(), Algorithm::deft, "uniform", 0.02, 0, 3},
+      {&ctx6(), Algorithm::mtr, "hotspot", 0.01, 2, 5},
+      {&ctx4(), Algorithm::rc, "uniform", 0.012, 0, 7},
+      {&ctx4(), Algorithm::deft, "transpose", 0.03, 2, 9},
+      {&ctx6(), Algorithm::deft, "uniform", 0.015, 0, 11},
+      {&ctx4(), Algorithm::mtr, "uniform", 0.02, 2, 13},
+      {&ctx6(), Algorithm::rc, "hotspot", 0.008, 0, 15},
+  };
+}
+
+TEST(BatchRunner, EveryBatchSizeMatchesFreshSerial) {
+  // The acceptance-bar sizes {1, 4, 8}, plus a deliberately ragged fit:
+  // 7 jobs never divide evenly into 4 or 8 resident slots, so the
+  // admit-on-finish scheduler runs partially-filled batches throughout.
+  const std::vector<Scenario> scenarios = mixed_scenarios();
+  std::vector<SimResults> fresh;
+  for (const Scenario& s : scenarios) {
+    fresh.push_back(serial_reference(s));
+  }
+
+  for (int batch_size : {1, 4, 8}) {
+    SCOPED_TRACE(batch_size);
+    std::vector<BatchJob> jobs = build_jobs(scenarios);
+    BatchRunner runner(batch_size);
+    const std::vector<BatchOutcome> outcomes = runner.run(jobs);
+    ASSERT_EQ(outcomes.size(), scenarios.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      SCOPED_TRACE(i);
+      ASSERT_FALSE(outcomes[i].error);
+      expect_identical(outcomes[i].results, fresh[i]);
+    }
+  }
+}
+
+TEST(BatchRunner, TinyCycleChunksStillMatch) {
+  // A 1-cycle chunk maximises interleaving: every resident run is
+  // suspended and resumed at every cycle boundary. Any state that leaks
+  // across a suspend/resume (stale accumulators, re-primed worklists)
+  // breaks this immediately.
+  const std::vector<Scenario> scenarios = {
+      {&ctx4(), Algorithm::deft, "uniform", 0.02, 0, 3},
+      {&ctx4(), Algorithm::mtr, "uniform", 0.02, 2, 5},
+      {&ctx4(), Algorithm::rc, "hotspot", 0.015, 0, 7},
+  };
+  std::vector<BatchJob> jobs = build_jobs(scenarios);
+  BatchRunner runner(3, /*chunk_cycles=*/1);
+  const std::vector<BatchOutcome> outcomes = runner.run(jobs);
+  ASSERT_EQ(outcomes.size(), scenarios.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_FALSE(outcomes[i].error);
+    expect_identical(outcomes[i].results, serial_reference(scenarios[i]));
+  }
+}
+
+TEST(BatchRunner, RunnerReuseAcrossCallsAndTopologies) {
+  // One BatchRunner serving successive job lists on different topologies:
+  // slot workspaces warmed by 6-chiplet runs are reused for 4-chiplet
+  // runs and vice versa. Reset correctness, batched edition.
+  BatchRunner runner(2);
+  for (const ExperimentContext* ctx : {&ctx6(), &ctx4(), &ctx6()}) {
+    const std::vector<Scenario> scenarios = {
+        {ctx, Algorithm::deft, "uniform", 0.02, 0, 21},
+        {ctx, Algorithm::mtr, "hotspot", 0.01, 2, 22},
+        {ctx, Algorithm::rc, "uniform", 0.012, 0, 23},
+    };
+    std::vector<BatchJob> jobs = build_jobs(scenarios);
+    const std::vector<BatchOutcome> outcomes = runner.run(jobs);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      SCOPED_TRACE(i);
+      ASSERT_FALSE(outcomes[i].error);
+      expect_identical(outcomes[i].results, serial_reference(scenarios[i]));
+    }
+  }
+}
+
+TEST(BatchRunner, PerJobFailureIsIsolated) {
+  // A job whose simulation cannot even be constructed (buffer_depth = 0
+  // fails Network::reset validation) reports through its own outcome's
+  // exception slot; its batchmates complete and stay bit-identical.
+  const std::vector<Scenario> scenarios = {
+      {&ctx4(), Algorithm::deft, "uniform", 0.02, 0, 3},
+      {&ctx4(), Algorithm::rc, "uniform", 0.012, 0, 7},
+  };
+  std::vector<BatchJob> jobs = build_jobs(scenarios);
+
+  BatchJob broken;
+  broken.topo = &ctx4().topo();
+  broken.algorithm = ctx4().make_algorithm(Algorithm::deft);
+  broken.traffic = make_traffic(ctx4().topo(), "uniform", 0.02);
+  broken.knobs = short_knobs();
+  broken.knobs.buffer_depth = 0;
+  jobs.insert(jobs.begin() + 1, std::move(broken));
+
+  BatchRunner runner(3);
+  const std::vector<BatchOutcome> outcomes = runner.run(jobs);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[1].error);
+  EXPECT_FALSE(outcomes[0].error);
+  EXPECT_FALSE(outcomes[2].error);
+  expect_identical(outcomes[0].results, serial_reference(scenarios[0]));
+  expect_identical(outcomes[2].results, serial_reference(scenarios[1]));
+}
+
+TEST(BatchRunner, DynamicFaultTimelineSurvivesBatching) {
+  // Mid-run fault surgery is driven off the simulation clock, which a
+  // batched run advances in chunks; the fail/repair events must land on
+  // the same cycles they do serially.
+  FaultTimeline timeline;
+  timeline.add_transient(ctx4().topo().vl(2).down_vl_channel(), 250, 450);
+
+  SimKnobs knobs = short_knobs();
+  std::vector<SimResults> fresh;
+  for (std::uint64_t seed : {3u, 5u, 7u}) {
+    const auto traffic = make_traffic(ctx4().topo(), "uniform", 0.015);
+    const auto alg = ctx4().make_algorithm(Algorithm::deft);
+    SimKnobs k = knobs;
+    k.seed = seed;
+    Simulator sim(ctx4().topo(), *alg, *traffic, k, {}, &timeline,
+                  InFlightPolicy::drop);
+    fresh.push_back(sim.run());
+  }
+
+  std::vector<BatchJob> jobs;
+  for (std::uint64_t seed : {3u, 5u, 7u}) {
+    BatchJob job;
+    job.topo = &ctx4().topo();
+    job.algorithm = ctx4().make_algorithm(Algorithm::deft);
+    job.traffic = make_traffic(ctx4().topo(), "uniform", 0.015);
+    job.knobs = knobs;
+    job.knobs.seed = seed;
+    job.timeline = &timeline;
+    job.policy = InFlightPolicy::drop;
+    jobs.push_back(std::move(job));
+  }
+  BatchRunner runner(3, /*chunk_cycles=*/64);
+  const std::vector<BatchOutcome> outcomes = runner.run(jobs);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_FALSE(outcomes[i].error);
+    EXPECT_GT(outcomes[i].results.fault_window_created, 0u);
+    expect_identical(outcomes[i].results, fresh[i]);
+  }
+}
+
+TEST(SimStepper, SingleCycleCapsMatchOneShotRun) {
+  // The cap parameter itself: advancing a stepper one cycle at a time
+  // must reproduce the uncapped run exactly, including the phase
+  // transitions (warmup -> measure -> last measure cycle -> drain) that
+  // the capped loop re-dispatches on every advance() call.
+  const auto alg_step = ctx4().make_algorithm(Algorithm::deft);
+  const auto alg_ref = ctx4().make_algorithm(Algorithm::deft);
+  SimKnobs knobs = short_knobs();
+  knobs.warmup = 40;
+  knobs.measure = 90;
+  knobs.drain_max = 800;
+
+  const auto traffic_ref = make_traffic(ctx4().topo(), "uniform", 0.02);
+  Simulator ref(ctx4().topo(), *alg_ref, *traffic_ref, knobs);
+  const SimResults expected = ref.run();
+
+  const auto traffic_step = make_traffic(ctx4().topo(), "uniform", 0.02);
+  Simulator sim(ctx4().topo(), *alg_step, *traffic_step, knobs);
+  SimWorkspace ws;
+  SimStepper stepper;
+  stepper.start(sim, ws);
+  Cycle cap = 1;
+  while (!stepper.advance(cap)) {
+    ++cap;
+  }
+  expect_identical(stepper.finish(), expected);
+}
+
+TEST(SweepRunner, BatchedSweepMatchesUnbatchedAndSerial) {
+  // The driver-level wiring: SweepRunner with knobs.batch_size in
+  // {1, 4, 8}, single- and multi-worker, against fresh serial execution
+  // of the expanded grid. The multi-worker rows double as the TSan
+  // surface for batched sweeps.
+  ExperimentGrid grid;
+  grid.algorithms = {Algorithm::deft, Algorithm::mtr, Algorithm::rc};
+  grid.traffic_patterns = {"uniform", "hotspot"};
+  grid.fault_counts = {0, 2};
+  grid.injection_rates = {0.008};
+  const SimKnobs knobs = short_knobs();
+
+  const std::vector<ExperimentPoint> points = expand_grid(ctx4(), grid);
+  std::vector<SimResults> fresh;
+  for (const ExperimentPoint& point : points) {
+    const auto traffic = make_traffic(ctx4().topo(), point.traffic_pattern,
+                                      point.injection_rate);
+    SimKnobs point_knobs = knobs;
+    point_knobs.seed = point.sim_seed;
+    fresh.push_back(run_sim(ctx4(), point.algorithm, *traffic, point_knobs,
+                            point.faults, point.vl_strategy));
+  }
+
+  for (int batch_size : {1, 4, 8}) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "batch " << batch_size << " threads " << threads);
+      SimKnobs batched = knobs;
+      batched.batch_size = batch_size;
+      const auto sweep = SweepRunner(threads).run(ctx4(), grid, batched);
+      ASSERT_EQ(sweep.size(), points.size());
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        SCOPED_TRACE(i);
+        expect_identical(sweep[i].results, fresh[i]);
+      }
+    }
+  }
+}
+
+TEST(SweepRunner, ShardedPointsIgnoreBatchSize) {
+  // Sharding and batching do not compose: a sharded-eligible sweep with
+  // batch_size > 1 must still run (one point at a time, sharded) and
+  // still match the serial reference.
+  ExperimentGrid grid;
+  grid.algorithms = {Algorithm::deft};
+  grid.traffic_patterns = {"uniform"};
+  grid.fault_counts = {0};
+  grid.injection_rates = {0.01, 0.02};
+  SimKnobs knobs = short_knobs();
+  knobs.shards = 2;
+  knobs.batch_size = 4;
+
+  const std::vector<ExperimentPoint> points = expand_grid(ctx4(), grid);
+  const auto sweep = SweepRunner(1).run(ctx4(), grid, knobs);
+  ASSERT_EQ(sweep.size(), points.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    SCOPED_TRACE(i);
+    const auto traffic = make_traffic(
+        ctx4().topo(), points[i].traffic_pattern, points[i].injection_rate);
+    SimKnobs serial = short_knobs();
+    serial.seed = points[i].sim_seed;
+    expect_identical(sweep[i].results,
+                     run_sim(ctx4(), points[i].algorithm, *traffic, serial,
+                             points[i].faults, points[i].vl_strategy));
+  }
+}
+
+}  // namespace
+}  // namespace deft

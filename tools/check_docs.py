@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate intra-repo markdown links and docs reachability.
+
+Two checks, run over every tracked *.md file in the repository:
+
+1. **Link resolution** — every relative (intra-repo) markdown link must
+   point at a file or directory that exists. External links (http/https/
+   mailto) and pure in-page anchors (#section) are ignored; a relative
+   link's "#fragment" suffix is stripped before the existence check.
+
+2. **Docs reachability** — every page under docs/ must be reachable
+   from README.md by following intra-repo markdown links. A docs page
+   nobody links to is dead weight: either link it from the docs map in
+   README.md (directly or via another reachable page) or delete it.
+
+Exit codes:
+  0  all links resolve and every docs/*.md page is reachable
+  1  at least one broken link or unreachable docs page (each problem is
+     printed with its file and line number)
+
+No dependencies beyond the Python standard library; CI runs it without
+building anything (the "doc-check" job in .github/workflows/ci.yml).
+"""
+
+import os
+import re
+import sys
+
+#: Inline markdown links: [text](target). Images ![alt](target) match
+#: too via the optional bang. Targets containing spaces or parentheses
+#: are not used in this repo, so the simple no-close-paren class is
+#: enough - tighten here if that ever changes.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that mark a link as external (never checked on disk).
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+#: Directories never scanned for markdown (build trees, VCS internals).
+SKIP_DIRS = {".git", "build", ".github"}
+
+
+def find_markdown_files(root):
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.relpath(os.path.join(dirpath, name),
+                                             root))
+    return sorted(found)
+
+
+def strip_code(text):
+    """Blanks out fenced and inline code so example links are not checked.
+
+    Line structure is preserved (newlines survive) so reported line
+    numbers stay correct.
+    """
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = re.sub(r"^(```|~~~).*?^\1\s*$", blank, text,
+                  flags=re.DOTALL | re.MULTILINE)
+    return re.sub(r"`[^`\n]*`", blank, text)
+
+
+def extract_links(md_text):
+    """Yields (line_number, raw_target) for every inline link."""
+    for line_no, line in enumerate(strip_code(md_text).splitlines(), 1):
+        for match in LINK_RE.finditer(line):
+            yield line_no, match.group(1)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    md_files = find_markdown_files(root)
+    if "README.md" not in md_files:
+        print("error: no README.md at the repository root", file=sys.stderr)
+        return 1
+
+    problems = []
+    # md file -> set of md files it links to (for the reachability walk).
+    md_links = {path: set() for path in md_files}
+
+    for path in md_files:
+        with open(os.path.join(root, path), encoding="utf-8") as f:
+            text = f.read()
+        base_dir = os.path.dirname(path)
+        for line_no, target in extract_links(text):
+            if EXTERNAL_RE.match(target) or target.startswith("#"):
+                continue
+            rel = os.path.normpath(
+                os.path.join(base_dir, target.split("#", 1)[0]))
+            if rel.startswith(".."):
+                problems.append(f"{path}:{line_no}: link escapes the "
+                                f"repository: {target}")
+                continue
+            if not os.path.exists(os.path.join(root, rel)):
+                problems.append(f"{path}:{line_no}: broken link: {target} "
+                                f"(resolved to {rel})")
+                continue
+            if rel in md_links:
+                md_links[path].add(rel)
+
+    # Breadth-first walk of the markdown link graph from README.md.
+    reachable = set()
+    frontier = ["README.md"]
+    while frontier:
+        page = frontier.pop()
+        if page in reachable:
+            continue
+        reachable.add(page)
+        frontier.extend(md_links.get(page, ()))
+
+    for path in md_files:
+        if path.startswith("docs" + os.sep) and path not in reachable:
+            problems.append(f"{path}: not reachable from README.md via "
+                            f"markdown links - add it to the docs map")
+
+    if problems:
+        print(f"{len(problems)} documentation problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    docs_pages = sum(1 for p in md_files if p.startswith("docs" + os.sep))
+    print(f"doc-check: {len(md_files)} markdown files, all intra-repo "
+          f"links resolve, {docs_pages} docs pages reachable from "
+          f"README.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,9 @@ Usage: check_perf_regression.py BASELINE.json NEW.json [--tolerance 0.25]
 
 The gate tracks the machine-portable metrics: the per-scenario speedup
 ratios (active-set/full-scan for the matrix scenarios, workspace/fresh-
-Simulator for the short-run sweep scenario), which are measured within
-one run on one machine and so cancel out host speed. A ratio that drops
+Simulator for the short-run sweep scenario, batched/fresh-Simulator for
+its "sweep1k/batchN" editions), which are measured within one run on one
+machine and so cancel out host speed. A ratio that drops
 more than --tolerance below the committed baseline fails the check, as
 does a scenario present in the baseline but missing from the fresh run
 (a silently shrunk matrix must not pass the gate). Absolute cycles/sec
@@ -28,12 +29,16 @@ regress (or satisfy) a 4-shard speedup.
 A geomean summary line over the scenarios common to both runs is printed
 at the end ("overall"-style aggregate keys are excluded from it).
 
-Exit codes: 0 when every gated scenario passes, 1 on regressions, 2 on
-malformed input (unreadable file, invalid JSON, or a JSON document
-without the expected "speedup" table), and 3 when the host filter
-skipped *every* baseline scenario - nothing was actually gated, so a
-success banner would be a lie (e.g. a baseline containing only shard
-ratios checked on a 1-core container).
+Exit codes:
+  0  every gated scenario passed
+  1  at least one gated ratio regressed past --tolerance (or a baseline
+     scenario is missing from the fresh run)
+  2  malformed input: unreadable file, invalid JSON, or a JSON document
+     without the expected "speedup" table
+  3  the host filter skipped *every* baseline scenario - nothing was
+     actually gated, so a success banner would be a lie (e.g. a baseline
+     containing only shard ratios checked on a 1-core container). The
+     warning lists each skipped scenario and why it was skipped.
 """
 
 import argparse
@@ -89,7 +94,11 @@ def geomean(values) -> float:
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    # RawDescriptionHelpFormatter keeps the usage/exit-code layout of the
+    # module docstring intact in --help instead of rewrapping it to mush.
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("baseline", nargs="?", default=None,
                         help="committed baseline JSON (positional)")
     parser.add_argument("fresh", help="fresh --perf-json output to check")
@@ -113,15 +122,16 @@ def main() -> int:
 
     failures = []
     gated = 0
-    skipped = 0
+    skipped = []  # (key, reason) pairs, re-printed in the exit-3 warning
     for key, base_value in sorted(baseline["speedup"].items()):
         new_value = fresh["speedup"].get(key)
         shards = shards_of_key(key)
         if (shards is not None and isinstance(fresh_hw, int)
                 and fresh_hw < shards):
-            print(f"skip speedup[{key}]: host has {fresh_hw} hardware "
-                  f"threads, cannot express a {shards}-shard ratio")
-            skipped += 1
+            reason = (f"host has {fresh_hw} hardware threads, cannot "
+                      f"express a {shards}-shard ratio")
+            print(f"skip speedup[{key}]: {reason}")
+            skipped.append((key, reason))
             continue
         gated += 1
         if new_value is None:
@@ -149,7 +159,7 @@ def main() -> int:
             print(f"info {label}: "
                   f"{point.get('cycles_per_sec', 0):,.0f} cycles/s, "
                   f"{point.get('flit_hops_per_sec', 0):,.0f} flit-hops/s")
-        elif point.get("mode") == "workspace":
+        elif point.get("mode") in ("workspace", "batched"):
             print(f"info {point.get('scenario', '?')}: "
                   f"{point.get('points_per_sec', 0):,.1f} sweep points/s")
 
@@ -168,11 +178,14 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    if gated == 0 and skipped > 0:
-        print(f"\nWARNING: all {skipped} baseline scenarios were skipped by "
-              f"the hardware_concurrency filter - nothing was gated. This "
-              f"is not a pass; run the check on a host with enough cores "
-              f"(or fix the baseline).", file=sys.stderr)
+    if gated == 0 and skipped:
+        print(f"\nWARNING: all {len(skipped)} baseline scenarios were "
+              f"skipped by the hardware_concurrency filter - nothing was "
+              f"gated. This is not a pass; run the check on a host with "
+              f"enough cores (or fix the baseline). Skipped:",
+              file=sys.stderr)
+        for key, reason in skipped:
+            print(f"  - speedup[{key}]: {reason}", file=sys.stderr)
         return 3
     print("\nNo perf regression against the committed baseline.")
     return 0
