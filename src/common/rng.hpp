@@ -68,6 +68,14 @@ class Rng {
   /// Derives an independent child generator for the given stream id.
   Rng fork(std::uint64_t stream);
 
+  /// Raw 256-bit generator state, exposed for simulation checkpointing
+  /// (sim/snapshot.hpp): restoring a saved state resumes the stream at
+  /// exactly the draw it was paused on.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -66,6 +66,20 @@ class DeftRouting final : public RoutingAlgorithm {
   const VlFaultSet& faults() const { return faults_; }
   VlStrategy strategy() const { return strategy_; }
 
+  /// Checkpointing: the VL-selection RNG is the only per-run stream DeFT
+  /// owns (consumed by VlStrategy::random at prepare_packet time).
+  void save_stream_state(std::vector<std::uint64_t>& out) const override {
+    const auto& s = rng_.state();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  void load_stream_state(const std::vector<std::uint64_t>& in,
+                         std::size_t& cursor) override {
+    require(cursor + 4 <= in.size(), "DeFT stream state underflow");
+    rng_.set_state({in[cursor], in[cursor + 1], in[cursor + 2],
+                    in[cursor + 3]});
+    cursor += 4;
+  }
+
   /// VN of a VC index under this configuration.
   int vn_of(int vc) const { return vc / (num_vcs_ / 2); }
 

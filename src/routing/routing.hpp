@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "fault/fault_set.hpp"
 #include "topology/topology.hpp"
@@ -149,6 +150,20 @@ class RoutingAlgorithm {
   /// the reachability analyzer aggregate identical pairs across thousands
   /// of fault patterns.
   virtual std::uint64_t pair_combo_mask(NodeId src, NodeId dst) const = 0;
+
+  /// Simulation checkpointing (sim/snapshot.hpp): algorithms that consume
+  /// per-run randomness (DeFT's random VL strategy) expose that stream
+  /// state here so a restored run resumes it mid-sequence. Stateless
+  /// algorithms keep the empty default; save and load must round-trip
+  /// (load consumes exactly the words save appended).
+  virtual void save_stream_state(std::vector<std::uint64_t>& out) const {
+    (void)out;
+  }
+  virtual void load_stream_state(const std::vector<std::uint64_t>& in,
+                                 std::size_t& cursor) {
+    (void)in;
+    (void)cursor;
+  }
 
   static constexpr std::uint64_t kAlwaysReachable = ~std::uint64_t{0};
 };

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <system_error>
 #include <thread>
+
+#include "sim/snapshot.hpp"
 
 namespace deft {
 
@@ -51,6 +54,9 @@ std::string ResultRow::to_json() const {
          (cache_algorithm_hit ? "hit" : "miss") + "\"}";
   if (budget_clamped) {
     out += ", \"budget_clamped\": true";
+  }
+  if (resumed_at >= 0) {
+    out += ", \"resumed_at\": " + std::to_string(resumed_at);
   }
   char seconds_buf[32];
   std::snprintf(seconds_buf, sizeof(seconds_buf), "%.6f", seconds);
@@ -206,10 +212,55 @@ ResultRow CampaignEngine::run_one(int worker, const CampaignRequest& request) {
   const FaultTimeline* timeline_ptr = timeline.empty() ? nullptr : &timeline;
 
   const auto t0 = std::chrono::steady_clock::now();
-  Simulator sim(ctx->topo(), *algorithm, *traffic, config.knobs, faults,
-                timeline_ptr, config.fault_policy);
-  const SimResults& r =
-      sim.run(workspaces_[static_cast<std::size_t>(worker)]);
+  SimWorkspace& ws = workspaces_[static_cast<std::size_t>(worker)];
+  auto make_sim = [&] {
+    return std::make_unique<Simulator>(ctx->topo(), *algorithm, *traffic,
+                                       config.knobs, faults, timeline_ptr,
+                                       config.fault_policy);
+  };
+  std::unique_ptr<Simulator> sim = make_sim();
+  const SimResults* results = nullptr;
+
+  // Crash-recovery checkpoints ride the serial path only: the batched
+  // path (batch_size > 1) interleaves runs and goes through run_group.
+  const bool checkpointing =
+      !options_.checkpoint_dir.empty() && options_.batch_size <= 1;
+  if (!checkpointing) {
+    results = &sim->run(ws);
+  } else {
+    const std::filesystem::path ckpt =
+        options_.checkpoint_dir / (request.id + kCheckpointExtension);
+    SimStepper stepper;
+    bool restored = false;
+    std::error_code ec;
+    if (std::filesystem::exists(ckpt, ec)) {
+      try {
+        restore_snapshot(read_snapshot_file(ckpt), *sim, stepper, ws);
+        restored = true;
+        row.resumed_at = stepper.now();
+      } catch (const SnapshotError&) {
+        // Corrupt, truncated or configuration-mismatched checkpoint: a
+        // failed restore may have part-loaded stream state, so rebuild
+        // pristine per-run instances and start over from cycle 0 -
+        // slower, never wrong.
+        algorithm = cache_.checkout_algorithm(key, *ctx, faults,
+                                              &row.cache_algorithm_hit);
+        traffic = config.make_traffic(ctx->topo());
+        sim = make_sim();
+      }
+    }
+    if (!restored) {
+      stepper.start(*sim, ws);
+    }
+    Cycle next_checkpoint =
+        std::max(options_.checkpoint_min_cycles,
+                 stepper.now() + options_.checkpoint_every_cycles);
+    while (!stepper.advance(next_checkpoint)) {
+      write_snapshot_file(ckpt, save_snapshot(stepper));
+      next_checkpoint = stepper.now() + options_.checkpoint_every_cycles;
+    }
+    results = &stepper.finish();
+  }
   row.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
@@ -221,6 +272,7 @@ ResultRow CampaignEngine::run_one(int worker, const CampaignRequest& request) {
     cache_.check_in(key, std::move(algorithm));
   }
 
+  const SimResults& r = *results;
   row.has_results = true;
   row.sim_outcome = r.outcome;
   row.drained = r.drained;

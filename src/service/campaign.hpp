@@ -15,6 +15,7 @@
 //    never as errors.
 #pragma once
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,9 @@ struct ResultRow {
   bool cache_algorithm_hit = false;
   bool budget_clamped = false;
   double seconds = 0.0;
+  /// Cycle this run resumed from (a restored crash checkpoint); -1 when
+  /// the run started at cycle 0.
+  Cycle resumed_at = -1;
 
   bool has_results = false;
   RunOutcome sim_outcome = RunOutcome::completed;
@@ -80,7 +84,22 @@ struct CampaignOptions {
   /// wall-clock rows measure only the request's own cycle chunks - and
   /// per-request fault isolation is preserved. docs/throughput.md.
   int batch_size = 1;
+  /// Crash-recovery checkpoints (docs/operations.md). When non-empty and
+  /// batch_size == 1, each run writes a deterministic snapshot of its
+  /// paused stepper to "<checkpoint_dir>/<id>.ckpt" every
+  /// checkpoint_every_cycles once it has passed checkpoint_min_cycles
+  /// (short runs never pay the fsync), and a request whose id has a
+  /// restorable checkpoint resumes from it instead of cycle 0. A corrupt
+  /// or configuration-mismatched checkpoint is discarded and the run
+  /// restarts clean - never a wrong result. The results are bit-identical
+  /// with checkpoints on, off, or restored (tests/test_service.cpp).
+  std::filesystem::path checkpoint_dir;
+  Cycle checkpoint_min_cycles = 100000;
+  Cycle checkpoint_every_cycles = 100000;
 };
+
+/// Extension of per-request checkpoint images in checkpoint_dir.
+inline constexpr const char* kCheckpointExtension = ".ckpt";
 
 class CampaignEngine {
  public:

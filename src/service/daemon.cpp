@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 
@@ -9,20 +10,139 @@ namespace deft {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Minimal JSONL field read (rows come from ResultRow::to_json).
+std::string json_string_field(const std::string& row, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = row.find(needle);
+  if (at == std::string::npos) {
+    return "";
+  }
+  std::string out;
+  for (std::size_t i = at + needle.size(); i < row.size(); ++i) {
+    if (row[i] == '\\' && i + 1 < row.size()) {
+      out += row[i + 1];
+      ++i;
+      continue;
+    }
+    if (row[i] == '"') {
+      break;
+    }
+    out += row[i];
+  }
+  return out;
+}
+
+bool outcome_name_terminal(const std::string& outcome) {
+  return outcome == "ok" || outcome == "failed" || outcome == "deadlocked" ||
+         outcome == "timeout" || outcome == "rejected";
+}
+
+}  // namespace
+
 CampaignDaemon::CampaignDaemon(DaemonOptions options)
     : options_(std::move(options)), engine_(options_.engine) {
   std::error_code ec;
   fs::create_directories(options_.spool_dir, ec);
-  results_.open(options_.results_path, std::ios::app);
-  if (!results_.good()) {
+  if (!options_.engine.checkpoint_dir.empty()) {
+    fs::create_directories(options_.engine.checkpoint_dir, ec);
+  }
+  recover();
+  if (!results_.open(options_.results_path)) {
     throw std::runtime_error("campaignd: cannot open results stream " +
                              options_.results_path.string());
+  }
+  if (!options_.journal_path.empty() &&
+      !journal_.open(options_.journal_path)) {
+    throw std::runtime_error("campaignd: cannot open journal " +
+                             options_.journal_path.string());
+  }
+}
+
+fs::path CampaignDaemon::checkpoint_path(const std::string& id) const {
+  return options_.engine.checkpoint_dir / (id + kCheckpointExtension);
+}
+
+void CampaignDaemon::journal(const std::string& record) {
+  if (journal_.is_open()) {
+    journal_.append_line(record);
+  }
+}
+
+void CampaignDaemon::recover() {
+  // A SIGKILL mid-append can leave a torn final line in either stream;
+  // the partial row's request is then *not* terminal (its spool file is
+  // still present, so it simply re-runs) and the partial journal record
+  // is redundant with the results scan below.
+  truncate_partial_trailing_line(options_.results_path);
+  if (!options_.journal_path.empty()) {
+    truncate_partial_trailing_line(options_.journal_path);
+  }
+
+  // The durable terminal rows are the source of truth for completion:
+  // a row is fsync'd before its "committed" record and before the spool
+  // unlink, so anything those later steps missed is reconciled here.
+  std::ifstream results_in(options_.results_path);
+  std::string line;
+  while (std::getline(results_in, line)) {
+    if (outcome_name_terminal(json_string_field(line, "outcome"))) {
+      done_ids_.insert(json_string_field(line, "id"));
+    }
+  }
+  results_in.close();
+
+  std::set<std::string> committed;
+  if (!options_.journal_path.empty()) {
+    std::ifstream journal_in(options_.journal_path);
+    while (std::getline(journal_in, line)) {
+      if (line.rfind("committed ", 0) == 0) {
+        committed.insert(line.substr(10));
+      }
+    }
+  }
+
+  // Reconcile: a spool file whose id already has a durable terminal row
+  // was killed between the row fsync and the unlink - finish the unlink
+  // now (and journal the commit it never got) instead of re-running it
+  // into a duplicate row. Spool files without terminal rows are left for
+  // the normal scan; the engine resumes them from their checkpoints.
+  DurableAppender recovery_journal;
+  for (const fs::path& file : scan_spool(options_.spool_dir)) {
+    const std::string id = file.stem().string();
+    if (done_ids_.count(id) == 0) {
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(file, ec);
+    fs::remove(checkpoint_path(id), ec);
+    if (!options_.journal_path.empty() && committed.count(id) == 0 &&
+        (recovery_journal.is_open() ||
+         recovery_journal.open(options_.journal_path))) {
+      recovery_journal.append_line("committed " + id);
+    }
+    ++recovered_;
+  }
+  // Checkpoints of completed requests whose spool file was already gone.
+  if (!options_.engine.checkpoint_dir.empty()) {
+    std::error_code ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(options_.engine.checkpoint_dir, ec)) {
+      if (ec || entry.path().extension() != kCheckpointExtension) {
+        continue;
+      }
+      if (done_ids_.count(entry.path().stem().string()) != 0) {
+        std::error_code remove_ec;
+        fs::remove(entry.path(), remove_ec);
+      }
+    }
   }
 }
 
 void CampaignDaemon::emit(const ResultRow& row) {
-  results_ << row.to_json() << '\n';
-  results_.flush();
+  // Durable append (write + fsync): once emit returns, the row survives
+  // SIGKILL - which is what licenses unlinking the request's spool file.
+  results_.append_line(row.to_json());
   ++rows_written_;
 }
 
@@ -39,6 +159,13 @@ std::size_t CampaignDaemon::run_pass() {
       continue;
     }
     const std::string id = file.stem().string();
+    if (done_ids_.count(id) != 0) {
+      // Already has a durable terminal row (a re-published id, or a file
+      // that re-appeared after recovery): never a second row.
+      std::error_code ec;
+      fs::remove(file, ec);
+      continue;
+    }
     if (queue_.size() >= options_.queue_high_water) {
       if (deferred_notified_.insert(path).second) {
         ResultRow row;
@@ -69,8 +196,11 @@ std::size_t CampaignDaemon::run_pass() {
     queue_.push_back(CampaignRequest{id, path, std::move(*text)});
   }
 
-  // Run one batch. Requests leave the spool only after their row is
-  // safely flushed, so an interrupted daemon never loses work.
+  // Run one batch. The write-ahead order is the whole durability story:
+  // journal `started` -> run -> results row fsync'd -> journal
+  // `committed` -> spool unlink + checkpoint removal. A crash between
+  // any two steps is recovered without losing a request or duplicating
+  // a row (see recover()).
   if (!queue_.empty()) {
     std::vector<CampaignRequest> batch;
     const std::size_t take =
@@ -80,13 +210,21 @@ std::size_t CampaignDaemon::run_pass() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    for (const CampaignRequest& request : batch) {
+      journal("started " + request.id);
+    }
     const std::vector<ResultRow> rows = engine_.run_batch(batch);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       emit(rows[i]);
+      done_ids_.insert(rows[i].id);
+      journal("committed " + rows[i].id);
       queued_paths_.erase(batch[i].path);
+      std::error_code ec;
       if (!batch[i].path.empty()) {
-        std::error_code ec;
-        fs::remove(batch[i].path, ec);  // best effort; dedupe via sets
+        fs::remove(batch[i].path, ec);  // best effort; dedupe via done_ids_
+      }
+      if (!options_.engine.checkpoint_dir.empty()) {
+        fs::remove(checkpoint_path(batch[i].id), ec);
       }
     }
   }
@@ -105,7 +243,6 @@ void CampaignDaemon::shutdown() {
     unstarted.push_back(file);
   }
   write_manifest(options_.manifest_path, unstarted);
-  results_.flush();
 }
 
 std::size_t CampaignDaemon::run(const volatile std::sig_atomic_t* stop) {

@@ -22,11 +22,30 @@
 // the in-flight batch (never kills running simulations), flushes the
 // results stream, and writes a manifest listing every request file still
 // unstarted - all of which are still physically in the spool.
+//
+// Crash recovery (docs/operations.md): result rows are appended through a
+// DurableAppender (write + fsync) BEFORE the request's spool file is
+// unlinked, so a row the spool no longer vouches for is always durable.
+// With a journal configured, the daemon additionally write-ahead-logs
+// "started <id>" before a batch runs and "committed <id>" after each
+// row's fsync, and every startup replays journal + results against the
+// spool and checkpoint directory:
+//
+//   * a torn final line of either file is truncated away;
+//   * a request with a durable terminal row whose spool file still exists
+//     (killed between row fsync and unlink) is reconciled: the file and
+//     its checkpoint are removed and the commit is journalled - no
+//     duplicate row is ever emitted for it;
+//   * a request that was started but has no terminal row is still in the
+//     spool (files are unlinked only after commit) and simply re-runs -
+//     resuming from its last checkpoint when the engine has one.
+//
+// Net effect across SIGKILL at any point: every accepted request produces
+// exactly one terminal row, and no request is lost.
 #pragma once
 
 #include <csignal>
 #include <deque>
-#include <fstream>
 #include <set>
 #include <string>
 
@@ -50,6 +69,10 @@ struct DaemonOptions {
   /// Spool-read retry knobs (transient I/O).
   int read_attempts = 4;
   int read_backoff_ms = 5;
+  /// Write-ahead journal of started/committed records; empty disables
+  /// journalling (the durable results stream alone still guarantees
+  /// at-most-once rows, and startup recovery still reconciles it).
+  std::filesystem::path journal_path;
 };
 
 class CampaignDaemon {
@@ -77,13 +100,22 @@ class CampaignDaemon {
   const CampaignEngine& engine() const { return engine_; }
   std::size_t queue_size() const { return queue_.size(); }
   std::size_t rows_written() const { return rows_written_; }
+  /// Requests reconciled by the startup recovery pass (terminal row
+  /// already durable; spool file and checkpoint cleaned up).
+  std::size_t recovered() const { return recovered_; }
 
  private:
   void emit(const ResultRow& row);
+  /// Startup recovery: truncate torn trailing lines, collect the durable
+  /// terminal-row ids, and reconcile spool + checkpoints against them.
+  void recover();
+  std::filesystem::path checkpoint_path(const std::string& id) const;
+  void journal(const std::string& record);
 
   DaemonOptions options_;
   CampaignEngine engine_;
-  std::ofstream results_;
+  DurableAppender results_;
+  DurableAppender journal_;
   std::deque<CampaignRequest> queue_;
   /// Spool paths currently queued (dedupe across scans).
   std::set<std::string> queued_paths_;
@@ -92,7 +124,12 @@ class CampaignDaemon {
   std::set<std::string> deferred_notified_;
   /// Files whose read permanently failed and already got a rejected row.
   std::set<std::string> read_failed_;
+  /// Ids with a durable terminal row (recovered at startup or committed
+  /// this process); their spool files are dropped instead of re-run, so
+  /// a crash window can never produce a duplicate row.
+  std::set<std::string> done_ids_;
   std::size_t rows_written_ = 0;
+  std::size_t recovered_ = 0;
 };
 
 }  // namespace deft

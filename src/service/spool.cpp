@@ -1,6 +1,10 @@
 #include "service/spool.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -77,6 +81,68 @@ bool atomic_write_file(const fs::path& path, const std::string& content) {
     return false;
   }
   return true;
+}
+
+bool DurableAppender::open(const fs::path& path) {
+  close();
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  } while (fd < 0 && errno == EINTR);
+  fd_ = fd;
+  return fd_ >= 0;
+}
+
+bool DurableAppender::append_line(const std::string& line) {
+  if (fd_ < 0) {
+    return false;
+  }
+  std::string buf = line;
+  buf += '\n';
+  std::size_t written = 0;
+  while (written < buf.size()) {
+    const ::ssize_t n =
+        ::write(fd_, buf.data() + written, buf.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  int rc = 0;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc < 0 && errno == EINTR);
+  return rc == 0;
+}
+
+void DurableAppender::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::size_t truncate_partial_trailing_line(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return 0;
+  }
+  std::ostringstream content_stream;
+  content_stream << in.rdbuf();
+  const std::string content = content_stream.str();
+  in.close();
+  if (content.empty() || content.back() == '\n') {
+    return 0;
+  }
+  const std::size_t keep = content.rfind('\n') + 1;  // npos + 1 == 0
+  const std::size_t dropped = content.size() - keep;
+  if (::truncate(path.c_str(), static_cast<::off_t>(keep)) != 0) {
+    return 0;
+  }
+  return dropped;
 }
 
 bool write_manifest(const fs::path& manifest,

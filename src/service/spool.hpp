@@ -44,4 +44,38 @@ bool atomic_write_file(const std::filesystem::path& path,
 bool write_manifest(const std::filesystem::path& manifest,
                     const std::vector<std::filesystem::path>& unstarted);
 
+/// Append-only line stream whose appends are *durable*: append_line()
+/// returns true only after the bytes and an fsync have both completed, so
+/// a line the caller acted on (unlinking a spool file, journalling a
+/// commit) survives SIGKILL and power loss. A plain ofstream::flush()
+/// only drains userspace buffers into the page cache - the failure mode
+/// this class exists to close.
+class DurableAppender {
+ public:
+  DurableAppender() = default;
+  ~DurableAppender() { close(); }
+  DurableAppender(const DurableAppender&) = delete;
+  DurableAppender& operator=(const DurableAppender&) = delete;
+
+  /// Opens (creating if missing) `path` for appending. Returns false on
+  /// failure; the appender stays closed.
+  bool open(const std::filesystem::path& path);
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends `line` plus a newline and fsyncs. Returns false when any
+  /// step fails (short write, fsync error) - the caller must not treat
+  /// the line as durable then.
+  bool append_line(const std::string& line);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Repairs a line-oriented file after a torn final append (a crash mid
+/// write): truncates `path` back to its last newline. Returns the number
+/// of bytes dropped (0 when the file is absent, empty or intact).
+std::size_t truncate_partial_trailing_line(const std::filesystem::path& path);
+
 }  // namespace deft

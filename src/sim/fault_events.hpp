@@ -76,6 +76,11 @@ class FaultSurgeon {
   void finalize(SimResults& results, const PacketTable& packets) const;
 
  private:
+  /// Checkpointing serializes the event cursor, current fault set and
+  /// fault-window metrics (order_/ni_of_node_ are rebuilt by reset(); the
+  /// per-event scratch is reassigned at each event application).
+  friend class SnapshotAccess;
+
   /// An input VC that is pinned (route_ready) but currently holds no
   /// flits: its owner was found by walking the feeder chain upstream.
   struct PinnedLane {

@@ -231,6 +231,9 @@ class Network {
   /// the mirrored credits; it runs only at serial points and mutates the
   /// same state apply() commits into.
   friend class FaultSurgeon;
+  /// Checkpointing reads/writes the full router planes at a paused cycle
+  /// boundary (sim/snapshot.hpp).
+  friend class SnapshotAccess;
   struct Arrival {
     NodeId node;
     std::uint8_t port;

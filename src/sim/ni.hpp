@@ -104,6 +104,9 @@ class NetworkInterface {
   /// The fault-event surgeon inspects/edits queued and active packet state
   /// at event boundaries (serial points only).
   friend class FaultSurgeon;
+  /// Checkpointing serializes the queue, active-packet cache, RNG stream
+  /// and pre-drawn scratch requests at a paused cycle boundary.
+  friend class SnapshotAccess;
 
   /// Shared tail of generate()/commit_scheduled(): route preparation,
   /// packet creation and counter updates for one batch of requests.

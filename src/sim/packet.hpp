@@ -177,6 +177,10 @@ class PacketTable {
   }
 
  private:
+  /// Checkpointing restores the planes wholesale (routes re-interned in
+  /// saved id order, so every RouteId is preserved).
+  friend class SnapshotAccess;
+
   RouteStore routes_;
   std::vector<PacketHot> hot_;
   std::vector<PacketTimes> times_;

@@ -76,6 +76,9 @@ class RcUnitManager {
   /// reservation and buffered flits at event boundaries (serial points
   /// only), mirroring this manager's busy/held bookkeeping.
   friend class FaultSurgeon;
+  /// Checkpointing serializes each unit's queue, reservation and buffer at
+  /// a paused cycle boundary.
+  friend class SnapshotAccess;
 
   struct Request {
     NodeId requester;

@@ -148,6 +148,7 @@ class SimWorkspace {
  private:
   friend class Simulator;
   friend class SimStepper;
+  friend class SnapshotAccess;
 
   PacketTable packets_;
   Network net_;
@@ -200,6 +201,7 @@ class Simulator {
 
  private:
   friend class SimStepper;
+  friend class SnapshotAccess;
 
   /// Resets every workspace plane for a fresh run (shared by the serial
   /// stepper and the sharded driver). `partition` is non-null only for
@@ -260,6 +262,8 @@ class SimStepper {
   static constexpr Cycle kNoCycleCap = std::numeric_limits<Cycle>::max();
 
  private:
+  friend class SnapshotAccess;
+
   Simulator* sim_ = nullptr;
   SimWorkspace* ws_ = nullptr;
   Cycle measure_end_ = 0;

@@ -1,0 +1,77 @@
+// Deterministic simulation checkpoints.
+//
+// save_snapshot() serializes the complete mid-run state of a paused
+// SimStepper - router flit planes and ring metadata, input/output VC
+// state, NI FIFOs and RNG streams, RC-unit state, the injection event
+// heap, the fault surgeon's cursor and window metrics, the interned
+// route/packet planes, and the in-progress results counters - into a
+// versioned, checksummed binary image. restore_snapshot() rebuilds that
+// state inside a fresh Simulator + SimWorkspace such that
+//
+//   restore_snapshot(...); stepper.advance(); stepper.finish();
+//
+// is bit-identical to the uninterrupted run (same SimResults, same golden
+// digests). This holds for every execution mode: the stepper is always
+// serial, and both the sharded core and batched execution pin their
+// results to the serial loop's, so a snapshot taken on the serial stepper
+// resumes any of them exactly (tests/test_snapshot.cpp).
+//
+// A snapshot is only meaningful against the exact run configuration it
+// was taken from, so the image embeds a configuration fingerprint (knobs,
+// topology shape, algorithm and traffic names, initial fault set, fault
+// timeline, in-flight policy) and restore_snapshot() rejects any
+// mismatch. Corrupt, truncated or version-mismatched images are rejected
+// with a SnapshotError diagnostic - never restored into a wrong result.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace deft {
+
+/// Raised on any invalid snapshot image (bad magic, unsupported version,
+/// truncation, checksum failure, configuration fingerprint mismatch).
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Snapshot format version written by save_snapshot().
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serializes the state of `stepper`'s paused run. The stepper must be
+/// started and not finished; the cycle boundary it is paused on is a
+/// serial point (all staged network state committed), which start()/
+/// advance() guarantee.
+std::vector<std::uint8_t> save_snapshot(const SimStepper& stepper);
+
+/// Restores a snapshot into `stepper`/`ws`. `sim` must be a fresh (never
+/// run) Simulator constructed with a configuration identical to the one
+/// the snapshot was taken from - same topology, algorithm, traffic,
+/// knobs, initial faults, timeline and policy; the embedded fingerprint
+/// is checked and any mismatch rejected. On return the stepper is paused
+/// exactly where the saved run was: advance()/finish() continue it
+/// bit-identically. Throws SnapshotError on any invalid image, leaving
+/// no partial state behind that could produce a wrong result (the
+/// stepper must simply not be used after a failed restore).
+void restore_snapshot(const std::vector<std::uint8_t>& data, Simulator& sim,
+                      SimStepper& stepper, SimWorkspace& ws);
+
+/// Durably writes a snapshot image: temp file + fsync + atomic rename,
+/// so a crash mid-write can never leave a truncated image under `path`
+/// (a reader sees the old snapshot or the new one, never a half one).
+void write_snapshot_file(const std::filesystem::path& path,
+                         const std::vector<std::uint8_t>& data);
+
+/// Reads a snapshot image; throws SnapshotError when the file cannot be
+/// read (restore_snapshot() then validates the content).
+std::vector<std::uint8_t> read_snapshot_file(
+    const std::filesystem::path& path);
+
+}  // namespace deft

@@ -51,6 +51,21 @@ class TrafficGenerator {
   /// no injection happens in [from, limit).
   virtual Cycle next_injection(NodeId src, Cycle from, Cycle limit, Rng& rng,
                                std::vector<PacketRequest>& out);
+
+  /// Simulation checkpointing (sim/snapshot.hpp): generators holding
+  /// per-run mutable state beyond the NI RNG streams (trace replay's
+  /// per-source cursors) expose it here so a restored run resumes
+  /// mid-stream. The five synthetic patterns are stateless per run and
+  /// keep the empty defaults; save and load must round-trip (load
+  /// consumes exactly the words save appended).
+  virtual void save_stream_state(std::vector<std::uint64_t>& out) const {
+    (void)out;
+  }
+  virtual void load_stream_state(const std::vector<std::uint64_t>& in,
+                                 std::size_t& cursor) {
+    (void)in;
+    (void)cursor;
+  }
 };
 
 /// Uniform random: every core sends to a uniformly random other core.

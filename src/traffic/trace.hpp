@@ -68,6 +68,27 @@ class TraceReplayGenerator final : public TrafficGenerator {
   /// True once every record has been replayed.
   bool exhausted() const;
 
+  /// Checkpointing: the per-source replay cursors are the generator's only
+  /// per-run mutable state.
+  void save_stream_state(std::vector<std::uint64_t>& out) const override {
+    out.push_back(cursor_.size());
+    for (const std::size_t c : cursor_) {
+      out.push_back(c);
+    }
+  }
+  void load_stream_state(const std::vector<std::uint64_t>& in,
+                         std::size_t& cursor) override {
+    require(cursor < in.size() && in[cursor] == cursor_.size(),
+            "trace stream state mismatch");
+    ++cursor;
+    require(cursor + cursor_.size() <= in.size(),
+            "trace stream state underflow");
+    for (std::size_t i = 0; i < cursor_.size(); ++i) {
+      cursor_[i] = static_cast<std::size_t>(in[cursor + i]);
+    }
+    cursor += cursor_.size();
+  }
+
  private:
   std::vector<TraceRecord> records_;  ///< sorted by (cycle, src)
   /// Per-source cursor into records_ would need per-source ordering;

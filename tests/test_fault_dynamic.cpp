@@ -23,8 +23,10 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <memory>
 
 #include "core/runner.hpp"
+#include "sim/snapshot.hpp"
 
 namespace deft {
 namespace {
@@ -257,6 +259,55 @@ TEST(FaultDynamicGolden, ShardedRunsReproduceSerialDigests) {
       const SimResults sharded = run_dyn(g.alg, g.repair, g.policy, shards);
       expect_identical(serial, sharded);
       EXPECT_EQ(digest(sharded), g.digest);
+    }
+  }
+}
+
+/// A stepper-driven variant of run_dyn (fresh per-run instances; the
+/// timeline must outlive the Simulator, so it lives in the struct).
+struct DynRun {
+  std::unique_ptr<RoutingAlgorithm> algorithm;
+  std::unique_ptr<UniformTraffic> traffic;
+  FaultTimeline timeline;
+  std::unique_ptr<Simulator> sim;
+  SimWorkspace ws;
+  SimStepper stepper;
+};
+
+std::unique_ptr<DynRun> make_dyn_run(const DynGolden& g) {
+  auto run = std::make_unique<DynRun>();
+  const SimKnobs knobs = dyn_knobs(1);
+  run->algorithm =
+      ctx6().make_algorithm(g.alg, {}, knobs.num_vcs, VlStrategy::table);
+  run->traffic = std::make_unique<UniformTraffic>(ctx6().topo(),
+                                                  g.repair ? 0.023 : 0.01);
+  run->timeline = dyn_timeline(g.repair);
+  run->sim = std::make_unique<Simulator>(ctx6().topo(), *run->algorithm,
+                                         *run->traffic, knobs, VlFaultSet{},
+                                         &run->timeline, g.policy);
+  return run;
+}
+
+TEST(FaultDynamicGolden, SnapshotRoundTripReproducesDigests) {
+  // Checkpoint/restore (sim/snapshot.hpp) composes with mid-run fault
+  // surgery: an image taken between the failure waves (cycle 1000, fault
+  // tables already rebuilt once, surgeon cursor mid-timeline) and one
+  // taken exactly on the repair boundary (1600; the event applies on the
+  // first resumed cycle) must both finish on the pinned digest - which
+  // shard counts {2, 4} also reproduce, per the sharded golden above.
+  for (const DynGolden& g : kDynGoldens) {
+    SCOPED_TRACE(dyn_name(g));
+    for (const Cycle pause : {Cycle{1000}, Cycle{1600}}) {
+      SCOPED_TRACE(pause);
+      auto paused = make_dyn_run(g);
+      paused->stepper.start(*paused->sim, paused->ws);
+      paused->stepper.advance(pause);
+      const std::vector<std::uint8_t> image = save_snapshot(paused->stepper);
+      auto resumed = make_dyn_run(g);
+      restore_snapshot(image, *resumed->sim, resumed->stepper, resumed->ws);
+      EXPECT_EQ(resumed->stepper.now(), pause);
+      resumed->stepper.advance();
+      EXPECT_EQ(digest(resumed->stepper.finish()), g.digest);
     }
   }
 }

@@ -13,11 +13,58 @@
 //  * a short randomized simulation delivers everything it admits.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <memory>
+
 #include "core/experiment.hpp"
 #include "routing/cdg.hpp"
+#include "sim/snapshot.hpp"
 
 namespace deft {
 namespace {
+
+/// FNV-1a over the full results field list (the golden-digest recipe of
+/// test_sim_equivalence.cpp, fault-window fields included).
+std::uint64_t results_digest(const SimResults& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const LatencySummary* l : {&r.network_latency, &r.total_latency}) {
+    mix(l->count);
+    mix(std::bit_cast<std::uint64_t>(l->mean));
+    mix(std::bit_cast<std::uint64_t>(l->min));
+    mix(std::bit_cast<std::uint64_t>(l->max));
+    mix(std::bit_cast<std::uint64_t>(l->p50));
+    mix(std::bit_cast<std::uint64_t>(l->p95));
+    mix(std::bit_cast<std::uint64_t>(l->p99));
+  }
+  mix(r.packets_created);
+  mix(r.packets_created_measured);
+  mix(r.packets_delivered_measured);
+  mix(r.packets_dropped_unroutable);
+  mix(r.packets_lost);
+  mix(r.packets_lost_measured);
+  mix(r.fault_window_created);
+  mix(r.fault_window_delivered);
+  mix(static_cast<std::uint64_t>(r.reconvergence_latency + 1));
+  mix(r.flits_ejected_in_window);
+  mix(r.flit_hops);
+  mix(static_cast<std::uint64_t>(r.cycles_run));
+  mix(r.drained ? 1u : 0u);
+  for (const auto& region : r.region_vc_flits) {
+    for (std::uint64_t v : region) {
+      mix(v);
+    }
+  }
+  for (std::uint64_t v : r.vl_channel_flits) {
+    mix(v);
+  }
+  return h;
+}
 
 struct TopologyCase {
   const char* name;
@@ -168,6 +215,90 @@ TEST_P(TopologyFamilyTest, RandomFaultTimelineKeepsInvariants) {
                          serial.total_latency.mean);
       }
     }
+  }
+}
+
+/// One stepper-driven randomized run (fresh per-run instances; the
+/// timeline lives outside and outlives the Simulator).
+struct SteppedRun {
+  std::unique_ptr<RoutingAlgorithm> algorithm;
+  std::unique_ptr<UniformTraffic> traffic;
+  std::unique_ptr<Simulator> sim;
+  SimWorkspace ws;
+  SimStepper stepper;
+};
+
+std::unique_ptr<SteppedRun> make_stepped_run(const ExperimentContext& ctx,
+                                             const SimKnobs& knobs,
+                                             const FaultTimeline& timeline,
+                                             InFlightPolicy policy) {
+  auto run = std::make_unique<SteppedRun>();
+  run->algorithm = ctx.make_algorithm(Algorithm::deft, {}, knobs.num_vcs,
+                                      VlStrategy::table);
+  run->traffic = std::make_unique<UniformTraffic>(ctx.topo(), 0.004);
+  run->sim = std::make_unique<Simulator>(ctx.topo(), *run->algorithm,
+                                         *run->traffic, knobs, VlFaultSet{},
+                                         &timeline, policy);
+  return run;
+}
+
+// Snapshot at a *random* interior cycle of a randomized dynamic-fault
+// run, restore into a fresh workspace, finish: the results must be
+// bit-identical to the uninterrupted run - for every topology in the
+// family, any fault timeline, either in-flight policy, any pause point.
+TEST_P(TopologyFamilyTest, SnapshotAtRandomCycleFinishesIdentically) {
+  Rng rng(43);
+  const int max_k = std::max(1, ctx_.topo().num_vl_channels() / 4);
+  for (int trial = 0; trial < 2; ++trial) {
+    const int k = 1 + static_cast<int>(
+                          rng.uniform(static_cast<std::uint64_t>(max_k)));
+    const auto faults = sample_fault_scenario(ctx_.topo(), k, rng);
+    ASSERT_TRUE(faults.has_value());
+
+    FaultTimeline timeline;
+    for (VlChannelId c : faults->channels()) {
+      const Cycle fail_at = 350 + static_cast<Cycle>(rng.uniform(900));
+      if (rng.uniform(2) == 0) {
+        timeline.add_transient(c, fail_at,
+                               fail_at + 200 + static_cast<Cycle>(
+                                                   rng.uniform(400)));
+      } else {
+        timeline.add_fail(fail_at, c);
+      }
+    }
+    timeline.validate(ctx_.topo(), VlFaultSet{});
+
+    const InFlightPolicy policy =
+        trial % 2 == 0 ? InFlightPolicy::drop : InFlightPolicy::reroute;
+    SimKnobs knobs;
+    knobs.warmup = 300;
+    knobs.measure = 1200;
+    knobs.drain_max = 15000;
+    knobs.seed = 211 + trial;
+
+    // Any interior cycle of the warmup + measurement window (the drain
+    // tail is covered too when the run outlasts the pause).
+    const Cycle pause = 1 + static_cast<Cycle>(rng.uniform(1499));
+    SCOPED_TRACE(std::string("trial") + std::to_string(trial) + "/" +
+                 in_flight_policy_name(policy) + "/pause" +
+                 std::to_string(pause));
+
+    auto straight = make_stepped_run(ctx_, knobs, timeline, policy);
+    straight->stepper.start(*straight->sim, straight->ws);
+    straight->stepper.advance();
+    const std::uint64_t expected =
+        results_digest(straight->stepper.finish());
+
+    auto paused = make_stepped_run(ctx_, knobs, timeline, policy);
+    paused->stepper.start(*paused->sim, paused->ws);
+    paused->stepper.advance(pause);
+    const std::vector<std::uint8_t> image = save_snapshot(paused->stepper);
+
+    auto resumed = make_stepped_run(ctx_, knobs, timeline, policy);
+    restore_snapshot(image, *resumed->sim, resumed->stepper, resumed->ws);
+    EXPECT_EQ(resumed->stepper.now(), pause);
+    resumed->stepper.advance();
+    EXPECT_EQ(results_digest(resumed->stepper.finish()), expected);
   }
 }
 

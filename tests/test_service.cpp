@@ -49,6 +49,16 @@ std::string valid_text() {
          "seed = 11\n";
 }
 
+std::vector<std::string> read_lines(const fs::path& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
 // ---------------------------------------------------------------- request
 
 TEST(ValidateRequest, AcceptsAWellFormedConfig) {
@@ -353,6 +363,31 @@ TEST(CampaignEngine, BadFaultChannelIsRejectedAtPrepare) {
   EXPECT_NE(rows[0].errors[0].message.find("line 8"), std::string::npos);
 }
 
+TEST(CampaignEngine, ClampedBudgetTimesOutWithPartialResults) {
+  // The clamp path end to end: drain_max is squeezed into max_cycles at
+  // validation (budget_clamped), and a rate the clamped window cannot
+  // drain must come back `timeout` - with the clamp flag and the partial
+  // results visible in the row, never as a rejection or an error.
+  CampaignOptions options;
+  options.workers = 1;
+  options.budget.max_cycles = 1000;
+  CampaignEngine engine(options);
+  const std::vector<ResultRow> rows = engine.run_batch({make_request(
+      "clamped",
+      "chiplets = 4\nrate = 0.05\nwarmup = 100\nmeasure = 400\n"
+      "drain_max = 100000\nseed = 3\n")});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].outcome, RequestOutcome::timeout);
+  EXPECT_TRUE(rows[0].budget_clamped);
+  EXPECT_TRUE(rows[0].has_results);
+  EXPECT_FALSE(rows[0].drained);
+  EXPECT_LE(rows[0].cycles, options.budget.max_cycles);
+  EXPECT_NE(rows[0].error.find("cycle budget"), std::string::npos);
+  const std::string json = rows[0].to_json();
+  EXPECT_NE(json.find("\"outcome\": \"timeout\""), std::string::npos);
+  EXPECT_NE(json.find("\"budget_clamped\": true"), std::string::npos);
+}
+
 TEST(ResultRow, ToJsonEscapesAndStructures) {
   ResultRow row;
   row.id = "we\"ird";
@@ -391,6 +426,53 @@ TEST(Spool, AtomicWriteScanAndManifest) {
       read_file_with_retry(dir.path() / "missing.cfg", 2, 1).has_value());
 }
 
+TEST(Spool, DurableAppenderAppendsCompleteLines) {
+  TempDir dir;
+  const fs::path path = dir.path() / "stream.jsonl";
+  DurableAppender out;
+  EXPECT_FALSE(out.is_open());
+  EXPECT_FALSE(out.append_line("before open"));
+  ASSERT_TRUE(out.open(path));
+  EXPECT_TRUE(out.is_open());
+  EXPECT_TRUE(out.append_line("first"));
+  EXPECT_TRUE(out.append_line("second"));
+  out.close();
+  EXPECT_FALSE(out.is_open());
+  // Reopen appends after the existing content, never truncates.
+  ASSERT_TRUE(out.open(path));
+  EXPECT_TRUE(out.append_line("third"));
+  out.close();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "first");
+  EXPECT_EQ(lines[2], "third");
+  EXPECT_FALSE(
+      DurableAppender{}.open(dir.path() / "no_such_dir" / "x.jsonl"));
+}
+
+TEST(Spool, TruncatePartialTrailingLineRepairsTornAppends) {
+  TempDir dir;
+  const fs::path path = dir.path() / "torn.jsonl";
+  // Missing and empty files are no-ops.
+  EXPECT_EQ(truncate_partial_trailing_line(path), 0u);
+  ASSERT_TRUE(atomic_write_file(path, ""));
+  EXPECT_EQ(truncate_partial_trailing_line(path), 0u);
+  // Complete lines are untouched.
+  ASSERT_TRUE(atomic_write_file(path, "one\ntwo\n"));
+  EXPECT_EQ(truncate_partial_trailing_line(path), 0u);
+  EXPECT_EQ(read_lines(path).size(), 2u);
+  // A torn trailing line is dropped back to the last newline.
+  ASSERT_TRUE(atomic_write_file(path, "one\ntwo\n{\"id\": \"t"));
+  EXPECT_EQ(truncate_partial_trailing_line(path), 9u);
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "two");
+  // A file that is ALL torn line truncates to empty.
+  ASSERT_TRUE(atomic_write_file(path, "no newline at all"));
+  EXPECT_EQ(truncate_partial_trailing_line(path), 17u);
+  EXPECT_TRUE(read_lines(path).empty());
+}
+
 // ----------------------------------------------------------------- daemon
 
 DaemonOptions daemon_options(const TempDir& dir) {
@@ -401,16 +483,6 @@ DaemonOptions daemon_options(const TempDir& dir) {
   options.engine.workers = 1;
   options.read_backoff_ms = 1;
   return options;
-}
-
-std::vector<std::string> read_lines(const fs::path& path) {
-  std::vector<std::string> lines;
-  std::ifstream in(path);
-  std::string line;
-  while (std::getline(in, line)) {
-    lines.push_back(line);
-  }
-  return lines;
 }
 
 void submit(const DaemonOptions& options, const std::string& id,
@@ -498,6 +570,170 @@ TEST(CampaignDaemon, ShutdownWritesResumableManifest) {
     ok_rows += line.find("\"outcome\": \"ok\"") != std::string::npos;
   }
   EXPECT_EQ(ok_rows, 4u);
+}
+
+// ------------------------------------------------ checkpoints + recovery
+
+/// Engine with per-run checkpointing into `dir`/checkpoints, thresholds
+/// small enough that even the short test scenario checkpoints.
+CampaignOptions checkpointed_options(const TempDir& dir) {
+  CampaignOptions options;
+  options.workers = 1;
+  options.checkpoint_dir = dir.path() / "checkpoints";
+  options.checkpoint_min_cycles = 10;
+  options.checkpoint_every_cycles = 50;
+  fs::create_directories(options.checkpoint_dir);
+  return options;
+}
+
+TEST(CampaignEngine, CheckpointingDoesNotChangeResults) {
+  TempDir dir;
+  CampaignOptions plain_options;
+  plain_options.workers = 1;
+  CampaignEngine plain(plain_options);
+  const ResultRow expected =
+      plain.run_batch({make_request("r", valid_text())})[0];
+
+  CampaignEngine engine(checkpointed_options(dir));
+  const ResultRow row = engine.run_batch({make_request("r", valid_text())})[0];
+  EXPECT_EQ(row.outcome, RequestOutcome::ok);
+  EXPECT_EQ(row.resumed_at, -1);  // no prior image: started at cycle 0
+  EXPECT_EQ(row.packets_created, expected.packets_created);
+  EXPECT_EQ(row.packets_delivered, expected.packets_delivered);
+  EXPECT_EQ(row.cycles, expected.cycles);
+  EXPECT_EQ(row.latency_mean, expected.latency_mean);
+  EXPECT_EQ(row.latency_p95, expected.latency_p95);
+  // The engine leaves the last image behind; deleting after the row is
+  // durable is the daemon's commit step, not the engine's.
+  EXPECT_TRUE(fs::exists(dir.path() / "checkpoints" /
+                         ("r" + std::string(kCheckpointExtension))));
+}
+
+TEST(CampaignEngine, ResumesFromACheckpointImage) {
+  TempDir dir;
+  const CampaignOptions options = checkpointed_options(dir);
+  CampaignEngine engine(options);
+  const ResultRow first =
+      engine.run_batch({make_request("r", valid_text())})[0];
+  ASSERT_EQ(first.outcome, RequestOutcome::ok);
+  // Same id again: the image the first run left behind must be restored -
+  // the run reports the cycle it resumed from and still lands on results
+  // bit-identical to the uninterrupted run.
+  const ResultRow resumed =
+      engine.run_batch({make_request("r", valid_text())})[0];
+  EXPECT_EQ(resumed.outcome, RequestOutcome::ok);
+  EXPECT_GE(resumed.resumed_at, options.checkpoint_min_cycles);
+  EXPECT_EQ(resumed.packets_created, first.packets_created);
+  EXPECT_EQ(resumed.packets_delivered, first.packets_delivered);
+  EXPECT_EQ(resumed.cycles, first.cycles);
+  EXPECT_EQ(resumed.latency_mean, first.latency_mean);
+  EXPECT_NE(resumed.to_json().find("\"resumed_at\": "), std::string::npos);
+  EXPECT_EQ(first.to_json().find("\"resumed_at\": "), std::string::npos);
+}
+
+TEST(CampaignEngine, CorruptCheckpointRestartsCleanFromCycleZero) {
+  TempDir dir;
+  const CampaignOptions options = checkpointed_options(dir);
+  const fs::path image = options.checkpoint_dir /
+                         ("r" + std::string(kCheckpointExtension));
+  ASSERT_TRUE(atomic_write_file(image, "this is not a snapshot"));
+
+  CampaignOptions plain_options;
+  plain_options.workers = 1;
+  CampaignEngine plain(plain_options);
+  const ResultRow expected =
+      plain.run_batch({make_request("r", valid_text())})[0];
+
+  CampaignEngine engine(options);
+  const ResultRow row = engine.run_batch({make_request("r", valid_text())})[0];
+  EXPECT_EQ(row.outcome, RequestOutcome::ok);
+  EXPECT_EQ(row.resumed_at, -1);  // the garbage image was discarded
+  EXPECT_EQ(row.packets_created, expected.packets_created);
+  EXPECT_EQ(row.cycles, expected.cycles);
+  EXPECT_EQ(row.latency_mean, expected.latency_mean);
+}
+
+TEST(CampaignDaemon, RemovesCheckpointImageAtCommit) {
+  TempDir dir;
+  DaemonOptions options = daemon_options(dir);
+  options.engine.checkpoint_dir = dir.path() / "checkpoints";
+  options.engine.checkpoint_min_cycles = 10;
+  options.engine.checkpoint_every_cycles = 50;
+  CampaignDaemon daemon(options);
+  submit(options, "one", valid_text());
+  ASSERT_EQ(daemon.run_pass(), 1u);
+  // The run checkpointed (thresholds are tiny), then commit removed the
+  // image along with the spool file.
+  EXPECT_TRUE(scan_spool(options.spool_dir).empty());
+  EXPECT_FALSE(fs::exists(options.engine.checkpoint_dir /
+                          ("one" + std::string(kCheckpointExtension))));
+}
+
+TEST(CampaignDaemon, RecoveryReconcilesDurableRowsAgainstTheSpool) {
+  TempDir dir;
+  DaemonOptions options = daemon_options(dir);
+  options.journal_path = dir.path() / "journal.log";
+  options.engine.checkpoint_dir = dir.path() / "checkpoints";
+  fs::create_directories(options.spool_dir);
+  fs::create_directories(options.engine.checkpoint_dir);
+  // The crash window: the row for "dup" was fsync'd but the process died
+  // before the journal commit, the spool unlink and the checkpoint
+  // removal. Reconstruct that state by hand.
+  ASSERT_TRUE(atomic_write_file(options.results_path,
+                                "{\"id\": \"dup\", \"outcome\": \"ok\"}\n"));
+  ASSERT_TRUE(atomic_write_file(options.journal_path, "started dup\n"));
+  ASSERT_TRUE(atomic_write_file(options.spool_dir / "dup.cfg", valid_text()));
+  ASSERT_TRUE(atomic_write_file(options.engine.checkpoint_dir /
+                                    ("dup" + std::string(kCheckpointExtension)),
+                                "stale image"));
+
+  CampaignDaemon daemon(options);
+  EXPECT_EQ(daemon.recovered(), 1u);
+  // Recovery finished the interrupted commit: spool file and checkpoint
+  // gone, commit journalled - and the request is NOT re-run.
+  EXPECT_TRUE(scan_spool(options.spool_dir).empty());
+  EXPECT_TRUE(fs::is_empty(options.engine.checkpoint_dir));
+  EXPECT_EQ(daemon.run_pass(), 0u);
+  std::size_t dup_rows = 0;
+  for (const std::string& line : read_lines(options.results_path)) {
+    dup_rows += line.find("\"id\": \"dup\"") != std::string::npos;
+  }
+  EXPECT_EQ(dup_rows, 1u);  // exactly once, across the simulated crash
+  bool committed = false;
+  for (const std::string& line : read_lines(options.journal_path)) {
+    committed = committed || line == "committed dup";
+  }
+  EXPECT_TRUE(committed);
+}
+
+TEST(CampaignDaemon, RecoveryTruncatesTornRowsAndRerunsTheirRequests) {
+  TempDir dir;
+  DaemonOptions options = daemon_options(dir);
+  options.journal_path = dir.path() / "journal.log";
+  fs::create_directories(options.spool_dir);
+  // A SIGKILL mid-append left a torn final row for "torn"; its spool file
+  // is still present (files are unlinked only after a *complete* durable
+  // row), so after truncation it must simply run again - once.
+  ASSERT_TRUE(atomic_write_file(
+      options.results_path,
+      "{\"id\": \"done\", \"outcome\": \"rejected\"}\n"
+      "{\"id\": \"torn\", \"outc"));
+  ASSERT_TRUE(atomic_write_file(options.journal_path,
+                                "started torn\npartial jour"));
+  ASSERT_TRUE(atomic_write_file(options.spool_dir / "torn.cfg",
+                                valid_text()));
+
+  CampaignDaemon daemon(options);
+  EXPECT_EQ(daemon.recovered(), 0u);  // "done" has no spool file left
+  ASSERT_EQ(daemon.run_pass(), 1u);
+  const auto lines = read_lines(options.results_path);
+  ASSERT_EQ(lines.size(), 2u);  // the torn fragment is gone
+  EXPECT_NE(lines[0].find("\"id\": \"done\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\": \"torn\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"outcome\": \"ok\""), std::string::npos);
+  for (const std::string& line : read_lines(options.journal_path)) {
+    EXPECT_NE(line, "partial jour");
+  }
 }
 
 TEST(CampaignDaemon, ChaosRequestFailsAloneAndDaemonKeepsServing) {

@@ -1,0 +1,390 @@
+// Deterministic checkpoint/restore (sim/snapshot.hpp).
+//
+// The contract under test: pausing a stepped run at any interior cycle,
+// serializing it, and restoring the image into a fresh Simulator +
+// SimWorkspace continues the run bit-identically - the golden digests
+// pinned by test_sim_equivalence.cpp must survive a snapshot at any
+// boundary. The negative half of the contract matters as much: a
+// corrupt, truncated, version-mismatched or wrong-configuration image
+// must be rejected with a SnapshotError, never restored into a silently
+// wrong result.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <filesystem>
+
+#include "core/batch_runner.hpp"
+#include "core/runner.hpp"
+#include "sim/snapshot.hpp"
+#include "traffic/trace.hpp"
+
+namespace deft {
+namespace {
+
+/// FNV-1a digest over the pre-rewrite SimResults fields; must stay in
+/// sync with test_sim_equivalence.cpp (the goldens are shared).
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void mix(double d) { mix(std::bit_cast<std::uint64_t>(d)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+std::uint64_t digest(const SimResults& r) {
+  Digest d;
+  for (const LatencySummary* l : {&r.network_latency, &r.total_latency}) {
+    d.mix(l->count);
+    d.mix(l->mean);
+    d.mix(l->min);
+    d.mix(l->max);
+    d.mix(l->p50);
+    d.mix(l->p95);
+    d.mix(l->p99);
+  }
+  d.mix(r.packets_created);
+  d.mix(r.packets_created_measured);
+  d.mix(r.packets_delivered_measured);
+  d.mix(r.packets_dropped_unroutable);
+  d.mix(r.flits_ejected_in_window);
+  d.mix(static_cast<std::uint64_t>(r.cycles_run));
+  d.mix(static_cast<std::uint64_t>(r.measure_cycles));
+  d.mix(r.deadlock_detected ? std::uint64_t{1} : 0);
+  d.mix(r.drained ? std::uint64_t{1} : 0);
+  for (const auto& region : r.region_vc_flits) {
+    for (std::uint64_t v : region) {
+      d.mix(v);
+    }
+  }
+  for (std::uint64_t v : r.vl_channel_flits) {
+    d.mix(v);
+  }
+  return d.value();
+}
+
+SimKnobs golden_knobs() {
+  SimKnobs k;
+  k.warmup = 500;
+  k.measure = 1500;
+  k.drain_max = 3000;
+  k.seed = 7;
+  return k;
+}
+
+const ExperimentContext& ctx4() {
+  static const ExperimentContext ctx = ExperimentContext::reference(4);
+  return ctx;
+}
+
+/// One snapshotable scenario: fresh algorithm + traffic instances per
+/// run (both hold per-run stream state).
+struct Scenario {
+  const char* name;
+  Algorithm algorithm;
+  VlStrategy strategy = VlStrategy::table;
+  int fault_count = 0;
+  bool trace = false;
+  std::uint64_t expected_digest = 0;  ///< 0 = derive from straight run
+};
+
+// The six golden configurations of test_sim_equivalence.cpp (uniform
+// traffic at 0.02, golden knobs, seed 7) plus two trace-replay configs
+// (cursor stream state) - digests pinned there, repeated here so a
+// snapshot regression reads as "the golden digest broke".
+const Scenario kScenarios[] = {
+    {"deft_table", Algorithm::deft, VlStrategy::table, 0, false,
+     0xaeb4ff9aedc7445eULL},
+    {"deft_distance", Algorithm::deft, VlStrategy::distance, 0, false,
+     0xaeb4ff9aedc7445eULL},
+    {"deft_random", Algorithm::deft, VlStrategy::random, 0, false,
+     0x0112fd2b81d6daf1ULL},
+    {"mtr", Algorithm::mtr, VlStrategy::table, 0, false,
+     0x336aabf23e3f7c66ULL},
+    {"rc", Algorithm::rc, VlStrategy::table, 0, false,
+     0x38e4d1328d56a047ULL},
+    {"deft_table_f4", Algorithm::deft, VlStrategy::table, 4, false,
+     0x9efd33fa70237ed8ULL},
+    {"trace_deft_f0", Algorithm::deft, VlStrategy::table, 0, true,
+     0xf03ff11403a277d5ULL},
+    {"trace_mtr_f2", Algorithm::mtr, VlStrategy::table, 2, true,
+     0xd48e63dd7ca05101ULL},
+};
+
+std::vector<TraceRecord> golden_trace() {
+  return record_uniform_trace(ctx4().topo(), 0.03, 1500);
+}
+
+struct Run {
+  std::unique_ptr<RoutingAlgorithm> algorithm;
+  std::unique_ptr<TrafficGenerator> traffic;
+  std::unique_ptr<Simulator> sim;
+  SimWorkspace ws;
+  SimStepper stepper;
+};
+
+std::unique_ptr<Run> make_run(const Scenario& s) {
+  auto run = std::make_unique<Run>();
+  const SimKnobs knobs = golden_knobs();
+  VlFaultSet faults;
+  if (s.fault_count > 0) {
+    faults = grid_fault_pattern(ctx4(), s.fault_count);
+  }
+  run->algorithm =
+      ctx4().make_algorithm(s.algorithm, faults, knobs.num_vcs, s.strategy);
+  if (s.trace) {
+    run->traffic = std::make_unique<TraceReplayGenerator>(golden_trace());
+  } else {
+    run->traffic = std::make_unique<UniformTraffic>(ctx4().topo(), 0.02);
+  }
+  run->sim = std::make_unique<Simulator>(ctx4().topo(), *run->algorithm,
+                                         *run->traffic, knobs, faults);
+  return run;
+}
+
+std::uint64_t straight_digest(const Scenario& s) {
+  auto run = make_run(s);
+  run->stepper.start(*run->sim, run->ws);
+  run->stepper.advance();
+  return digest(run->stepper.finish());
+}
+
+/// Runs to `pause`, snapshots, and returns the image (the paused run is
+/// discarded - the restore must not depend on it surviving).
+std::vector<std::uint8_t> snapshot_at(const Scenario& s, Cycle pause) {
+  auto run = make_run(s);
+  run->stepper.start(*run->sim, run->ws);
+  run->stepper.advance(pause);
+  return save_snapshot(run->stepper);
+}
+
+std::uint64_t resumed_digest(const Scenario& s,
+                             const std::vector<std::uint8_t>& image) {
+  auto run = make_run(s);
+  restore_snapshot(image, *run->sim, run->stepper, run->ws);
+  run->stepper.advance();
+  return digest(run->stepper.finish());
+}
+
+TEST(Snapshot, RoundTripReproducesGoldenDigests) {
+  // Interior pause points across all three phases (warmup ends at 500,
+  // the measurement window at 2000): golden digests must survive a
+  // snapshot at any of them.
+  const Cycle pauses[] = {137, 500, 1250, 1999};
+  for (const Scenario& s : kScenarios) {
+    SCOPED_TRACE(s.name);
+    const std::uint64_t expected =
+        s.expected_digest != 0 ? s.expected_digest : straight_digest(s);
+    for (const Cycle pause : pauses) {
+      SCOPED_TRACE(pause);
+      const std::vector<std::uint8_t> image = snapshot_at(s, pause);
+      EXPECT_EQ(resumed_digest(s, image), expected);
+    }
+  }
+}
+
+TEST(Snapshot, RestoredRunResumesAtThePausedCycle) {
+  const Scenario& s = kScenarios[0];
+  const std::vector<std::uint8_t> image = snapshot_at(s, 1250);
+  auto run = make_run(s);
+  restore_snapshot(image, *run->sim, run->stepper, run->ws);
+  EXPECT_EQ(run->stepper.now(), 1250);
+  EXPECT_FALSE(run->stepper.done());
+}
+
+TEST(Snapshot, SaveAfterRestoreIsByteIdentical) {
+  // Stronger than digest equality: re-serializing a restored run must
+  // reproduce the image byte for byte (no state is lost or reordered by
+  // a round trip).
+  for (const Scenario& s : {kScenarios[2], kScenarios[4], kScenarios[6]}) {
+    SCOPED_TRACE(s.name);
+    const std::vector<std::uint8_t> image = snapshot_at(s, 777);
+    auto run = make_run(s);
+    restore_snapshot(image, *run->sim, run->stepper, run->ws);
+    EXPECT_EQ(save_snapshot(run->stepper), image);
+  }
+}
+
+TEST(Snapshot, RepeatedSnapshotsAlongOneRunAgree) {
+  // Snapshot-restore-snapshot-restore along one run: each leg must land
+  // on the same final digest (checkpoints compose).
+  const Scenario& s = kScenarios[5];
+  const std::vector<std::uint8_t> first = snapshot_at(s, 400);
+  auto mid = make_run(s);
+  restore_snapshot(first, *mid->sim, mid->stepper, mid->ws);
+  mid->stepper.advance(1600);
+  const std::vector<std::uint8_t> second = save_snapshot(mid->stepper);
+  EXPECT_EQ(resumed_digest(s, second), s.expected_digest);
+}
+
+TEST(Snapshot, RestoredRunsMatchShardedExecution) {
+  // The stepper is always serial, and the sharded core pins its results
+  // to the serial loop's bit for bit, so a serial snapshot resumes a
+  // sharded run exactly. Assert the whole chain: restore at two interior
+  // cycles, finish, and match the digest of shard-2 and shard-4 runs of
+  // the same configuration directly.
+  const Scenario& s = kScenarios[5];
+  const VlFaultSet faults = grid_fault_pattern(ctx4(), s.fault_count);
+  for (const Cycle pause : {Cycle{650}, Cycle{1111}}) {
+    SCOPED_TRACE(pause);
+    const std::uint64_t resumed =
+        resumed_digest(s, snapshot_at(s, pause));
+    for (int shards : {2, 4}) {
+      SCOPED_TRACE(shards);
+      SimKnobs knobs = golden_knobs();
+      knobs.shards = shards;
+      UniformTraffic traffic(ctx4().topo(), 0.02);
+      const SimResults sharded = run_sim(ctx4(), s.algorithm, traffic,
+                                         knobs, faults, s.strategy);
+      EXPECT_EQ(digest(sharded), resumed);
+    }
+  }
+}
+
+TEST(Snapshot, RestoredRunsMatchBatchedExecution) {
+  // Same argument for throughput mode: batching is an execution schedule,
+  // not a semantic, so a snapshot of the serial stepper resumes a batched
+  // run. Every non-trace golden, interrupted at two interior cycles, must
+  // land on the digest the batched executor produces at widths 4 and 8.
+  std::uint64_t resumed[6][2];
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Scenario& s = kScenarios[i];
+    SCOPED_TRACE(s.name);
+    resumed[i][0] = resumed_digest(s, snapshot_at(s, 650));
+    resumed[i][1] = resumed_digest(s, snapshot_at(s, 1111));
+    EXPECT_EQ(resumed[i][0], resumed[i][1]);
+  }
+  for (int batch_size : {4, 8}) {
+    SCOPED_TRACE(batch_size);
+    std::vector<BatchJob> jobs;
+    for (std::size_t i = 0; i < 6; ++i) {
+      const Scenario& s = kScenarios[i];
+      BatchJob job;
+      job.topo = &ctx4().topo();
+      VlFaultSet faults;
+      if (s.fault_count > 0) {
+        faults = grid_fault_pattern(ctx4(), s.fault_count);
+      }
+      const SimKnobs knobs = golden_knobs();
+      job.algorithm = ctx4().make_algorithm(s.algorithm, faults,
+                                            knobs.num_vcs, s.strategy);
+      job.traffic = std::make_unique<UniformTraffic>(ctx4().topo(), 0.02);
+      job.knobs = knobs;
+      job.faults = faults;
+      jobs.push_back(std::move(job));
+    }
+    BatchRunner runner(batch_size);
+    const std::vector<BatchOutcome> outcomes = runner.run(jobs);
+    ASSERT_EQ(outcomes.size(), 6u);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      SCOPED_TRACE(kScenarios[i].name);
+      ASSERT_FALSE(outcomes[i].error);
+      EXPECT_EQ(digest(outcomes[i].results), resumed[i][0]);
+    }
+  }
+}
+
+TEST(Snapshot, TruncatedImageIsRejected) {
+  std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 600);
+  image.resize(image.size() - 7);
+  auto run = make_run(kScenarios[0]);
+  EXPECT_THROW(
+      restore_snapshot(image, *run->sim, run->stepper, run->ws),
+      SnapshotError);
+}
+
+TEST(Snapshot, HeaderOnlyPrefixIsRejected) {
+  std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 600);
+  image.resize(11);
+  auto run = make_run(kScenarios[0]);
+  EXPECT_THROW(
+      restore_snapshot(image, *run->sim, run->stepper, run->ws),
+      SnapshotError);
+}
+
+TEST(Snapshot, CorruptPayloadIsRejectedByChecksum) {
+  std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 600);
+  image[image.size() / 2] ^= 0x40;
+  auto run = make_run(kScenarios[0]);
+  try {
+    restore_snapshot(image, *run->sim, run->stepper, run->ws);
+    FAIL() << "corrupt image restored";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, BadMagicIsRejected) {
+  std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 600);
+  image[0] = 'X';
+  auto run = make_run(kScenarios[0]);
+  EXPECT_THROW(
+      restore_snapshot(image, *run->sim, run->stepper, run->ws),
+      SnapshotError);
+}
+
+TEST(Snapshot, UnsupportedVersionIsRejected) {
+  std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 600);
+  image[8] = static_cast<std::uint8_t>(kSnapshotVersion + 1);
+  auto run = make_run(kScenarios[0]);
+  try {
+    restore_snapshot(image, *run->sim, run->stepper, run->ws);
+    FAIL() << "version-mismatched image restored";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, TrailingGarbageIsRejected) {
+  std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 600);
+  image.push_back(0xab);
+  auto run = make_run(kScenarios[0]);
+  EXPECT_THROW(
+      restore_snapshot(image, *run->sim, run->stepper, run->ws),
+      SnapshotError);
+}
+
+TEST(Snapshot, WrongConfigurationIsRejected) {
+  // A deft_table image must not restore into an MTR run (or any other
+  // configuration): the fingerprint names both sides in the diagnostic.
+  const std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 600);
+  auto run = make_run(kScenarios[3]);
+  try {
+    restore_snapshot(image, *run->sim, run->stepper, run->ws);
+    FAIL() << "cross-configuration image restored";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DeFT"), std::string::npos) << what;
+    EXPECT_NE(what.find("MTR"), std::string::npos) << what;
+  }
+}
+
+TEST(Snapshot, UnstartedStepperCannotBeSaved) {
+  SimStepper idle;
+  EXPECT_THROW(save_snapshot(idle), SnapshotError);
+}
+
+TEST(Snapshot, FileRoundTripPreservesTheImage) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "deft_snapshot_test";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / "run.ckpt";
+  const std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 900);
+  write_snapshot_file(path, image);
+  EXPECT_EQ(read_snapshot_file(path), image);
+  // Overwrite goes through the same temp + rename path.
+  const std::vector<std::uint8_t> later = snapshot_at(kScenarios[0], 1500);
+  write_snapshot_file(path, later);
+  EXPECT_EQ(read_snapshot_file(path), later);
+  EXPECT_THROW(read_snapshot_file(dir / "missing.ckpt"), SnapshotError);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace deft

@@ -19,8 +19,22 @@
 //   * SIGTERM drains in-flight work and writes a resumable manifest
 //     covering everything unstarted.
 //
-// Options: --requests N (default 1000), --workers N (default 2),
-// --high-water N (default 64), --keep (do not delete the work dir).
+// --kill9 switches to the crash-recovery campaign instead: the daemon is
+// booted with a write-ahead journal and a checkpoint directory, fed a mix
+// of quick and long-running requests, SIGKILLed the moment a long run's
+// checkpoint image appears, and restarted with the same flags. The
+// recovery assertions:
+//
+//   * every request still reaches exactly ONE terminal row - nothing is
+//     lost, nothing is duplicated, across the kill,
+//   * each request class still lands on its expected outcome,
+//   * every long run that was mid-flight at kill time (checkpoint on
+//     disk, no terminal row yet) resumes from its snapshot, proven by a
+//     `resumed_at` cycle in its final row rather than a cycle-0 restart.
+//
+// Options: --requests N (default 1000; default 80 with --kill9),
+// --workers N (default 2), --high-water N (default 64), --kill9,
+// --keep (do not delete the work dir).
 // Exits 0 when every assertion holds, 1 otherwise.
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -173,14 +187,272 @@ std::string malformed_config(int variant) {
   }
 }
 
+// --- crash-recovery campaign (--kill9) ---------------------------------
+
+/// A run long enough (~60k measured cycles) that the daemon is still
+/// mid-simulation when its first checkpoints (every 1000 cycles past
+/// 1000) hit the disk - the SIGKILL window.
+std::string long_config() {
+  return "chiplets = 4\nalgorithm = deft\ntraffic = uniform\n"
+         "rate = 0.004\nwarmup = 500\nmeasure = 60000\n"
+         "drain_max = 100000\nseed = 9\n";
+}
+
+int run_kill9(const std::string& daemon_bin, const std::string& client_bin,
+              int requests, int workers, bool keep) {
+  char work_template[] = "/tmp/deft_chaos_XXXXXX";
+  const char* work = mkdtemp(work_template);
+  if (work == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::filesystem::path workdir(work);
+  const std::filesystem::path spool = workdir / "spool";
+  const std::filesystem::path stage = workdir / "stage";
+  const std::filesystem::path ckpts = workdir / "checkpoints";
+  const std::filesystem::path results = workdir / "results.jsonl";
+  const std::filesystem::path manifest = workdir / "manifest.txt";
+  const std::filesystem::path journal = workdir / "journal.log";
+  std::filesystem::create_directories(stage);
+  std::printf("chaos(kill9): work dir %s\n", work);
+
+  // ---- the campaign: quick ok runs + malformed + long checkpointed ----
+  std::map<std::string, std::string> expected;  // id -> expected outcome
+  std::set<std::string> long_ids;
+  std::vector<std::filesystem::path> staged;
+  for (int i = 0; i < requests; ++i) {
+    char id[64];
+    std::string body;
+    std::string outcome;
+    if (i % 20 == 2) {
+      std::snprintf(id, sizeof(id), "long-%04d", i);
+      body = long_config();
+      outcome = "ok";
+      long_ids.insert(id);
+    } else if (i % 10 == 7) {
+      std::snprintf(id, sizeof(id), "bad-%04d", i);
+      body = malformed_config(i);
+      outcome = "rejected";
+    } else {
+      std::snprintf(id, sizeof(id), "ok-%04d", i);
+      body = valid_config(i);
+      outcome = "ok";
+    }
+    const std::filesystem::path file = stage / (std::string(id) + ".cfg");
+    if (!atomic_write_file(file, body)) {
+      std::fprintf(stderr, "error: cannot stage %s\n", file.string().c_str());
+      return 1;
+    }
+    staged.push_back(file);
+    expected[id] = outcome;
+  }
+  std::printf("chaos(kill9): %d requests, %zu long checkpointed runs\n",
+              requests, long_ids.size());
+
+  const std::vector<std::string> daemon_argv = {
+      daemon_bin,
+      "--spool", spool.string(),
+      "--results", results.string(),
+      "--manifest", manifest.string(),
+      "--journal", journal.string(),
+      "--checkpoint-dir", ckpts.string(),
+      "--checkpoint-min-cycles", "1000",
+      "--checkpoint-every", "1000",
+      "--workers", std::to_string(workers),
+      "--poll-ms", "20"};
+  pid_t daemon_pid = spawn(daemon_argv);
+  if (daemon_pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+
+  for (std::size_t at = 0; at < staged.size(); at += 100) {
+    std::vector<std::string> cmd = {client_bin, "submit", "--spool",
+                                    spool.string()};
+    for (std::size_t i = at; i < std::min(at + 100, staged.size()); ++i) {
+      cmd.push_back(staged[i].string());
+    }
+    if (run_and_wait(cmd) != 0) {
+      std::fprintf(stderr, "error: client submit failed\n");
+      kill(daemon_pid, SIGKILL);
+      return 1;
+    }
+  }
+
+  // ---- wait for a checkpoint image, then SIGKILL mid-batch ------------
+  bool saw_checkpoint = false;
+  for (int waited_ms = 0; waited_ms < 120'000; waited_ms += 25) {
+    std::error_code ec;
+    for (const std::filesystem::directory_entry& entry :
+         std::filesystem::directory_iterator(ckpts, ec)) {
+      if (entry.path().extension() == ".ckpt") {
+        saw_checkpoint = true;
+        break;
+      }
+    }
+    if (saw_checkpoint) {
+      break;
+    }
+    usleep(25 * 1000);
+  }
+  chaos_check(saw_checkpoint,
+        "no checkpoint image appeared within 120s (long runs too short, "
+        "or checkpointing is broken)");
+  if (!saw_checkpoint) {
+    kill(daemon_pid, SIGKILL);
+    return 1;
+  }
+  kill(daemon_pid, SIGKILL);
+  {
+    int status = 0;
+    waitpid(daemon_pid, &status, 0);
+    chaos_check(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+          "daemon did not die by SIGKILL as intended");
+  }
+
+  // Snapshot the crash state: which ids already had a terminal row, and
+  // which checkpoints were on disk. A checkpointed id WITHOUT a terminal
+  // row was mid-flight - after recovery its row must prove it resumed
+  // from the snapshot (resumed_at), not from cycle 0.
+  std::set<std::string> terminal_at_kill;
+  {
+    std::ifstream in(results);
+    std::string row;
+    while (std::getline(in, row)) {
+      // The torn final line (if the kill landed mid-append) has no
+      // complete outcome field and parses as non-terminal - exactly how
+      // the recovering daemon will treat it after truncation.
+      if (outcome_terminal(json_string_field(row, "outcome"))) {
+        terminal_at_kill.insert(json_string_field(row, "id"));
+      }
+    }
+  }
+  std::set<std::string> must_resume;
+  {
+    std::error_code ec;
+    for (const std::filesystem::directory_entry& entry :
+         std::filesystem::directory_iterator(ckpts, ec)) {
+      const std::string id = entry.path().stem().string();
+      if (entry.path().extension() == ".ckpt" &&
+          terminal_at_kill.count(id) == 0) {
+        must_resume.insert(id);
+      }
+    }
+  }
+  std::printf("chaos(kill9): killed daemon with %zu terminal rows durable, "
+              "%zu runs mid-flight with checkpoints\n",
+              terminal_at_kill.size(), must_resume.size());
+  chaos_check(!must_resume.empty(),
+        "SIGKILL landed after every checkpointed run finished - no "
+        "resume path exercised");
+
+  // ---- restart with identical flags; recovery must finish the job ----
+  daemon_pid = spawn(daemon_argv);
+  if (daemon_pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  {
+    std::vector<std::string> cmd = {client_bin,  "wait",
+                                    "--results", results.string(),
+                                    "--timeout", "900",
+                                    "--quiet"};
+    for (const auto& [id, outcome] : expected) {
+      cmd.push_back(id);
+    }
+    const int rc = run_and_wait(cmd);
+    chaos_check(rc == 0, "client wait exited " + std::to_string(rc) +
+                       " (expected 0: all requests terminal post-recovery)");
+  }
+  kill(daemon_pid, SIGTERM);
+  {
+    int status = 0;
+    waitpid(daemon_pid, &status, 0);
+    chaos_check(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+          "restarted daemon did not exit cleanly after SIGTERM");
+  }
+
+  // ---- exactly-once + resume assertions over the full stream ----------
+  std::map<std::string, int> terminal_rows;
+  std::map<std::string, std::string> final_outcome;
+  std::set<std::string> resumed_ids;
+  {
+    std::ifstream in(results);
+    std::string row;
+    while (std::getline(in, row)) {
+      const std::string id = json_string_field(row, "id");
+      const std::string outcome = json_string_field(row, "outcome");
+      if (!outcome_terminal(outcome)) {
+        continue;  // overloaded deferral notices are not terminal
+      }
+      ++terminal_rows[id];
+      final_outcome[id] = outcome;
+      if (row.find("\"resumed_at\": ") != std::string::npos) {
+        resumed_ids.insert(id);
+      }
+    }
+  }
+  for (const auto& [id, outcome] : expected) {
+    const auto it = terminal_rows.find(id);
+    if (it == terminal_rows.end()) {
+      chaos_check(false, "request " + id + " lost across SIGKILL: no "
+                       "terminal row");
+      continue;
+    }
+    chaos_check(it->second == 1,
+          "request " + id + " has " + std::to_string(it->second) +
+              " terminal rows (exactly-once violated)");
+    chaos_check(final_outcome[id] == outcome,
+          "request " + id + ": expected " + outcome + ", got " +
+              final_outcome[id]);
+  }
+  chaos_check(terminal_rows.size() == expected.size(),
+        "terminal rows for " + std::to_string(terminal_rows.size()) +
+            " ids, expected " + std::to_string(expected.size()));
+  for (const std::string& id : must_resume) {
+    chaos_check(resumed_ids.count(id) != 0,
+          "mid-flight run " + id + " restarted from cycle 0 instead of "
+          "resuming from its checkpoint (no resumed_at in its row)");
+  }
+  // Commit removes a run's checkpoint; after full drain none remain.
+  {
+    std::size_t leftover = 0;
+    std::error_code ec;
+    for (const std::filesystem::directory_entry& entry :
+         std::filesystem::directory_iterator(ckpts, ec)) {
+      leftover += entry.path().extension() == ".ckpt" ? 1 : 0;
+    }
+    chaos_check(leftover == 0, std::to_string(leftover) +
+                             " checkpoint image(s) left after commit");
+  }
+  std::printf("chaos(kill9): recovery ok - %zu terminal rows, %zu runs "
+              "resumed from checkpoints\n",
+              terminal_rows.size(), resumed_ids.size());
+
+  if (g_failures == 0 && !keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(workdir, ec);
+  } else if (g_failures != 0) {
+    std::printf("chaos(kill9): work dir kept for inspection: %s\n", work);
+  }
+  if (g_failures != 0) {
+    std::fprintf(stderr, "chaos(kill9): %d assertion(s) failed\n",
+                 g_failures);
+    return 1;
+  }
+  std::printf("chaos(kill9): all assertions passed\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string daemon_bin;
   std::string client_bin;
-  int requests = 1000;
+  int requests = -1;
   int workers = 2;
   int high_water = 64;
+  bool kill9 = false;
   bool keep = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--daemon") == 0 && i + 1 < argc) {
@@ -193,19 +465,27 @@ int main(int argc, char** argv) {
       workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--high-water") == 0 && i + 1 < argc) {
       high_water = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill9") == 0) {
+      kill9 = true;
     } else if (std::strcmp(argv[i], "--keep") == 0) {
       keep = true;
     } else {
       std::fprintf(stderr, "usage: deft_campaign_chaos --daemon BIN "
                            "--client BIN [--requests N] [--workers N] "
-                           "[--high-water N] [--keep]\n");
+                           "[--high-water N] [--kill9] [--keep]\n");
       return 1;
     }
+  }
+  if (requests < 0) {
+    requests = kill9 ? 80 : 1000;
   }
   if (daemon_bin.empty() || client_bin.empty() || requests < 10) {
     std::fprintf(stderr, "error: --daemon and --client are required and "
                          "--requests must be >= 10\n");
     return 1;
+  }
+  if (kill9) {
+    return run_kill9(daemon_bin, client_bin, requests, workers, keep);
   }
 
   char work_template[] = "/tmp/deft_chaos_XXXXXX";

@@ -21,6 +21,12 @@
 //   --cache-cap N      artifact-cache capacity per tier [32]
 //   --max-cycles N     per-run cycle budget [2000000]
 //   --max-seconds S    per-run wall-clock budget [60]
+//   --journal FILE     write-ahead journal of started/committed records
+//                      (crash recovery, docs/operations.md) [disabled]
+//   --checkpoint-dir DIR      per-run snapshot images; interrupted runs
+//                             resume from them after a crash [disabled]
+//   --checkpoint-min-cycles N first checkpoint threshold [100000]
+//   --checkpoint-every N      cycles between checkpoints [100000]
 //   --once             process the current spool content, then exit
 #include <csignal>
 #include <cstdio>
@@ -91,6 +97,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--max-seconds") == 0) {
       options.engine.budget.max_seconds =
           static_cast<double>(parse_long(arg, value(), 1, 86'400));
+    } else if (std::strcmp(arg, "--journal") == 0) {
+      options.journal_path = value();
+    } else if (std::strcmp(arg, "--checkpoint-dir") == 0) {
+      options.engine.checkpoint_dir = value();
+    } else if (std::strcmp(arg, "--checkpoint-min-cycles") == 0) {
+      options.engine.checkpoint_min_cycles =
+          parse_long(arg, value(), 1, 1'000'000'000);
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      options.engine.checkpoint_every_cycles =
+          parse_long(arg, value(), 1, 1'000'000'000);
     } else if (std::strcmp(arg, "--once") == 0) {
       once = true;
     } else {
