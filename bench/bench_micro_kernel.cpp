@@ -325,46 +325,79 @@ constexpr std::size_t kNumSweepBatch = std::size(kSweepBatchSizes);
 // --------------------------------------------------------------------------
 // Many-chiplet grid scenarios: the workload the partitioned core opens.
 // make_grid_spec systems far beyond the paper's 4-6 chiplets, DeFT under
-// the distance VL strategy (table synthesis for 36 chiplets is design-time
-// work the sharding measurement should not absorb), timed at shard counts
-// {1, 2, max}. The recorded ratios are wall-clock serial/sharded within
-// one process, so they are machine-portable only between hosts of equal
-// core count - the JSON records hardware_concurrency and the gate skips
-// shard ratios the host cannot express.
+// the distance VL strategy (table synthesis for dozens of chiplets is
+// design-time work the sharding measurement should not absorb), timed at
+// power-of-two shard counts up to each scenario's cap. The 16- and
+// 36-chiplet scenarios keep the exact configuration their tracked
+// baselines were recorded under (serial rng, shards <= 4); the 64- to
+// 256-chiplet scenarios run rng_mode = counter - per-NI route streams
+// move packet materialization into the parallel phases, which is what
+// lets shard counts up to 8 keep scaling - over shorter windows so the
+// bigger systems still fit the CI smoke job. The recorded ratios are
+// wall-clock serial/sharded within one process, so they are
+// machine-portable only between hosts of equal core count - the JSON
+// records hardware_concurrency and the gate skips shard ratios the host
+// cannot express.
 
 struct GridScenario {
   const char* name;
   int cols;
   int rows;
   double rate;  ///< packets/cycle/core (below the large-system knee)
-};
-
-constexpr GridScenario kGridScenarios[] = {
-    {"grid16/uniform/f0/DeFT", 4, 4, 0.006},
-    {"grid36/uniform/f0/DeFT", 6, 6, 0.0045},
+  int max_shards;
+  RngMode rng_mode;
+  Cycle warmup;
+  Cycle measure;
+  Cycle drain_max;
 };
 
 constexpr Cycle kGridWarmup = 300;
 constexpr Cycle kGridMeasure = 1200;
 constexpr Cycle kGridDrainMax = 4000;
+/// Shorter windows for the 64-256-chiplet systems (their per-cycle cost
+/// is 4-16x the small grids').
+constexpr Cycle kBigGridWarmup = 200;
+constexpr Cycle kBigGridMeasure = 800;
+constexpr Cycle kBigGridDrainMax = 2500;
+
+constexpr GridScenario kGridScenarios[] = {
+    {"grid16/uniform/f0/DeFT", 4, 4, 0.006, 4, RngMode::serial,
+     kGridWarmup, kGridMeasure, kGridDrainMax},
+    {"grid36/uniform/f0/DeFT", 6, 6, 0.0045, 4, RngMode::serial,
+     kGridWarmup, kGridMeasure, kGridDrainMax},
+    {"grid64/uniform/f0/DeFT", 8, 8, 0.003, 8, RngMode::counter,
+     kBigGridWarmup, kBigGridMeasure, kBigGridDrainMax},
+    {"grid144/uniform/f0/DeFT", 12, 12, 0.0025, 8, RngMode::counter,
+     kBigGridWarmup, kBigGridMeasure, kBigGridDrainMax},
+    {"grid256/uniform/f0/DeFT", 16, 16, 0.002, 8, RngMode::counter,
+     kBigGridWarmup, kBigGridMeasure, kBigGridDrainMax},
+};
 
 /// Largest shard count the grid scenarios try (--shards overrides).
-int g_max_shards = 4;
+int g_max_shards = 8;
 
 const ExperimentContext& grid_ctx(int cols, int rows) {
   static const ExperimentContext g16(make_grid_spec(4, 4, 4, 4));
   static const ExperimentContext g36(make_grid_spec(6, 6, 4, 4));
-  return cols * rows == 16 ? g16 : g36;
+  static const ExperimentContext g64(make_grid_spec(8, 8, 4, 4));
+  static const ExperimentContext g144(make_grid_spec(12, 12, 4, 4));
+  static const ExperimentContext g256(make_grid_spec(16, 16, 4, 4));
+  switch (cols * rows) {
+    case 16: return g16;
+    case 36: return g36;
+    case 64: return g64;
+    case 144: return g144;
+    default: return g256;
+  }
 }
 
-/// Shard counts the grid scenarios measure: {1, 2, g_max_shards},
-/// deduplicated and capped (--shards 1 measures serial only).
-std::vector<int> grid_shard_counts() {
+/// Shard counts one grid scenario measures: powers of two from 1 up to
+/// min(scenario cap, --shards), so --shards 1 measures serial only.
+std::vector<int> grid_shard_counts(const GridScenario& s) {
   std::vector<int> counts{1};
-  for (int c : {2, g_max_shards}) {
-    if (c > counts.back() && c <= g_max_shards) {
-      counts.push_back(c);
-    }
+  const int cap = std::min(s.max_shards, g_max_shards);
+  for (int c = 2; c <= cap; c *= 2) {
+    counts.push_back(c);
   }
   return counts;
 }
@@ -575,10 +608,11 @@ PerfPoint measure_grid_point(const GridScenario& s, int shards,
                              SimWorkspace& ws) {
   const ExperimentContext& ctx = grid_ctx(s.cols, s.rows);
   SimKnobs knobs;
-  knobs.warmup = kGridWarmup;
-  knobs.measure = kGridMeasure;
-  knobs.drain_max = kGridDrainMax;
+  knobs.warmup = s.warmup;
+  knobs.measure = s.measure;
+  knobs.drain_max = s.drain_max;
   knobs.shards = shards;
+  knobs.rng_mode = s.rng_mode;
   PerfPoint best;
   for (int rep = 0; rep < kPerfRepeats; ++rep) {
     UniformTraffic traffic(ctx.topo(), s.rate);
@@ -644,25 +678,25 @@ int run_perf_core(const std::string& json_path) {
   }
 
   // Many-chiplet grid scenarios under the partitioned core.
-  const std::vector<int> shard_counts = grid_shard_counts();
   constexpr std::size_t kNumGrid = std::size(kGridScenarios);
-  std::vector<PerfPoint> grid(kNumGrid * shard_counts.size());
+  std::vector<std::vector<int>> grid_counts(kNumGrid);
+  std::vector<std::vector<PerfPoint>> grid(kNumGrid);
   {
     SimWorkspace grid_ws;
     for (std::size_t g = 0; g < kNumGrid; ++g) {
-      for (std::size_t c = 0; c < shard_counts.size(); ++c) {
-        grid[g * shard_counts.size() + c] =
-            measure_grid_point(kGridScenarios[g], shard_counts[c], grid_ws);
+      grid_counts[g] = grid_shard_counts(kGridScenarios[g]);
+      for (const int shards : grid_counts[g]) {
+        grid[g].push_back(
+            measure_grid_point(kGridScenarios[g], shards, grid_ws));
       }
-      const PerfPoint& serial = grid[g * shard_counts.size()];
-      const PerfPoint& widest =
-          grid[g * shard_counts.size() + shard_counts.size() - 1];
+      const PerfPoint& serial = grid[g].front();
+      const PerfPoint& widest = grid[g].back();
       std::printf("%-22s %7lld cycles  1 shard %9.0f cyc/s  %d shards "
                   "%9.0f cyc/s  (%.2fx)\n",
                   kGridScenarios[g].name,
                   static_cast<long long>(serial.cycles),
                   static_cast<double>(serial.cycles) / serial.seconds,
-                  shard_counts.back(),
+                  grid_counts[g].back(),
                   static_cast<double>(widest.cycles) / widest.seconds,
                   serial.seconds / widest.seconds);
     }
@@ -684,8 +718,11 @@ int run_perf_core(const std::string& json_path) {
                "\"warmup\": %lld, \"measure\": %lld, \"drain_max\": %lld, "
                "\"batch_sizes\": [%d, %d]}, "
                "\"grid_scenarios\": {\"systems\": [\"grid-16\", "
-               "\"grid-36\"], \"vl_strategy\": \"distance\", \"warmup\": "
+               "\"grid-36\", \"grid-64\", \"grid-144\", \"grid-256\"], "
+               "\"vl_strategy\": \"distance\", \"warmup\": "
                "%lld, \"measure\": %lld, \"drain_max\": %lld, "
+               "\"big_warmup\": %lld, \"big_measure\": %lld, "
+               "\"big_drain_max\": %lld, \"big_rng_mode\": \"counter\", "
                "\"max_shards\": %d}},\n",
                static_cast<long long>(kPerfWarmup),
                static_cast<long long>(kPerfMeasure),
@@ -698,7 +735,10 @@ int run_perf_core(const std::string& json_path) {
                kSweepBatchSizes[0], kSweepBatchSizes[1],
                static_cast<long long>(kGridWarmup),
                static_cast<long long>(kGridMeasure),
-               static_cast<long long>(kGridDrainMax), shard_counts.back());
+               static_cast<long long>(kGridDrainMax),
+               static_cast<long long>(kBigGridWarmup),
+               static_cast<long long>(kBigGridMeasure),
+               static_cast<long long>(kBigGridDrainMax), g_max_shards);
   std::fprintf(out, "  \"points\": [\n");
   for (std::size_t i = 0; i < kNumScenarios; ++i) {
     const Scenario& s = kScenarios[i];
@@ -721,18 +761,20 @@ int run_perf_core(const std::string& json_path) {
     }
   }
   for (std::size_t g = 0; g < kNumGrid; ++g) {
-    for (std::size_t c = 0; c < shard_counts.size(); ++c) {
-      const PerfPoint& p = grid[g * shard_counts.size() + c];
+    for (std::size_t c = 0; c < grid_counts[g].size(); ++c) {
+      const PerfPoint& p = grid[g][c];
       std::fprintf(
           out,
           "    {\"scenario\": \"%s\", \"system\": \"grid-%d\", \"traffic\": "
           "\"uniform\", \"faults\": 0, \"algorithm\": \"DeFT\", \"rate\": "
-          "%.4f, \"core\": \"active_set\", \"shards\": %d, \"cycles\": "
+          "%.4f, \"core\": \"active_set\", \"rng_mode\": \"%s\", "
+          "\"shards\": %d, \"cycles\": "
           "%lld, \"flit_hops\": %llu, \"seconds\": %.6f, "
           "\"cycles_per_sec\": %.0f, \"flit_hops_per_sec\": %.0f},\n",
           kGridScenarios[g].name,
           kGridScenarios[g].cols * kGridScenarios[g].rows,
-          kGridScenarios[g].rate, shard_counts[c],
+          kGridScenarios[g].rate, rng_mode_name(kGridScenarios[g].rng_mode),
+          grid_counts[g][c],
           static_cast<long long>(p.cycles),
           static_cast<unsigned long long>(p.flit_hops), p.seconds,
           static_cast<double>(p.cycles) / p.seconds,
@@ -810,11 +852,11 @@ int run_perf_core(const std::string& json_path) {
   // this run. Only meaningful on hosts with >= N cores; the gate script
   // reads hardware_concurrency and skips ratios the host cannot express.
   for (std::size_t g = 0; g < kNumGrid; ++g) {
-    const PerfPoint& serial = grid[g * shard_counts.size()];
-    for (std::size_t c = 1; c < shard_counts.size(); ++c) {
-      const PerfPoint& p = grid[g * shard_counts.size() + c];
+    const PerfPoint& serial = grid[g].front();
+    for (std::size_t c = 1; c < grid_counts[g].size(); ++c) {
+      const PerfPoint& p = grid[g][c];
       std::fprintf(out, "    \"%s/shards%d\": %.3f,\n",
-                   kGridScenarios[g].name, shard_counts[c],
+                   kGridScenarios[g].name, grid_counts[g][c],
                    serial.seconds / p.seconds);
     }
   }
@@ -874,11 +916,28 @@ int list_scenarios() {
     std::printf("sweep1k/batch%d\n", b);
   }
   for (const GridScenario& s : kGridScenarios) {
-    for (int c : grid_shard_counts()) {
+    for (int c : grid_shard_counts(s)) {
       if (c > 1) {
         std::printf("%s/shards%d\n", s.name, c);
       }
     }
+  }
+  return 0;
+}
+
+/// --grid-smoke: one 256-chiplet point through the partitioned counter-
+/// mode core (serial + 2 shards, one repeat's worth of window) - a fast
+/// CI check that the biggest scenario builds its topology, partitions,
+/// and runs to completion, without the full matrix's cost.
+int run_grid_smoke() {
+  const GridScenario& s = kGridScenarios[std::size(kGridScenarios) - 1];
+  SimWorkspace ws;
+  for (const int shards : {1, std::min(2, g_max_shards)}) {
+    const PerfPoint p = measure_grid_point(s, shards, ws);
+    require(p.cycles > 0, "grid smoke: run produced no cycles");
+    std::printf("%-22s shards %d  %7lld cycles  %9.0f cyc/s\n", s.name,
+                shards, static_cast<long long>(p.cycles),
+                static_cast<double>(p.cycles) / p.seconds);
   }
   return 0;
 }
@@ -890,12 +949,16 @@ int main(int argc, char** argv) {
   bool perf = false;
   std::string perf_path = "BENCH_PR5.json";
   bool list = false;
+  bool grid_smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-scenarios") {
       // Enumerates the perf-matrix scenario keys (one per line, matching
       // the JSON "speedup" table) without running anything.
       list = true;
+    } else if (arg == "--grid-smoke") {
+      // One 256-chiplet grid point (serial + 2 shards), no JSON.
+      grid_smoke = true;
     } else if (arg == "--shards" && i + 1 < argc) {
       // Caps the largest shard count the grid scenarios measure.
       deft::g_max_shards =
@@ -913,6 +976,9 @@ int main(int argc, char** argv) {
   }
   if (list) {
     return deft::list_scenarios();
+  }
+  if (grid_smoke) {
+    return deft::run_grid_smoke();
   }
   if (perf) {
     return deft::run_perf_core(perf_path);

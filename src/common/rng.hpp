@@ -84,4 +84,68 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Counter-based generator (SplitMix64 finalizer over a keyed counter):
+/// draw k of stream (seed, stream) is a pure function of (seed, stream, k),
+/// so consumers that know their draw index can generate in any order - or
+/// on any thread - and still produce the exact sequence a serial consumer
+/// would. The partitioned simulation core's `rng_mode = counter` gives
+/// each NI one stream keyed by its endpoint node id, which is what lets
+/// packet-route preparation run inside the parallel shard phases while
+/// staying bit-identical across shard counts (sim/simulator.cpp).
+///
+/// Statistical quality: the SplitMix64 finalizer passes BigCrush on
+/// sequential counters; per-stream keys are themselves SplitMix64 outputs
+/// of (seed, stream), so streams are pairwise independent for all
+/// practical purposes. Checkpointing serializes only `counter()` - the
+/// key re-derives from (seed, stream) at reset.
+class CounterRng {
+ public:
+  CounterRng() = default;
+
+  CounterRng(std::uint64_t seed, std::uint64_t stream) {
+    // Two mixing rounds over the (seed, stream) pair: distinct seeds and
+    // distinct streams both decorrelate the key.
+    std::uint64_t s = seed;
+    (void)split_mix64(s);
+    s += stream;
+    key_ = split_mix64(s);
+  }
+
+  /// Next raw 64-bit value (the SplitMix64 finalizer of key_ + counter).
+  std::uint64_t next() {
+    std::uint64_t z = key_ + 0x9e3779b97f4a7c15ULL * ++counter_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound), Lemire-debiased exactly like
+  /// Rng::uniform. Rejection may consume extra draws; that is fine - the
+  /// sequence is still a pure function of the draw index.
+  std::uint64_t uniform(std::uint64_t bound) {
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Draw cursor, exposed for simulation checkpointing: restoring the
+  /// counter into a generator constructed with the same (seed, stream)
+  /// resumes the sequence mid-stream.
+  std::uint64_t counter() const { return counter_; }
+  void set_counter(std::uint64_t counter) { counter_ = counter; }
+
+ private:
+  std::uint64_t key_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
 }  // namespace deft

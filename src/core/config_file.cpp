@@ -231,6 +231,15 @@ SimulationConfig parse_simulation_config(std::istream& in) {
     } else if (key == "batch_size") {
       config.knobs.batch_size =
           static_cast<int>(parse_int(key, value, 1, kMaxBatchSize));
+    } else if (key == "rng_mode") {
+      if (value == "serial") {
+        config.knobs.rng_mode = RngMode::serial;
+      } else if (value == "counter") {
+        config.knobs.rng_mode = RngMode::counter;
+      } else {
+        require(false, "config: rng_mode must be serial or counter, got '" +
+                           value + "'");
+      }
     } else if (key == "trace_file") {
       config.trace_file = value;
     } else if (key == "trace_cycles") {

@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <semaphore>
 
 #include "core/batch_runner.hpp"
 #include "fault/scenario.hpp"
@@ -217,15 +218,17 @@ std::vector<SweepResult> SweepRunner::run(const ExperimentContext& ctx,
   // One workspace per pool worker: a worker's simulation state is reused
   // across every point it executes (reset, not reallocated, between
   // points), which is where the sweep's many-short-runs cost went. With
-  // sharded points each workspace also owns a `shards`-wide worker pool,
-  // so the sweep width is capped to keep shards x workers within the
-  // hardware (one sharded run at a time in the limit). The cap only
-  // applies when sharding can actually engage: grid traffic patterns are
-  // all lookahead-capable, so the remaining gate is the active-set core
-  // (full-scan points run serially and must keep the full sweep width).
+  // sharded points each workspace also owns a `shards`-wide worker pool;
+  // rather than capping the whole sweep width (which would also throttle
+  // the points that end up running serially - e.g. non-lookahead traffic
+  // in a mixed sweep), the pool stays full-width and a semaphore admits
+  // at most effective_workers(shards) *sharded* runs at a time, keeping
+  // shards x concurrent-sharded-runs within the hardware.
   const bool sharded_points =
       knobs.shards > 1 && knobs.core == SimCore::active_set;
-  const int workers = effective_workers(sharded_points ? knobs.shards : 1);
+  const int workers = num_threads_;
+  std::counting_semaphore<> sharded_slots(
+      sharded_points ? effective_workers(knobs.shards) : 1);
 
   // Throughput mode: with batch_size > 1 each worker owns a BatchRunner
   // that keeps that many points resident and interleaves their cycle
@@ -292,6 +295,23 @@ std::vector<SweepResult> SweepRunner::run(const ExperimentContext& ctx,
                                             point.injection_rate);
           SimKnobs point_knobs = knobs;
           point_knobs.seed = point.sim_seed;
+          // Only points that will actually engage the sharded core (the
+          // Simulator's own gate: lookahead-capable traffic) take a
+          // sharded slot; serial points run at full sweep width.
+          const bool point_sharded =
+              sharded_points && traffic->supports_lookahead();
+          struct SlotGuard {
+            std::counting_semaphore<>* slots;
+            ~SlotGuard() {
+              if (slots != nullptr) {
+                slots->release();
+              }
+            }
+          } guard{nullptr};
+          if (point_sharded) {
+            sharded_slots.acquire();
+            guard.slots = &sharded_slots;
+          }
           return run_sim(workspaces[static_cast<std::size_t>(worker)], ctx,
                          point.algorithm, *traffic, point_knobs, point.faults,
                          point.vl_strategy, point.timeline,

@@ -179,9 +179,10 @@ class SweepRunner {
   /// Each pool worker reuses one SimWorkspace across all the points it
   /// executes, so steady-state sweep execution stays off the heap; the
   /// results are still bit-identical to fresh-Simulator serial execution
-  /// (tests/test_workspace.cpp). With knobs.shards > 1 the pool width is
-  /// capped by effective_workers() so sharded points compose with the
-  /// sweep's own parallelism instead of oversubscribing the host. With
+  /// (tests/test_workspace.cpp). With knobs.shards > 1 the pool keeps its
+  /// full width but at most effective_workers() points run *sharded* at a
+  /// time (semaphore-gated), so sharded points compose with the sweep's
+  /// own parallelism without throttling a mixed sweep's serial points. With
   /// knobs.batch_size > 1 (and unsharded points) each worker instead runs
   /// a BatchRunner that keeps batch_size points resident and interleaves
   /// their cycle chunks - same results, higher short-run throughput
@@ -190,7 +191,7 @@ class SweepRunner {
                                const ExperimentGrid& grid,
                                const SimKnobs& knobs) const;
 
-  /// Concurrent simulations the sweep will run for a given per-run shard
+  /// Concurrent *sharded* simulations the sweep admits for a given per-run shard
   /// count: the configured pool width, capped so that
   /// `workers x shards <= hardware concurrency` (floored at one run at a
   /// time - a single sharded simulation is allowed to use every core).

@@ -78,7 +78,7 @@ VcMask DeftRouting::vn_vcs(int vn) const {
   return mask;
 }
 
-int DeftRouting::select_down_vl(NodeId src) {
+int DeftRouting::select_down_vl(NodeId src, CounterRng* stream) {
   const int chiplet = topo_->node(src).chiplet;
   const auto& alive = alive_down_[static_cast<std::size_t>(chiplet)];
   if (alive.empty()) {
@@ -104,12 +104,14 @@ int DeftRouting::select_down_vl(NodeId src) {
     }
     case VlStrategy::random:
       return alive[static_cast<std::size_t>(
-          rng_.uniform(static_cast<std::uint64_t>(alive.size())))];
+          stream != nullptr
+              ? stream->uniform(static_cast<std::uint64_t>(alive.size()))
+              : rng_.uniform(static_cast<std::uint64_t>(alive.size())))];
   }
   return -1;
 }
 
-int DeftRouting::select_up_vl(NodeId dst) {
+int DeftRouting::select_up_vl(NodeId dst, CounterRng* stream) {
   const int chiplet = topo_->node(dst).chiplet;
   const auto& alive = alive_up_[static_cast<std::size_t>(chiplet)];
   if (alive.empty()) {
@@ -135,12 +137,14 @@ int DeftRouting::select_up_vl(NodeId dst) {
     }
     case VlStrategy::random:
       return alive[static_cast<std::size_t>(
-          rng_.uniform(static_cast<std::uint64_t>(alive.size())))];
+          stream != nullptr
+              ? stream->uniform(static_cast<std::uint64_t>(alive.size()))
+              : rng_.uniform(static_cast<std::uint64_t>(alive.size())))];
   }
   return -1;
 }
 
-bool DeftRouting::prepare_packet(PacketRoute& route) {
+bool DeftRouting::prepare_packet(PacketRoute& route, CounterRng* stream) {
   const Node& src = topo_->node(route.src);
   const Node& dst = topo_->node(route.dst);
   route.down_node = kInvalidNode;
@@ -155,7 +159,7 @@ bool DeftRouting::prepare_packet(PacketRoute& route) {
   }
 
   if (src.chiplet != kInterposer) {
-    const int down_vl = select_down_vl(route.src);
+    const int down_vl = select_down_vl(route.src, stream);
     if (down_vl < 0) {
       return false;  // source chiplet cannot reach the interposer
     }
@@ -164,7 +168,7 @@ bool DeftRouting::prepare_packet(PacketRoute& route) {
                           .chiplet_node;
   }
   if (dst.chiplet != kInterposer) {
-    const int up_vl = select_up_vl(route.dst);
+    const int up_vl = select_up_vl(route.dst, stream);
     if (up_vl < 0) {
       return false;  // destination chiplet cannot be entered
     }

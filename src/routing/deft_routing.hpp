@@ -48,7 +48,8 @@ class DeftRouting final : public RoutingAlgorithm {
 
   const char* name() const override { return "DeFT"; }
   int num_vcs() const override { return num_vcs_; }
-  bool prepare_packet(PacketRoute& route) override;
+  bool prepare_packet(PacketRoute& route,
+                      CounterRng* stream = nullptr) override;
   RouteDecision route(NodeId node, Port in_port, int in_vc,
                       const PacketRoute& route,
                       const RouterView& view) const override;
@@ -88,9 +89,11 @@ class DeftRouting final : public RoutingAlgorithm {
   VcMask all_vcs() const { return all_vcs_mask(num_vcs_); }
 
   /// Selected down-side VL (chiplet-VL index) for packets of `src`, or -1.
-  int select_down_vl(NodeId src);
+  /// `stream`, when non-null, supplies the randomness for
+  /// VlStrategy::random instead of the shared rng_ (counter mode).
+  int select_down_vl(NodeId src, CounterRng* stream);
   /// Selected up-side VL (chiplet-VL index) for packets to `dst`, or -1.
-  int select_up_vl(NodeId dst);
+  int select_up_vl(NodeId dst, CounterRng* stream);
 
   const Topology* topo_;
   std::shared_ptr<const SystemVlTables> tables_;

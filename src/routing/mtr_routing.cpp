@@ -601,7 +601,8 @@ std::uint16_t MtrRouting::dist(int line_node, NodeId dst) const {
                      static_cast<std::size_t>(line_node)];
 }
 
-bool MtrRouting::prepare_packet(PacketRoute& route) {
+bool MtrRouting::prepare_packet(PacketRoute& route,
+                                CounterRng* /*stream*/) {
   // MTR has no per-packet intermediate destinations: the route tables
   // already encode the (fixed) VL choices. Any VC may be used anywhere.
   route.down_node = kInvalidNode;

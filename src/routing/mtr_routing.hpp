@@ -120,7 +120,10 @@ class MtrRouting final : public RoutingAlgorithm {
 
   const char* name() const override { return "MTR"; }
   int num_vcs() const override { return num_vcs_; }
-  bool prepare_packet(PacketRoute& route) override;
+  /// `stream` is ignored: the route is a pure function of the pair
+  /// (no per-packet randomness), already safe for concurrent calls.
+  bool prepare_packet(PacketRoute& route,
+                      CounterRng* stream = nullptr) override;
   RouteDecision route(NodeId node, Port in_port, int in_vc,
                       const PacketRoute& route,
                       const RouterView& view) const override;

@@ -53,7 +53,7 @@ VlId RcRouting::fixed_down_vl(NodeId src, NodeId dst) const {
   return best;
 }
 
-bool RcRouting::prepare_packet(PacketRoute& route) {
+bool RcRouting::prepare_packet(PacketRoute& route, CounterRng* /*stream*/) {
   const Node& src = topo_->node(route.src);
   const Node& dst = topo_->node(route.dst);
   route.down_node = kInvalidNode;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "fault/fault_set.hpp"
 #include "topology/topology.hpp"
 
@@ -81,8 +82,14 @@ class RoutingAlgorithm {
 
   /// Fills route state for a new packet. Returns false when the pair is
   /// unreachable under the current fault set (the NI drops the packet and
-  /// counts it against reachability).
-  virtual bool prepare_packet(PacketRoute& route) = 0;
+  /// counts it against reachability). When `stream` is non-null
+  /// (`rng_mode = counter`), any per-packet randomness must be drawn from
+  /// it instead of the algorithm's own stream; with a non-null stream the
+  /// call must be const-observable on the algorithm (no shared mutable
+  /// state), because the partitioned core invokes it concurrently from
+  /// shard workers, each with its own per-NI stream.
+  virtual bool prepare_packet(PacketRoute& route,
+                              CounterRng* stream = nullptr) = 0;
 
   /// Per-hop decision for the packet whose head flit sits at `node`,
   /// arrived through `in_port` on VC `in_vc`.

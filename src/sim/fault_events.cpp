@@ -432,9 +432,14 @@ void FaultSurgeon::apply_policy(Network& net, RoutingAlgorithm& alg,
                                 std::vector<NetworkInterface>& nis,
                                 RcUnitManager& rc_units) {
   // Ascending NI order: the reroute path re-prepares routes through the
-  // algorithm's shared RNG stream, and this is the order the serial NI
-  // loop consumes it in - sharded runs call this from the same serial
-  // point, so the stream stays bit-identical across shard counts.
+  // algorithm's shared RNG stream (or, in counter mode, each NI's private
+  // stream), and this is the order the serial NI loop consumes it in -
+  // sharded runs call this from the same serial point, so the streams
+  // stay bit-identical across shard counts. In counter mode the back
+  // phase additionally defers its parallel route preparation whenever an
+  // event is pending at the commit cycle, so these reroute draws always
+  // precede that cycle's injection draws on every NI stream, exactly as
+  // the serial loop orders them.
   for (NetworkInterface& ni : nis) {
     if (ni.queue_head_ >= ni.queue_.size()) {
       continue;
@@ -456,7 +461,7 @@ void FaultSurgeon::apply_policy(Network& net, RoutingAlgorithm& alg,
           // The guard re-checks viability: a fault-oblivious algorithm
           // (RC's fixed VLs) can fail only through prepare_packet, but
           // nothing forces a fresh route to be usable in general.
-          if (alg.prepare_packet(fresh) &&
+          if (alg.prepare_packet(fresh, ni.route_stream()) &&
               alg.hop_viable(ni.node_, Port::local, fresh)) {
             packets.set_route(id, fresh);
             mark_affected(packets.route_id(id));

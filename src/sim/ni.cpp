@@ -23,8 +23,40 @@ void NetworkInterface::commit_scheduled(Cycle now, RoutingAlgorithm& algorithm,
                                         PacketTable& packets, int packet_size,
                                         bool in_measure_window,
                                         NiCounters& counters) {
+  if (!prepared_.empty()) {
+    // Routes were prepared in the parallel back phase; only the dense-id
+    // allocation (order-sensitive) happens here.
+    for (const PreparedRequest& p : prepared_) {
+      if (!p.ok) {
+        ++counters.dropped_unroutable;
+        continue;
+      }
+      const PacketId id =
+          packets.create(p.route, now, static_cast<std::uint16_t>(packet_size),
+                         p.app, in_measure_window);
+      queue_.push_back(id);
+      ++counters.created;
+      if (in_measure_window) {
+        ++counters.created_measured;
+      }
+    }
+    prepared_.clear();
+    return;
+  }
   materialize(now, scratch_, algorithm, packets, packet_size,
               in_measure_window, counters);
+}
+
+void NetworkInterface::prepare_scheduled(RoutingAlgorithm& algorithm) {
+  prepared_.clear();
+  for (const PacketRequest& req : scratch_) {
+    PreparedRequest p;
+    p.route.src = node_;
+    p.route.dst = req.dst;
+    p.app = req.app;
+    p.ok = algorithm.prepare_packet(p.route, route_stream());
+    prepared_.push_back(p);
+  }
 }
 
 void NetworkInterface::materialize(Cycle now,
@@ -37,7 +69,7 @@ void NetworkInterface::materialize(Cycle now,
     PacketRoute route;
     route.src = node_;
     route.dst = req.dst;
-    if (!algorithm.prepare_packet(route)) {
+    if (!algorithm.prepare_packet(route, route_stream())) {
       ++counters.dropped_unroutable;
       continue;
     }

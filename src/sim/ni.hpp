@@ -43,10 +43,16 @@ class NetworkInterface {
 
   /// Rebinds the NI to an endpoint with a fresh RNG stream and discards
   /// all queued/active packet state, keeping the queue and scratch
-  /// allocations (workspace reuse across runs).
-  void reset(NodeId node, Rng rng) {
+  /// allocations (workspace reuse across runs). With `counter_mode` set,
+  /// `route_rng` supplies this NI's private counter-based stream and all
+  /// route preparation draws from it instead of the routing algorithm's
+  /// shared stream (SimKnobs::rng_mode).
+  void reset(NodeId node, Rng rng, CounterRng route_rng = CounterRng{},
+             bool counter_mode = false) {
     node_ = node;
     rng_ = rng;
+    route_rng_ = route_rng;
+    counter_mode_ = counter_mode;
     queue_.clear();
     queue_head_ = 0;
     active_ = -1;
@@ -57,6 +63,7 @@ class NetworkInterface {
     perm_requested_ = false;
     vc_rr_ = 0;
     scratch_.clear();
+    prepared_.clear();
   }
 
   /// Asks the traffic generator for this cycle's packets, prepares their
@@ -77,10 +84,23 @@ class NetworkInterface {
 
   /// Materializes the requests pre-drawn by schedule_next() as packets
   /// created at cycle `now` - identical packet state and counters to a
-  /// generate() call at `now`.
+  /// generate() call at `now`. When prepare_scheduled() already ran for
+  /// this batch, the prepared routes are committed instead of re-deriving
+  /// them (the prepared buffer is consumed either way).
   void commit_scheduled(Cycle now, RoutingAlgorithm& algorithm,
                         PacketTable& packets, int packet_size,
                         bool in_measure_window, NiCounters& counters);
+
+  /// Counter-mode fast path for the sharded core: prepares the routes of
+  /// the requests pre-drawn by schedule_next() using this NI's private
+  /// counter stream, so the work runs inside the parallel back phase.
+  /// Packet creation (the dense-id allocation) stays in commit_scheduled's
+  /// serial ascending-NI merge, which is what keeps PacketTable ids
+  /// shard-count-invariant. Only valid in counter mode; must not run when
+  /// a fault event fires at the commit cycle (the routes would see the
+  /// stale fault set - the caller defers to the serial path instead, and
+  /// the per-NI stream makes both paths consume identical draws).
+  void prepare_scheduled(RoutingAlgorithm& algorithm);
 
   /// Pushes at most one flit of the active packet into the router; handles
   /// RC permission acquisition for the head-of-queue packet. When
@@ -115,8 +135,27 @@ class NetworkInterface {
                    int packet_size, bool in_measure_window,
                    NiCounters& counters);
 
+  /// This NI's route-randomness source: its private counter stream in
+  /// counter mode, or null (= the algorithm's shared stream) otherwise.
+  /// Also consumed by the fault surgeon's reroute pass, which runs at
+  /// serial points in ascending NI order under both modes.
+  CounterRng* route_stream() {
+    return counter_mode_ ? &route_rng_ : nullptr;
+  }
+
+  /// One pre-routed packet request (prepare_scheduled's output).
+  struct PreparedRequest {
+    PacketRoute route;
+    std::uint8_t app = 0;
+    bool ok = false;  ///< prepare_packet verdict (false = unroutable)
+  };
+
   NodeId node_ = kInvalidNode;
   Rng rng_{0};
+  /// Counter-mode route stream (keyed by (seed, node_)); unused -
+  /// counter 0 - in serial mode.
+  CounterRng route_rng_;
+  bool counter_mode_ = false;
   /// FIFO as a growth-only vector with a consumed-prefix cursor: push_back
   /// appends, the head advances on pop, and both rewind to zero whenever
   /// the queue drains. Capacity is never released, so a reused workspace's
@@ -134,6 +173,9 @@ class NetworkInterface {
   bool perm_requested_ = false;
   std::uint8_t vc_rr_ = 0;
   std::vector<PacketRequest> scratch_;
+  /// Routes prepared ahead of commit by prepare_scheduled(), parallel to
+  /// scratch_; empty when the serial path will re-derive them.
+  std::vector<PreparedRequest> prepared_;
 };
 
 }  // namespace deft

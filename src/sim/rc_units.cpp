@@ -64,6 +64,15 @@ void RcUnitManager::request(NodeId unit_node, NodeId requester,
       {requester, packet, now + permission_latency(requester, unit_node)});
 }
 
+int RcUnitManager::request_parallel(NodeId unit_node, NodeId requester,
+                                    PacketId packet, Cycle now) {
+  Unit& unit = unit_at(unit_node);
+  const int delta = at_rest(unit) ? 1 : 0;
+  unit.queue.push_back(
+      {requester, packet, now + permission_latency(requester, unit_node)});
+  return delta;
+}
+
 bool RcUnitManager::grant_ready(NodeId unit_node, NodeId requester,
                                 PacketId packet, Cycle now) const {
   const Unit& unit = unit_at(unit_node);

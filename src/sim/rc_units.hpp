@@ -38,6 +38,21 @@ class RcUnitManager {
   /// boundary router `unit_node`. One outstanding request per NI.
   void request(NodeId unit_node, NodeId requester, PacketId packet, Cycle now);
 
+  /// request() variant for the sharded core's distributed delivery: the
+  /// busy-unit counter is NOT touched - the at-rest transition (0 or 1) is
+  /// returned instead, for the caller to accumulate per shard and fold in
+  /// via add_busy_units() at the next serial point. Safe to call
+  /// concurrently from different shards as long as each unit's requests
+  /// all come from the one shard that owns its node (the partition
+  /// guarantees this) - different units never share state besides
+  /// busy_units_, which this variant leaves alone.
+  int request_parallel(NodeId unit_node, NodeId requester, PacketId packet,
+                       Cycle now);
+
+  /// Folds the per-shard at-rest deltas accumulated by request_parallel()
+  /// into the busy-unit counter. Serial points only.
+  void add_busy_units(int delta) { busy_units_ += delta; }
+
   /// NI-side: true once the grant for (requester, packet) has arrived.
   bool grant_ready(NodeId unit_node, NodeId requester, PacketId packet,
                    Cycle now) const;

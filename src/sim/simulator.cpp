@@ -314,6 +314,11 @@ struct ShardedState {
   std::vector<ShardRun>* shards = nullptr;
   SimResults* results = nullptr;
   FaultSurgeon* surgeon = nullptr;
+  const Partition* partition = nullptr;
+  /// SimKnobs::rng_mode == counter: per-NI route streams make route
+  /// preparation order-independent, so shard_back() prepares next-cycle
+  /// injections in parallel instead of begin_cycle() doing it serially.
+  bool counter_mode = false;
   NiCounters counters;
 
   Cycle measure_end = 0;
@@ -359,40 +364,29 @@ struct ShardedState {
     }
   }
 
-  /// Serial start-of-cycle work for cycle `now`: deliver staged RC
-  /// permission requests and materialize pending injections in ascending
-  /// NI order, then tick the RC units. Mirrors the serial loop's per-NI
-  /// order of commit_scheduled() and rc_units.request() calls.
+  /// Serial start-of-cycle work for cycle `now`: fold the shards' RC
+  /// busy-unit deltas, materialize pending injections in ascending NI
+  /// order, then tick the RC units. Mirrors the serial loop's per-NI
+  /// order of commit_scheduled() calls; the staged RC requests themselves
+  /// were already delivered - in the serial loop's per-unit order - by the
+  /// shards' back phases (see shard_back()).
   void begin_cycle() {
     const int num_shards = static_cast<int>(shards->size());
-    // K-way merges by NI index over the shards' (already ascending)
-    // lists; shard counts are small, so a linear min scan suffices.
-    std::size_t req_cursor[kMaxSimShards] = {};
-    for (;;) {
-      int best = -1;
-      std::size_t best_ni = 0;
-      for (int s = 0; s < num_shards; ++s) {
-        const auto& reqs = (*shards)[static_cast<std::size_t>(s)].rc_requests;
-        if (req_cursor[s] < reqs.size() &&
-            (best < 0 || reqs[req_cursor[s]].ni < best_ni)) {
-          best = s;
-          best_ni = reqs[req_cursor[s]].ni;
-        }
-      }
-      if (best < 0) {
-        break;
-      }
-      const RcPermissionRequest& r =
-          (*shards)[static_cast<std::size_t>(best)]
-              .rc_requests[req_cursor[best]++];
-      rc_units->request(r.unit_node, r.requester, r.packet, r.now);
+    int busy_delta = 0;
+    for (ShardRun& sh : *shards) {
+      busy_delta += sh.rc_busy_delta;
+      sh.rc_busy_delta = 0;
     }
+    rc_units->add_busy_units(busy_delta);
     // Fault events apply after the staged RC requests are delivered and
     // before pending injections materialize - the same relative point the
     // serial loop reaches at the top of its cycle body.
     if (surgeon->pending(now)) {
       surgeon->apply_due(now, *net, *algorithm, *packets, *nis, *rc_units);
     }
+    // K-way merge by NI index over the shards' (already ascending)
+    // pending lists; shard counts are small, so a linear min scan
+    // suffices.
     std::size_t pend_cursor[kMaxSimShards] = {};
     for (;;) {
       int best = -1;
@@ -521,14 +515,67 @@ void shard_front(ShardedState& st, int s) {
   st.net->step_shard(s, now, sink);
 }
 
-/// Back phase for one shard: commit the shard's inboxes, pre-draw the
-/// next cycle's wake set.
+/// Back phase for one shard: commit the shard's inboxes, deliver the
+/// staged RC permission requests whose units this shard owns, pre-draw
+/// the next cycle's wake set, and - in counter mode - prepare the routes
+/// of the newly drawn injections.
 template <bool InWindow>
 void shard_back(ShardedState& st, int s) {
   ShardRun& sh = (*st.shards)[static_cast<std::size_t>(s)];
   ShardPhaseSink<InWindow> sink{&st, &sh};
   st.net->commit_shard(s, st.now, sink);
+
+  // Distributed RC delivery: every shard scans all staged-request lists
+  // (written during the front phase, frozen by barrier_a) and delivers,
+  // in ascending NI order, exactly the requests targeting units on its
+  // own nodes. Restricting the serial loop's global NI order to one
+  // unit's requests preserves that unit's queue order, and no two shards
+  // ever touch the same unit - the partition keys ownership by node.
+  // The busy-unit transitions accumulate locally and fold in serially
+  // (RcUnitManager::add_busy_units) at the next begin_cycle().
+  const int num_shards = static_cast<int>(st.shards->size());
+  std::size_t cursor[kMaxSimShards] = {};
+  int busy_delta = 0;
+  for (;;) {
+    int best = -1;
+    std::size_t best_ni = 0;
+    for (int p = 0; p < num_shards; ++p) {
+      const auto& reqs =
+          (*st.shards)[static_cast<std::size_t>(p)].rc_requests;
+      std::size_t& c = cursor[p];
+      while (c < reqs.size() &&
+             st.partition->shard_of(reqs[c].unit_node) != s) {
+        ++c;  // lazily skip requests another shard owns
+      }
+      if (c < reqs.size() && (best < 0 || reqs[c].ni < best_ni)) {
+        best = p;
+        best_ni = reqs[c].ni;
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    const RcPermissionRequest& r =
+        (*st.shards)[static_cast<std::size_t>(best)].rc_requests[cursor[best]++];
+    busy_delta +=
+        st.rc_units->request_parallel(r.unit_node, r.requester, r.packet, r.now);
+  }
+  sh.rc_busy_delta += busy_delta;
+
+  const std::size_t drawn_from = sh.pending.size();
   ShardedState::draw(sh, st.now + 1);
+  // Counter mode: prepare the next cycle's routes here, in parallel -
+  // each NI draws from its private stream, so the result is independent
+  // of which shard/order runs it. Deferred to the serial commit path
+  // whenever a fault event fires at the commit cycle: the routes must
+  // see the post-event fault set, and the surgeon's reroute pass must
+  // consume each NI's stream first. The event cursor only advances at
+  // serial points, so pending() is safe to read concurrently.
+  if (st.counter_mode && !st.surgeon->pending(st.now + 1)) {
+    for (std::size_t k = drawn_from; k < sh.pending.size(); ++k) {
+      (*st.nis)[sh.pending[k]].prepare_scheduled(*st.algorithm);
+    }
+  }
 }
 
 /// End-of-cycle serial step (the second barrier's completion): drains RC
@@ -583,11 +630,62 @@ void sharded_cycle_end(ShardedState& st) {
   }
 }
 
+/// Two-shard cycle loop with fused phase synchronization: the generic
+/// loop's two std::barrier rendezvous per cycle become four single-writer
+/// epoch stores (TwoShardSync), roughly halving the per-cycle
+/// synchronization cost that dominates small two-shard runs. The phase
+/// structure is unchanged - front, peer-front wait, back, completion on
+/// worker 0, release - because the completion step's stop decision must
+/// still precede either worker's next front phase.
+void run_sharded_fused(ShardedState& st, WorkerPool& pool) {
+  TwoShardSync sync;
+  pool.run(2, [&st, &sync](int w) {
+    std::uint64_t epoch = 0;
+    while (!st.stop) {
+      ++epoch;
+      if (!st.failed.load(std::memory_order_relaxed)) {
+        try {
+          if (st.in_window) {
+            shard_front<true>(st, w);
+          } else {
+            shard_front<false>(st, w);
+          }
+        } catch (...) {
+          st.record_failure();
+        }
+      }
+      sync.front_done(w, epoch);
+      if (!st.failed.load(std::memory_order_relaxed)) {
+        try {
+          if (st.in_window) {
+            shard_back<true>(st, w);
+          } else {
+            shard_back<false>(st, w);
+          }
+        } catch (...) {
+          st.record_failure();
+        }
+      }
+      if (w == 0) {
+        sync.wait_follower_back(epoch);
+        sharded_cycle_end(st);
+        sync.publish_release(epoch);
+      } else {
+        sync.follower_back_done(epoch);
+      }
+    }
+  });
+}
+
 /// Runs the cycle loop across one worker per shard. The caller has
 /// already performed cycle 0's prologue (initial event scheduling, the
 /// cycle-0 draw/materialization, the first RC tick).
 void run_sharded(ShardedState& st, WorkerPool& pool) {
   const int num_shards = static_cast<int>(st.shards->size());
+  if (num_shards == 2) {
+    run_sharded_fused(st, pool);
+    return;
+  }
 
   const auto completion = [&st]() noexcept { sharded_cycle_end(st); };
   std::barrier barrier_a(num_shards);
@@ -655,6 +753,14 @@ void reset_results(SimResults& results, const Topology& topo,
 
 }  // namespace
 
+const char* rng_mode_name(RngMode m) {
+  switch (m) {
+    case RngMode::serial: return "serial";
+    case RngMode::counter: return "counter";
+  }
+  return "?";
+}
+
 Simulator::Simulator(const Topology& topo, RoutingAlgorithm& algorithm,
                      TrafficGenerator& traffic, SimKnobs knobs,
                      VlFaultSet faults, const FaultTimeline* timeline,
@@ -692,9 +798,15 @@ void Simulator::prepare(SimWorkspace& ws, const Partition* partition) {
   Rng root(knobs_.seed);
   const std::vector<NodeId>& endpoints = topo_->endpoints();
   ws.nis_.resize(endpoints.size());
+  const bool counter = knobs_.rng_mode == RngMode::counter;
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
     const NodeId n = endpoints[i];
-    ws.nis_[i].reset(n, root.fork(static_cast<std::uint64_t>(n)));
+    // In counter mode each NI additionally owns the route stream keyed by
+    // (seed, node) - a pure function of the pair, so identical for every
+    // shard count including the serial stepper.
+    ws.nis_[i].reset(n, root.fork(static_cast<std::uint64_t>(n)),
+                     CounterRng(knobs_.seed, static_cast<std::uint64_t>(n)),
+                     counter);
   }
   ws.surgeon_.reset(*topo_, timeline_, policy_, faults_, ws.nis_);
 
@@ -742,6 +854,7 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
       sh.events.clear();
       sh.pending.clear();
       sh.rc_requests.clear();
+      sh.rc_busy_delta = 0;
       sh.net_latencies.clear();
       sh.total_latencies.clear();
       sh.region_vc_flits.assign(
@@ -767,6 +880,8 @@ const SimResults& Simulator::run(SimWorkspace& ws) {
     st.shards = &ws.shard_runs_;
     st.results = &ws.results_;
     st.surgeon = &ws.surgeon_;
+    st.partition = &ws.partition_;
+    st.counter_mode = knobs_.rng_mode == RngMode::counter;
     st.measure_end = knobs_.warmup + knobs_.measure;
     st.hard_end = st.measure_end + knobs_.drain_max;
 

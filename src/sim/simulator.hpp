@@ -59,6 +59,19 @@ namespace deft {
 /// partitioned core use fixed per-shard cursors).
 inline constexpr int kMaxSimShards = 64;
 
+/// Where per-packet routing randomness (DeFT-Random's VL draws) comes
+/// from. `serial` is the historical shared xoshiro stream consumed in
+/// ascending NI order - every golden digest is pinned to it - which
+/// forces packet materialization into the sharded core's serial sliver.
+/// `counter` gives each NI a private counter-based stream keyed by
+/// (seed, endpoint node): draw k of a stream is a pure function of the
+/// key and k, so route preparation moves into the parallel shard phases
+/// and results are bit-identical across shard counts (but differ from
+/// `serial` for randomness-consuming configurations).
+enum class RngMode : std::uint8_t { serial, counter };
+
+const char* rng_mode_name(RngMode m);
+
 struct SimKnobs {
   int num_vcs = 2;       ///< paper: two VCs for all algorithms
   int buffer_depth = 4;  ///< paper: four flits per VC
@@ -90,6 +103,10 @@ struct SimKnobs {
   /// Batching and sharding do not compose: sharded sweep points (shards >
   /// 1 with the active-set core) run one at a time. docs/throughput.md.
   int batch_size = 1;
+  /// Routing-randomness mode (see RngMode). `serial` preserves every
+  /// historical digest; `counter` unlocks parallel packet materialization
+  /// and is the recommended mode for many-chiplet sharded runs.
+  RngMode rng_mode = RngMode::serial;
 };
 
 /// Upper bound on SimKnobs::batch_size (resident workspaces per worker).
@@ -105,9 +122,15 @@ struct ShardRun {
   std::vector<std::uint64_t> wake;
   std::vector<std::pair<Cycle, std::size_t>> events;
   /// NIs whose scheduled injection fires next cycle (ascending), awaiting
-  /// the serial materialization step.
+  /// the serial materialization step (serial rng mode) or already carrying
+  /// routes prepared in the parallel back phase (counter mode).
   std::vector<std::size_t> pending;
   std::vector<RcPermissionRequest> rc_requests;
+  /// Units this shard moved out of rest while delivering permission
+  /// requests in the back phase; folded into RcUnitManager::busy_units_
+  /// at the next serial point (the counter itself is global state no
+  /// parallel phase may touch).
+  int rc_busy_delta = 0;
 
   // Measurement slice (PhaseSink-equivalent, per shard).
   std::vector<std::uint32_t> net_latencies;

@@ -198,7 +198,7 @@ std::string SnapshotAccess::fingerprint(const Simulator& sim) {
       << k.packet_size << "p/" << k.vl_serialization << "s/w" << k.warmup
       << "/m" << k.measure << "/d" << k.drain_max << "/wd"
       << k.watchdog_cycles << "/seed" << k.seed << "/core"
-      << static_cast<int>(k.core)
+      << static_cast<int>(k.core) << "/rng" << static_cast<int>(k.rng_mode)
       << " alg=" << sim.algorithm_->name() << "/"
       << sim.algorithm_->num_vcs() << " traffic=" << sim.traffic_->name()
       << " faults=0x" << std::hex << sim.faults_.bits() << std::dec
@@ -521,6 +521,10 @@ void SnapshotAccess::save_nis(Writer& w,
     for (const std::uint64_t word : ni.rng_.state()) {
       w.u64(word);
     }
+    // Counter-mode route stream: the key is a pure function of
+    // (seed, node) and is rebuilt by prepare(); only the draw count is
+    // run state. Always written (0 in serial mode) - format v2.
+    w.u64(ni.route_rng_.counter());
     // Only the unconsumed queue slice is observable; it restores at
     // head 0 (the cursor position is not behavior-affecting).
     w.u64(ni.queue_.size() - ni.queue_head_);
@@ -544,7 +548,7 @@ void SnapshotAccess::save_nis(Writer& w,
 
 void SnapshotAccess::restore_nis(Reader& r,
                                  std::vector<NetworkInterface>& nis) {
-  if (r.count(40) != nis.size()) {
+  if (r.count(48) != nis.size()) {
     throw SnapshotError("snapshot NI count mismatch");
   }
   for (NetworkInterface& ni : nis) {
@@ -556,6 +560,9 @@ void SnapshotAccess::restore_nis(Reader& r,
       word = r.u64();
     }
     ni.rng_.set_state(state);
+    // Key and mode were already rebuilt by prepare() (both are pure
+    // functions of the fingerprint-checked knobs); resume mid-sequence.
+    ni.route_rng_.set_counter(r.u64());
     ni.queue_.clear();
     ni.queue_head_ = 0;
     const std::size_t depth = r.count(4);

@@ -43,7 +43,8 @@ class SnapshotError : public std::runtime_error {
 };
 
 /// Snapshot format version written by save_snapshot().
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: per-NI counter-based route-stream draw counts (rng_mode).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Serializes the state of `stepper`'s paused run. The stepper must be
 /// started and not finished; the cycle boundary it is paused on is a

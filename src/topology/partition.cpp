@@ -1,6 +1,7 @@
 #include "topology/partition.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace deft {
 
@@ -12,8 +13,12 @@ void Partition::build(const Topology& topo, int target_shards) {
     return;
   }
 
-  // --- Units: one per chiplet mesh, plus the interposer split into
-  // contiguous row bands when it exceeds the per-shard node budget.
+  // --- Units: one per chiplet mesh, plus the interposer split into a
+  // 2D grid of contiguous blocks when it exceeds the per-shard node
+  // budget. The block grid (bx x by) approximates square tiles -
+  // by ~ sqrt(t * H / W) balances the aspect ratio - because a square
+  // tile cuts the fewest mesh channels per owned router, and cut
+  // channels are exactly the cross-shard staging traffic.
   int interposer_nodes = 0;
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     if (topo.node(n).chiplet == kInterposer) {
@@ -23,27 +28,42 @@ void Partition::build(const Topology& topo, int target_shards) {
   const int ideal =
       (topo.num_nodes() + target_shards - 1) / target_shards;
   const int height = topo.spec().interposer_height;
-  int bands = interposer_nodes == 0
-                  ? 0
-                  : std::clamp((interposer_nodes + ideal - 1) / ideal, 1,
-                               std::min(target_shards, height));
+  const int width = topo.spec().interposer_width;
+  const int tiles = interposer_nodes == 0
+                        ? 0
+                        : std::clamp((interposer_nodes + ideal - 1) / ideal,
+                                     1, target_shards);
+  int by = 0;
+  int bx = 0;
+  if (tiles > 0) {
+    by = std::clamp(
+        static_cast<int>(std::lround(
+            std::sqrt(static_cast<double>(tiles) * height / width))),
+        1, std::min(tiles, height));
+    bx = std::clamp((tiles + by - 1) / by, 1, width);
+  }
+  const int blocks = bx * by;
 
   units_.clear();
   for (int c = 0; c < topo.num_chiplets(); ++c) {
     units_.push_back(
         {static_cast<int>(topo.chiplet_nodes(c).size()), c, 0});
   }
-  // Band b covers interposer rows [b*H/bands, (b+1)*H/bands).
-  const auto band_of_row = [&](int y) { return y * bands / height; };
-  for (int b = 0; b < bands; ++b) {
+  // Block (i, j) covers interposer columns [i*W/bx, (i+1)*W/bx) and rows
+  // [j*H/by, (j+1)*H/by); the flat index is row-major.
+  const auto block_of = [&](int x, int y) {
+    return (y * by / height) * bx + (x * bx / width);
+  };
+  for (int b = 0; b < blocks; ++b) {
     units_.push_back({0, kInterposer, b});
   }
-  if (bands > 0) {
+  if (blocks > 0) {
     for (NodeId n = 0; n < topo.num_nodes(); ++n) {
       const Node& node = topo.node(n);
       if (node.chiplet == kInterposer) {
-        ++units_[static_cast<std::size_t>(topo.num_chiplets() +
-                                          band_of_row(node.global.y))]
+        ++units_[static_cast<std::size_t>(
+                     topo.num_chiplets() +
+                     block_of(node.global.x, node.global.y))]
               .size;
       }
     }
@@ -84,8 +104,9 @@ void Partition::build(const Topology& topo, int target_shards) {
     const Node& node = topo.node(n);
     const std::size_t unit =
         node.chiplet == kInterposer
-            ? static_cast<std::size_t>(topo.num_chiplets() +
-                                       band_of_row(node.global.y))
+            ? static_cast<std::size_t>(
+                  topo.num_chiplets() +
+                  block_of(node.global.x, node.global.y))
             : static_cast<std::size_t>(node.chiplet);
     shard_of_[static_cast<std::size_t>(n)] = unit_shard_[unit];
   }

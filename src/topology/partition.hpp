@@ -10,7 +10,7 @@
 // The default construction is chiplet-granular, which the 2.5D structure
 // makes natural: each chiplet mesh is one unit (all cross-boundary
 // traffic funnels through its handful of vertical links), and the
-// interposer mesh is split into one or more contiguous row bands when it
+// interposer mesh is split into a 2D grid of contiguous blocks when it
 // is large relative to the per-shard budget. Units are packed onto shards
 // with a deterministic longest-processing-time greedy, so the same
 // (topology, target) pair always produces the same partition - a
@@ -32,7 +32,7 @@ class Partition {
   /// (Re)computes the partition for `topo` with at most `target_shards`
   /// shards, reusing prior allocations. The effective shard count may be
   /// lower: it never exceeds the number of units (chiplets + interposer
-  /// bands), and a target of <= 1 yields the trivial partition.
+  /// blocks), and a target of <= 1 yields the trivial partition.
   void build(const Topology& topo, int target_shards);
 
   int num_shards() const { return num_shards_; }
@@ -56,8 +56,8 @@ class Partition {
   // build() scratch, kept for allocation-free rebuilds.
   struct Unit {
     int size = 0;      ///< routers in the unit
-    int chiplet = 0;   ///< chiplet index, or kInterposer for a band
-    int band = 0;      ///< band index within the interposer split
+    int chiplet = 0;   ///< chiplet index, or kInterposer for a block
+    int block = 0;     ///< block index within the interposer grid
   };
   std::vector<Unit> units_;
   std::vector<int> unit_shard_;

@@ -290,6 +290,54 @@ TEST(Snapshot, RestoredRunsMatchBatchedExecution) {
   }
 }
 
+TEST(Snapshot, CounterRngStreamStateRoundTrips) {
+  // Counter mode adds per-NI route-stream draw counters to the image
+  // (format v2): a mid-run restore must resume every NI's stream at the
+  // exact draw it was paused on. deft_random is the one configuration
+  // that consumes those streams, and its counter-mode golden is pinned
+  // by test_sim_sharded.cpp - the digest must survive the round trip.
+  const Scenario& s = kScenarios[2];
+  ASSERT_STREQ(s.name, "deft_random");
+  SimKnobs knobs = golden_knobs();
+  knobs.rng_mode = RngMode::counter;
+  // (`Run` unqualified inside a TEST body names testing::Test::Run.)
+  using SnapshotRun = deft::Run;
+  const auto make = [&] {
+    auto run = std::make_unique<SnapshotRun>();
+    run->algorithm =
+        ctx4().make_algorithm(s.algorithm, {}, knobs.num_vcs, s.strategy);
+    run->traffic = std::make_unique<UniformTraffic>(ctx4().topo(), 0.02);
+    run->sim = std::make_unique<Simulator>(ctx4().topo(), *run->algorithm,
+                                           *run->traffic, knobs, VlFaultSet{});
+    return run;
+  };
+  auto straight = make();
+  straight->stepper.start(*straight->sim, straight->ws);
+  straight->stepper.advance();
+  const std::uint64_t expected = digest(straight->stepper.finish());
+  EXPECT_EQ(expected, 0x0df1a74aafdcf75bULL);
+
+  for (const Cycle pause : {Cycle{137}, Cycle{1250}}) {
+    SCOPED_TRACE(pause);
+    auto paused = make();
+    paused->stepper.start(*paused->sim, paused->ws);
+    paused->stepper.advance(pause);
+    const std::vector<std::uint8_t> image = save_snapshot(paused->stepper);
+    auto resumed = make();
+    restore_snapshot(image, *resumed->sim, resumed->stepper, resumed->ws);
+    resumed->stepper.advance();
+    EXPECT_EQ(digest(resumed->stepper.finish()), expected);
+  }
+
+  // rng_mode is part of the configuration fingerprint: the serial-mode
+  // image of the same scenario is a different run and must be rejected.
+  const std::vector<std::uint8_t> serial_image = snapshot_at(s, 600);
+  auto counter_run = make();
+  EXPECT_THROW(restore_snapshot(serial_image, *counter_run->sim,
+                                counter_run->stepper, counter_run->ws),
+               SnapshotError);
+}
+
 TEST(Snapshot, TruncatedImageIsRejected) {
   std::vector<std::uint8_t> image = snapshot_at(kScenarios[0], 600);
   image.resize(image.size() - 7);

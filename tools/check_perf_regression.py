@@ -24,7 +24,12 @@ serial run over an N-thread run, so they are only comparable between
 hosts that can actually run N threads in parallel. When the fresh run's
 recorded "hardware_concurrency" (in its "config" object) is below N, the
 key is skipped with a note instead of gated - a 1-core container cannot
-regress (or satisfy) a 4-shard speedup.
+regress (or satisfy) a 4-shard speedup. Conversely, when the fresh host
+*can* express the ratio (hardware_concurrency >= N) the floor is raised
+to at least (1 - tolerance) x 1.0: a capable host must roughly break
+even on sharding even when the committed baseline was recorded on a
+weaker host whose same key legitimately measured a parallelism tax
+(ratio < 1.0, e.g. the 1-core numbers in BENCH_PR5.json).
 
 A geomean summary line over the scenarios common to both runs is printed
 at the end ("overall"-style aggregate keys are excluded from it).
@@ -141,6 +146,13 @@ def main() -> int:
                 f"{args.fresh} (scenario dropped from the matrix?)")
             continue
         floor = base_value * (1.0 - args.tolerance)
+        if (shards is not None and isinstance(fresh_hw, int)
+                and fresh_hw >= shards):
+            # A host that can express an N-shard ratio must at least
+            # break even (modulo tolerance), even against a baseline
+            # recorded on a weaker host where the key measured a
+            # parallelism tax (< 1.0).
+            floor = max(floor, 1.0 - args.tolerance)
         status = "OK " if new_value >= floor else "FAIL"
         print(f"{status} speedup[{key}]: baseline {base_value:.3f} -> "
               f"fresh {new_value:.3f} (floor {floor:.3f})")
